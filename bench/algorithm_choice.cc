@@ -1,0 +1,211 @@
+// Experiment E7 (§5.2 optimizer discussion): two demonstrations.
+//
+// 1. Rewrite effect. "If a universal quantification is expressed in terms
+//    of an aggregate function with preceding join and the query optimizer
+//    does not rewrite the query to use relational division, the query may
+//    be evaluated using an inferior strategy." We execute the aggregate
+//    formulation verbatim and the same logical plan after
+//    RewriteForAllPattern() + cost-based algorithm choice, and compare.
+//
+// 2. Choice quality. For a grid of workload shapes, the §4 cost model picks
+//    an algorithm from the stored-relation statistics; we then measure all
+//    applicable algorithms and report whether the predicted winner was the
+//    measured winner (or within 15% of it).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "planner/physical_planner.h"
+#include "planner/rewrite.h"
+
+namespace reldiv {
+namespace {
+
+Status RunRewriteEffect() {
+  std::printf("--- 1. Executing the aggregate formulation vs rewriting it "
+              "to a division ---\n\n");
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 100;
+  spec.quotient_candidates = 400;
+  spec.candidate_completeness = 0.5;
+  spec.nonmatching_tuples = 20000;
+  spec.seed = 88;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(bench::PaperDatabaseOptions()));
+  Relation dividend, divisor;
+  RELDIV_RETURN_NOT_OK(
+      LoadWorkload(db.get(), workload, "rw", &dividend, &divisor));
+
+  auto formulation = [&]() -> LogicalNodePtr {
+    auto semi = std::make_unique<LogicalSemiJoinNode>(
+        std::make_unique<LogicalRelationNode>("dividend", dividend),
+        std::make_unique<LogicalRelationNode>("divisor", divisor),
+        std::vector<size_t>{1}, std::vector<size_t>{0});
+    auto counted = std::make_unique<LogicalGroupCountNode>(
+        std::move(semi), std::vector<size_t>{0});
+    return std::make_unique<LogicalCountFilterNode>(
+        std::move(counted),
+        std::make_unique<LogicalRelationNode>("divisor", divisor));
+  };
+
+  auto run = [&](LogicalNodePtr plan, PhysicalEngine engine,
+                 const char* label, size_t* result_size) -> Status {
+    RELDIV_RETURN_NOT_OK(db->buffer_manager()->FlushAll());
+    RELDIV_RETURN_NOT_OK(db->buffer_manager()->DropAll());
+    const DiskStats io_before = db->disk()->stats();
+    const CpuCounters cpu_before = *db->counters();
+    CompileOptions compile_options;
+    compile_options.engine = engine;
+    RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> compiled,
+                            CompileLogicalPlan(db->ctx(), std::move(plan),
+                                               compile_options));
+    RELDIV_ASSIGN_OR_RETURN(std::vector<Tuple> out,
+                            CollectAll(compiled.get()));
+    *result_size = out.size();
+    CpuCounters cpu = *db->counters();
+    cpu.comparisons -= cpu_before.comparisons;
+    cpu.hashes -= cpu_before.hashes;
+    cpu.moves -= cpu_before.moves;
+    cpu.bit_ops -= cpu_before.bit_ops;
+    const double cpu_ms = CpuCostMs(cpu);
+    const double io_ms = IoCostMs(db->disk()->stats() - io_before);
+    std::printf("  %-44s %10.0f ms (cpu %.0f + io %.0f)\n", label,
+                cpu_ms + io_ms, cpu_ms, io_ms);
+    return Status::OK();
+  };
+
+  size_t sort_size = 0, hash_size = 0, rewritten_size = 0;
+  RELDIV_RETURN_NOT_OK(
+      run(formulation(), PhysicalEngine::kSortBased,
+          "verbatim, sort-based system (System R / Ingres)", &sort_size));
+  RELDIV_RETURN_NOT_OK(run(formulation(), PhysicalEngine::kHashBased,
+                           "verbatim, hash-based system (GAMMA)",
+                           &hash_size));
+  RewriteResult rewritten = RewriteForAllPattern(formulation());
+  std::printf("  (rewriter introduced %d division node%s)\n",
+              rewritten.divisions_introduced,
+              rewritten.divisions_introduced == 1 ? "" : "s");
+  RELDIV_RETURN_NOT_OK(run(std::move(rewritten.plan),
+                           PhysicalEngine::kHashBased,
+                           "after RewriteForAllPattern + cost-based choice",
+                           &rewritten_size));
+  if (sort_size != rewritten_size || hash_size != rewritten_size ||
+      rewritten_size != workload.expected_quotient.size()) {
+    return Status::Internal("rewrite changed the result");
+  }
+  std::printf(
+      "  all plans return the same %zu quotient tuples. In a sort-based\n"
+      "  system the un-rewritten query pays two sorts of the dividend; in a\n"
+      "  pipelined hash-based system the verbatim plan is already close to\n"
+      "  hash-division — exactly the §5.2 observation for the two system\n"
+      "  classes.\n\n",
+      rewritten_size);
+  return Status::OK();
+}
+
+Status RunChoiceQuality() {
+  std::printf("--- 2. Predicted vs measured winner across workload shapes "
+              "---\n\n");
+  struct Shape {
+    const char* label;
+    WorkloadSpec spec;
+    bool restricted;   // divisor restricted → with-join variants required
+    bool duplicates;
+  };
+  std::vector<Shape> shapes;
+  {
+    WorkloadSpec s = PaperCell(100, 100);
+    shapes.push_back({"clean R = Q x S (100x100)", s, false, false});
+  }
+  {
+    WorkloadSpec s = PaperCell(400, 400);
+    shapes.push_back({"clean R = Q x S (400x400)", s, false, false});
+  }
+  {
+    WorkloadSpec s;
+    s.divisor_cardinality = 100;
+    s.quotient_candidates = 200;
+    s.candidate_completeness = 0.5;
+    s.nonmatching_tuples = 30000;
+    s.seed = 90;
+    shapes.push_back({"restricted divisor, many foreign", s, true, false});
+  }
+  {
+    WorkloadSpec s;
+    s.divisor_cardinality = 50;
+    s.quotient_candidates = 200;
+    s.dividend_duplicates = 20000;
+    s.divisor_duplicates = 50;
+    s.seed = 91;
+    shapes.push_back({"duplicate-laden inputs", s, false, true});
+  }
+
+  int agreements = 0;
+  for (const Shape& shape : shapes) {
+    GeneratedWorkload workload = GenerateWorkload(shape.spec);
+    RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open(bench::PaperDatabaseOptions()));
+    Relation dividend, divisor;
+    RELDIV_RETURN_NOT_OK(
+        LoadWorkload(db.get(), workload, "ch", &dividend, &divisor));
+    DivisionQuery query{dividend, divisor, {"divisor_id"}};
+    RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved,
+                            ResolveDivision(query));
+    DivisionStats stats = EstimateDivisionStats(resolved, db->ctx());
+    stats.divisor_restricted = shape.restricted;
+    stats.may_contain_duplicates = shape.duplicates;
+    AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+
+    // Measure every applicable algorithm.
+    double best_ms = 1e300, chosen_ms = 0;
+    DivisionAlgorithm best = choice.algorithm;
+    for (const auto& [algorithm, predicted] : choice.predicted_ms) {
+      DivisionOptions options;
+      options.eliminate_duplicates =
+          shape.duplicates && algorithm != DivisionAlgorithm::kHashDivision &&
+          algorithm != DivisionAlgorithm::kNaive &&
+          algorithm != DivisionAlgorithm::kHashDivisionPartitioned;
+      uint64_t quotient_size = 0;
+      RELDIV_ASSIGN_OR_RETURN(
+          ExperimentalCost cost,
+          bench::RunDivision(db.get(), query, algorithm, options,
+                             &quotient_size));
+      if (quotient_size != workload.expected_quotient.size()) {
+        return Status::Internal("wrong quotient in choice bench");
+      }
+      if (cost.total_ms() < best_ms) {
+        best_ms = cost.total_ms();
+        best = algorithm;
+      }
+      if (algorithm == choice.algorithm) chosen_ms = cost.total_ms();
+    }
+    const bool agree =
+        best == choice.algorithm || chosen_ms <= best_ms * 1.15;
+    if (agree) agreements++;
+    std::printf("  %-34s predicted %-24s measured-best %-24s %s\n",
+                shape.label, DivisionAlgorithmName(choice.algorithm),
+                DivisionAlgorithmName(best),
+                agree ? "[agree]" : "[DISAGREE]");
+  }
+  std::printf("\n  %d/%zu shapes: the model's pick is the measured winner "
+              "(or within 15%%)\n",
+              agreements, shapes.size());
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  using namespace reldiv;
+  std::printf("=== Experiment E7: query optimizer effects (§5.2/§7) ===\n\n");
+  Status status = RunRewriteEffect();
+  if (status.ok()) status = RunChoiceQuality();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

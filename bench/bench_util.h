@@ -1,0 +1,73 @@
+#ifndef RELDIV_BENCH_BENCH_UTIL_H_
+#define RELDIV_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/io_cost.h"
+#include "division/division.h"
+#include "exec/database.h"
+#include "workload/generator.h"
+
+namespace reldiv {
+namespace bench {
+
+/// Database configured like the paper's experimental system (§5.1): 256 KB
+/// buffer/memory pool, 100 KB sort space, memory-backed simulated disk.
+inline DatabaseOptions PaperDatabaseOptions() {
+  DatabaseOptions options;
+  options.pool_bytes = kDefaultBufferPoolBytes;
+  options.sort_space_bytes = kDefaultSortSpaceBytes;
+  return options;
+}
+
+/// Runs one division experiment cold (buffer pool purged), returning the
+/// paper-style cost: CPU cost from measured operation counts under the
+/// Table 1 unit times, plus I/O cost computed from the file system
+/// statistics with the Table 3 weights. Wall-clock time is kept alongside.
+inline Result<ExperimentalCost> RunDivision(Database* db,
+                                            const DivisionQuery& query,
+                                            DivisionAlgorithm algorithm,
+                                            const DivisionOptions& options =
+                                                {},
+                                            uint64_t* quotient_size =
+                                                nullptr) {
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->FlushAll());
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->DropAll());
+  const DiskStats io_before = db->disk()->stats();
+  const CpuCounters cpu_before = *db->counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> plan,
+                          MakeDivisionPlan(db->ctx(), query, algorithm,
+                                           options));
+  RELDIV_ASSIGN_OR_RETURN(std::vector<Tuple> quotient,
+                          CollectAll(plan.get()));
+  const auto t1 = std::chrono::steady_clock::now();
+  if (quotient_size != nullptr) *quotient_size = quotient.size();
+  ExperimentalCost cost;
+  cost.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  cost.cpu_counters = *db->counters();
+  cost.cpu_counters.comparisons -= cpu_before.comparisons;
+  cost.cpu_counters.hashes -= cpu_before.hashes;
+  cost.cpu_counters.moves -= cpu_before.moves;
+  cost.cpu_counters.bit_ops -= cpu_before.bit_ops;
+  cost.cpu_ms = CpuCostMs(cost.cpu_counters);
+  cost.io_stats = db->disk()->stats() - io_before;
+  cost.io_ms = IoCostMs(cost.io_stats);
+  return cost;
+}
+
+/// Prints a horizontal rule sized for `width` characters.
+inline void Rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace reldiv
+
+#endif  // RELDIV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,129 @@
+// Ablation of the hash-bucket-size constant (Table 1 / §4.6 assume an
+// average bucket size hbs = 2; §5.1's tables use bucket chaining). Sweeps
+// the load factor of the chained hash table and reports the measured
+// comparisons per probe — the quantity the analytical model charges as
+// hbs · Comp — for both hit and miss probes, plus the end-to-end effect of
+// mis-sizing hash-division's quotient table.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "division/division.h"
+#include "division/hash_division.h"
+#include "exec/hash_table.h"
+#include "exec/mem_source.h"
+
+namespace reldiv {
+namespace {
+
+Status RunProbeSweep() {
+  std::printf("--- chained-table probes vs load factor ---\n");
+  std::printf("  %-12s %10s | %16s %16s\n", "load factor", "buckets",
+              "comps/probe hit", "comps/probe miss");
+  bench::Rule(62);
+  DatabaseOptions options;
+  options.pool_bytes = 0;
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(options));
+  constexpr int64_t kEntries = 100000;
+  constexpr int kProbes = 50000;
+  for (double load : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const size_t buckets = static_cast<size_t>(kEntries / load);
+    Arena arena(nullptr);
+    TupleHashTable table(db->ctx(), &arena, {0}, buckets);
+    for (int64_t i = 0; i < kEntries; ++i) {
+      RELDIV_ASSIGN_OR_RETURN(
+          TupleHashTable::Entry * e,
+          table.Insert(Tuple{Value::Int64(i), Value::Int64(i)}));
+      (void)e;
+    }
+    // Hits.
+    db->counters()->Reset();
+    for (int i = 0; i < kProbes; ++i) {
+      Tuple probe{Value::Int64((i * 2654435761LL) % kEntries)};
+      if (table.Find(probe, {0}) == nullptr) {
+        return Status::Internal("expected a hit");
+      }
+    }
+    const double hit_comps =
+        static_cast<double>(db->counters()->comparisons) / kProbes;
+    // Misses.
+    db->counters()->Reset();
+    for (int i = 0; i < kProbes; ++i) {
+      Tuple probe{Value::Int64(kEntries + (i * 2654435761LL) % kEntries)};
+      if (table.Find(probe, {0}) != nullptr) {
+        return Status::Internal("expected a miss");
+      }
+    }
+    const double miss_comps =
+        static_cast<double>(db->counters()->comparisons) / kProbes;
+    std::printf("  %-12.1f %10zu | %16.2f %16.2f\n", load, buckets,
+                hit_comps, miss_comps);
+  }
+  std::printf(
+      "\n  A miss scans the whole chain (≈ load factor comparisons); a hit\n"
+      "  scans half on average. The paper's hbs = 2 sits where the table\n"
+      "  is ~2x smaller than its content with probes still ~1-2 Comp.\n\n");
+  return Status::OK();
+}
+
+Status RunSizingSweep() {
+  std::printf("--- effect of quotient-table sizing on hash-division ---\n");
+  std::printf("  %-26s | %12s %14s\n", "table sizing",
+              "cpu model ms", "wall ms");
+  bench::Rule(58);
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(100, 2000));
+  struct Case {
+    const char* label;
+    uint64_t hint;
+  };
+  for (const Case& c :
+       {Case{"severely undersized (16)", 16},
+        Case{"undersized (hbs ~ 32)", 128},
+        Case{"paper sizing (hbs ~ 2)", 2000},
+        Case{"oversized (hbs ~ 0.25)", 16000}}) {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open(options));
+    DivisionOptions div_options;
+    div_options.expected_quotient_cardinality = c.hint;
+    db->counters()->Reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    HashDivisionOperator op(
+        db->ctx(),
+        std::make_unique<MemSourceOperator>(workload.dividend_schema,
+                                            workload.dividend),
+        std::make_unique<MemSourceOperator>(workload.divisor_schema,
+                                            workload.divisor),
+        {1}, {0}, div_options);
+    RELDIV_ASSIGN_OR_RETURN(std::vector<Tuple> out, CollectAll(&op));
+    const double wall = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    if (out.size() != workload.expected_quotient.size()) {
+      return Status::Internal("wrong quotient in sizing sweep");
+    }
+    std::printf("  %-26s | %12.0f %14.2f\n", c.label,
+                CpuCostMs(*db->counters()), wall);
+  }
+  std::printf("\n  BucketsFor() targets the paper's hbs = 2; a hint off by\n"
+              "  >10x lengthens every chain and shows up directly in the\n"
+              "  comparison counters.\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  using namespace reldiv;
+  std::printf("=== Ablation: hash bucket size (Table 1's hbs = 2) ===\n\n");
+  Status status = RunProbeSweep();
+  if (status.ok()) status = RunSizingSweep();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

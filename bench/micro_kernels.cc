@@ -1,0 +1,190 @@
+// Google-benchmark microbenchmarks of the kernels the four algorithms are
+// built from: bit map operations (word-at-a-time, §3.3 point 4), chained
+// hash table insert/probe, external sort, B+-tree, and the hash-division
+// core itself.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/bitmap.h"
+#include "common/counters.h"
+#include "common/rng.h"
+#include "division/hash_division.h"
+#include "exec/database.h"
+#include "exec/hash_table.h"
+#include "exec/mem_source.h"
+#include "exec/sort.h"
+#include "storage/btree.h"
+#include "workload/generator.h"
+
+namespace reldiv {
+namespace {
+
+void BM_BitmapSet(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitmap bm(bits);
+  size_t i = 0;
+  for (auto _ : state) {
+    bm.Set(i);
+    i = (i + 61) % bits;  // stride over the map
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapSet)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_BitmapAllSetScan(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitmap bm(bits);
+  for (size_t i = 0; i < bits; ++i) bm.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.AllSet());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(Bitmap::BytesForBits(bits)));
+}
+BENCHMARK(BM_BitmapAllSetScan)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_BitmapClearAll(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  Bitmap bm(bits);
+  for (auto _ : state) {
+    bm.ClearAll();
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(Bitmap::BytesForBits(bits)));
+}
+BENCHMARK(BM_BitmapClearAll)->Arg(4096)->Arg(1 << 20);
+
+struct HashTableFixture {
+  HashTableFixture() : db(Database::Open([] {
+                            DatabaseOptions o;
+                            o.pool_bytes = 0;
+                            return o;
+                          }())
+                              .MoveValue()) {}
+  std::unique_ptr<Database> db;
+};
+
+void BM_HashTableInsert(benchmark::State& state) {
+  HashTableFixture fixture;
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Arena arena(nullptr);
+    TupleHashTable table(fixture.db->ctx(), &arena, {0},
+                         TupleHashTable::BucketsFor(
+                             static_cast<uint64_t>(n)));
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      auto entry = table.Insert(Tuple{Value::Int64(i), Value::Int64(i)});
+      benchmark::DoNotOptimize(entry.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashTableInsert)->Arg(1000)->Arg(100000);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  HashTableFixture fixture;
+  const int64_t n = state.range(0);
+  Arena arena(nullptr);
+  TupleHashTable table(fixture.db->ctx(), &arena, {0},
+                       TupleHashTable::BucketsFor(static_cast<uint64_t>(n)));
+  for (int64_t i = 0; i < n; ++i) {
+    auto entry = table.Insert(Tuple{Value::Int64(i), Value::Int64(i)});
+    (void)entry;
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const Tuple probe{Value::Int64(
+        rng.UniformInt(0, 2 * n))};  // ~half the probes miss
+    benchmark::DoNotOptimize(table.Find(probe, {0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1000)->Arg(100000);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Schema schema{Field{"a", ValueType::kInt64}, Field{"b", ValueType::kInt64}};
+  std::vector<Tuple> input;
+  input.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    input.push_back(Tuple{Value::Int64(rng.UniformInt(0, 1 << 30)),
+                          Value::Int64(i)});
+  }
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    options.sort_space_bytes = 32 * 1024;  // force the external path
+    auto db = Database::Open(options).MoveValue();
+    SortSpec spec;
+    spec.keys = {0};
+    SortOperator sorter(db->ctx(),
+                        std::make_unique<MemSourceOperator>(schema, input),
+                        spec);
+    auto out = CollectAll(&sorter);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSort)->Arg(10000)->Arg(50000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimDisk disk;
+    BufferManager bm(&disk, nullptr);
+    BTree tree(&disk, &bm);
+    Rng rng(3);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "%012lld",
+                    static_cast<long long>(rng.Next() % 1000000));
+      auto status =
+          tree.Insert(Slice(key), Rid{static_cast<uint32_t>(i), 0});
+      benchmark::DoNotOptimize(status.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000);
+
+void BM_HashDivisionEndToEnd(benchmark::State& state) {
+  const uint64_t s = static_cast<uint64_t>(state.range(0));
+  const uint64_t q = static_cast<uint64_t>(state.range(1));
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(s, q));
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    auto db = Database::Open(options).MoveValue();
+    DivisionOptions div_options;
+    div_options.expected_divisor_cardinality = s;
+    div_options.expected_quotient_cardinality = q;
+    HashDivisionOperator op(
+        db->ctx(),
+        std::make_unique<MemSourceOperator>(workload.dividend_schema,
+                                            workload.dividend),
+        std::make_unique<MemSourceOperator>(workload.divisor_schema,
+                                            workload.divisor),
+        {1}, {0}, div_options);
+    auto out = CollectAll(&op);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(workload.dividend.size()));
+}
+BENCHMARK(BM_HashDivisionEndToEnd)
+    ->Args({25, 25})
+    ->Args({100, 100})
+    ->Args({400, 400});
+
+}  // namespace
+}  // namespace reldiv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment E4 (§6): hash-division on a simulated shared-nothing machine.
+// Sweeps the number of nodes for both partitioning strategies and reports
+// the slowest node's local division time (the parallel section's critical
+// path), interconnect traffic, and the effect of Babb bit-vector filtering
+// on the number of dividend tuples shipped. §6 is qualitative in the paper;
+// this bench quantifies its claims on this implementation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "parallel/parallel_hash_division.h"
+
+namespace reldiv {
+namespace {
+
+Status Run() {
+  std::printf("=== Experiment E4: multi-processor hash-division (§6) "
+              "===\n\n");
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 100;
+  spec.quotient_candidates = 5000;
+  spec.candidate_completeness = 0.6;
+  spec.nonmatching_tuples = 200000;  // §6: filtering pays off on these
+  spec.seed = 66;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+  std::printf("Workload: |S|=%llu, |R|=%zu tuples (%llu non-matching), "
+              "|Q|=%zu\n\n",
+              static_cast<unsigned long long>(spec.divisor_cardinality),
+              workload.dividend.size(),
+              static_cast<unsigned long long>(spec.nonmatching_tuples),
+              workload.expected_quotient.size());
+
+  std::printf("%-10s %5s %7s | %12s %10s %12s %10s %9s\n", "strategy",
+              "nodes", "filter", "node cpu ms", "speedup", "net bytes",
+              "net msgs", "filtered");
+  bench::Rule(92);
+
+  double single_node_ms = 0;
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kQuotient, PartitionStrategy::kDivisor}) {
+    for (size_t nodes : {1, 2, 4, 8}) {
+      for (bool filter : {false, true}) {
+        ParallelDivisionOptions options;
+        options.num_nodes = nodes;
+        options.strategy = strategy;
+        options.use_bit_vector_filter = filter;
+        options.bit_vector_bits = 64 * 1024;
+        ParallelHashDivisionEngine engine(options);
+        RELDIV_ASSIGN_OR_RETURN(
+            ParallelDivisionResult result,
+            engine.Execute(workload.dividend_schema, workload.divisor_schema,
+                           workload.dividend, workload.divisor, {1}));
+        if (result.quotient.size() != workload.expected_quotient.size()) {
+          return Status::Internal("parallel division produced a wrong-sized "
+                                  "quotient");
+        }
+        const char* name =
+            strategy == PartitionStrategy::kQuotient ? "quotient" : "divisor";
+        if (strategy == PartitionStrategy::kQuotient && nodes == 1 &&
+            !filter) {
+          single_node_ms = result.max_node_cpu_ms;
+        }
+        std::printf("%-10s %5zu %7s | %12.1f %9.2fx %12llu %10llu %9llu\n",
+                    name, nodes, filter ? "on" : "off",
+                    result.max_node_cpu_ms,
+                    single_node_ms > 0 ? single_node_ms /
+                                             result.max_node_cpu_ms
+                                       : 0.0,
+                    static_cast<unsigned long long>(result.network_bytes),
+                    static_cast<unsigned long long>(result.network_messages),
+                    static_cast<unsigned long long>(result.tuples_filtered));
+      }
+    }
+  }
+
+  std::printf("\nSpeedup reference: single-node local division costs %.1f ms "
+              "(operation counters x Table 1 unit times, so host thread\n"
+              "scheduling cannot distort it); the slowest node's cost "
+              "shrinks roughly linearly with nodes — the local operators "
+              "work completely independently (§6).\n",
+              single_node_ms);
+  std::printf("Bit-vector filtering drops dividend tuples with no divisor "
+              "record before they are shipped; with %llu foreign tuples the "
+              "network byte column shrinks accordingly (§6, Babb 1979).\n",
+              static_cast<unsigned long long>(spec.nonmatching_tuples));
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  reldiv::Status status = reldiv::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Experiment E5 (§4.6 speculation / §5.2): dropping the R = Q × S
+// assumption. When the dividend contains tuples that match no divisor tuple
+// (example 2's physics courses) or quotient candidates that do not
+// participate in the quotient, hash-division discards foreign tuples after
+// one probe of the divisor table, while the aggregation strategies need a
+// full semi-join pass. This bench sweeps both knobs and reports the
+// paper-style cost of the applicable algorithms.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "division/division.h"
+
+namespace reldiv {
+namespace {
+
+Status RunSweep(const char* title, const std::vector<WorkloadSpec>& specs,
+                const std::vector<const char*>& labels) {
+  std::printf("%s\n", title);
+  std::printf("  %-24s | %10s %12s %12s %10s\n", "configuration", "Naive",
+              "SortAgg+Join", "HashAgg+Join", "Hash-Div");
+  bench::Rule(78);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    GeneratedWorkload workload = GenerateWorkload(specs[i]);
+    RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                            Database::Open(bench::PaperDatabaseOptions()));
+    Relation dividend, divisor;
+    RELDIV_RETURN_NOT_OK(
+        LoadWorkload(db.get(), workload, "sweep", &dividend, &divisor));
+    DivisionQuery query{dividend, divisor, {"divisor_id"}};
+    std::printf("  %-24s |", labels[i]);
+    for (DivisionAlgorithm algorithm :
+         {DivisionAlgorithm::kNaive,
+          DivisionAlgorithm::kSortAggregateWithJoin,
+          DivisionAlgorithm::kHashAggregateWithJoin,
+          DivisionAlgorithm::kHashDivision}) {
+      uint64_t quotient_size = 0;
+      RELDIV_ASSIGN_OR_RETURN(
+          ExperimentalCost cost,
+          bench::RunDivision(db.get(), query, algorithm, DivisionOptions{},
+                             &quotient_size));
+      if (quotient_size != workload.expected_quotient.size()) {
+        return Status::Internal("wrong quotient in sweep");
+      }
+      const int width =
+          algorithm == DivisionAlgorithm::kNaive ||
+                  algorithm == DivisionAlgorithm::kHashDivision
+              ? 10
+              : 12;
+      std::printf(" %*.0f", width, cost.total_ms());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+Status Run() {
+  std::printf("=== Experiment E5: beyond R = Q x S (§4.6 speculation, §5.2) "
+              "===\n\n");
+
+  // Sweep 1: growing share of dividend tuples with no divisor counterpart.
+  {
+    std::vector<WorkloadSpec> specs;
+    std::vector<const char*> labels = {"foreign 0%", "foreign 50%",
+                                       "foreign 100%", "foreign 200%"};
+    for (uint64_t factor : {0, 1, 2, 4}) {
+      WorkloadSpec spec;
+      spec.divisor_cardinality = 100;
+      spec.quotient_candidates = 100;
+      spec.candidate_completeness = 1.0;
+      spec.nonmatching_tuples = factor * 5000;  // vs 10000 matching tuples
+      spec.seed = 55;
+      specs.push_back(spec);
+    }
+    RELDIV_RETURN_NOT_OK(RunSweep(
+        "Sweep 1: foreign dividend tuples (relative to 10,000 matching "
+        "tuples). Hash-division discards them after one divisor-table "
+        "probe.",
+        specs, labels));
+  }
+
+  // Sweep 2: quotient candidates that do not participate in the quotient.
+  {
+    std::vector<WorkloadSpec> specs;
+    std::vector<const char*> labels = {"complete 100%", "complete 50%",
+                                       "complete 10%", "complete 0%"};
+    for (double completeness : {1.0, 0.5, 0.1, 0.0}) {
+      WorkloadSpec spec;
+      spec.divisor_cardinality = 100;
+      spec.quotient_candidates = 400;
+      spec.candidate_completeness = completeness;
+      spec.seed = 56;
+      specs.push_back(spec);
+    }
+    RELDIV_RETURN_NOT_OK(RunSweep(
+        "Sweep 2: fraction of candidates holding ALL divisor values "
+        "(incomplete candidates stay in the quotient table but shrink the "
+        "dividend).",
+        specs, labels));
+  }
+
+  // Sweep 3: duplicate handling. Hash-division runs on the raw input;
+  // aggregation variants must pre-process with duplicate elimination.
+  {
+    std::printf("Sweep 3: duplicates in the inputs. Aggregation strategies "
+                "pay an explicit duplicate-elimination pass "
+                "(eliminate_duplicates); hash-division is natively immune "
+                "(§3.3).\n");
+    std::printf("  %-24s | %12s %12s %10s\n", "configuration",
+                "SortAgg+Join", "HashAgg+Join", "Hash-Div");
+    bench::Rule(66);
+    for (uint64_t dups : {0, 5000, 20000}) {
+      WorkloadSpec spec;
+      spec.divisor_cardinality = 100;
+      spec.quotient_candidates = 100;
+      spec.dividend_duplicates = dups;
+      spec.divisor_duplicates = dups / 100;
+      spec.seed = 57;
+      GeneratedWorkload workload = GenerateWorkload(spec);
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                              Database::Open(bench::PaperDatabaseOptions()));
+      Relation dividend, divisor;
+      RELDIV_RETURN_NOT_OK(
+          LoadWorkload(db.get(), workload, "dup", &dividend, &divisor));
+      DivisionQuery query{dividend, divisor, {"divisor_id"}};
+      char label[64];
+      std::snprintf(label, sizeof(label), "extra duplicates %llu",
+                    static_cast<unsigned long long>(dups));
+      std::printf("  %-24s |", label);
+      for (DivisionAlgorithm algorithm :
+           {DivisionAlgorithm::kSortAggregateWithJoin,
+            DivisionAlgorithm::kHashAggregateWithJoin,
+            DivisionAlgorithm::kHashDivision}) {
+        DivisionOptions options;
+        options.eliminate_duplicates =
+            algorithm != DivisionAlgorithm::kHashDivision && dups > 0;
+        uint64_t quotient_size = 0;
+        RELDIV_ASSIGN_OR_RETURN(
+            ExperimentalCost cost,
+            bench::RunDivision(db.get(), query, algorithm, options,
+                               &quotient_size));
+        if (quotient_size != workload.expected_quotient.size()) {
+          return Status::Internal("wrong quotient in duplicate sweep");
+        }
+        const int width =
+            algorithm == DivisionAlgorithm::kHashDivision ? 10 : 12;
+        std::printf(" %*.0f", width, cost.total_ms());
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  reldiv::Status status = reldiv::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

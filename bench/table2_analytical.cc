@@ -1,0 +1,95 @@
+// Regenerates Table 1 (cost units) and Table 2 (analytical cost of division,
+// §4.6) and checks the computed values against the numbers published in the
+// paper. Also prints the textbook-ceiling variant of the merge-pass count
+// for comparison (see EXPERIMENTS.md).
+
+#include <cmath>
+#include <cstdio>
+
+#include "cost/cost_model.h"
+
+namespace reldiv {
+namespace {
+
+void PrintTable1(const CostUnits& units) {
+  std::printf("Table 1. Cost Units.\n");
+  std::printf("  %-6s %8s   %s\n", "Unit", "ms", "Description");
+  std::printf("  %-6s %8.3f   %s\n", "RIO", units.rio_ms,
+              "random I/O, one page from or to disk");
+  std::printf("  %-6s %8.3f   %s\n", "SIO", units.sio_ms,
+              "sequential I/O, one page from or to disk");
+  std::printf("  %-6s %8.3f   %s\n", "Comp", units.comp_ms,
+              "comparison of two tuples");
+  std::printf("  %-6s %8.3f   %s\n", "Hash", units.hash_ms,
+              "calculation of a hash value from a tuple");
+  std::printf("  %-6s %8.3f   %s\n", "Move", units.move_ms,
+              "memory to memory copy of one page");
+  std::printf("  %-6s %8.3f   %s\n", "Bit", units.bit_ms,
+              "setting/clearing/scanning a bit in a bit map");
+  std::printf("\n");
+}
+
+void PrintRows(const std::vector<Table2Row>& rows, const char* title) {
+  std::printf("%s\n", title);
+  std::printf("  %4s %4s | %10s %10s %12s %10s %12s %10s\n", "|S|", "|Q|",
+              "Naive", "Sort-Agg", "SortAgg+Join", "Hash-Agg",
+              "HashAgg+Join", "Hash-Div");
+  for (const Table2Row& row : rows) {
+    std::printf("  %4d %4d | %10.0f %10.0f %12.0f %10.0f %12.0f %10.0f\n",
+                row.divisor_tuples, row.quotient_tuples, row.naive,
+                row.sort_agg, row.sort_agg_join, row.hash_agg,
+                row.hash_agg_join, row.hash_div);
+  }
+  std::printf("\n");
+}
+
+int CompareAgainstPaper(const std::vector<Table2Row>& computed) {
+  const std::vector<Table2Row>& published = PaperTable2();
+  int mismatches = 0;
+  double max_delta = 0;
+  for (size_t i = 0; i < computed.size(); ++i) {
+    const double cells[6][2] = {
+        {computed[i].naive, published[i].naive},
+        {computed[i].sort_agg, published[i].sort_agg},
+        {computed[i].sort_agg_join, published[i].sort_agg_join},
+        {computed[i].hash_agg, published[i].hash_agg},
+        {computed[i].hash_agg_join, published[i].hash_agg_join},
+        {computed[i].hash_div, published[i].hash_div},
+    };
+    for (const auto& cell : cells) {
+      const double delta = std::fabs(cell[0] - cell[1]);
+      max_delta = std::max(max_delta, delta);
+      if (delta > 1.0) mismatches++;  // Table 2 is printed in whole ms
+    }
+  }
+  std::printf("Verification against the published Table 2: %d/%zu cells "
+              "within rounding (max |delta| = %.2f ms)\n\n",
+              54 - mismatches, computed.size() * 6, max_delta);
+  return mismatches;
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  using namespace reldiv;
+  std::printf("=== Experiment E1: analytical comparison (paper §4, "
+              "Tables 1-2) ===\n\n");
+  const CostUnits units;
+  PrintTable1(units);
+
+  const std::vector<Table2Row> paper_mode =
+      ComputeTable2(units, MergePassMode::kPaperTable2);
+  PrintRows(paper_mode,
+            "Table 2. Analytical Cost of Division [ms] "
+            "(merge passes as implied by the published numbers).");
+  const int mismatches = CompareAgainstPaper(paper_mode);
+
+  const std::vector<Table2Row> ceiling_mode =
+      ComputeTable2(units, MergePassMode::kCeiling);
+  PrintRows(ceiling_mode,
+            "Variant: textbook ceil(log_m(r/m)) merge passes "
+            "(differs only at |S|=|Q|=400, where r/m = 320 needs 2 passes).");
+
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// A tour of the planner (§5.2/§7): build the "students who took as many
+// database courses as there are database courses" query as the aggregate
+// formulation most systems force users into, watch the rewriter recognize
+// it as a relational division, and let the cost model pick the algorithm.
+
+#include <cstdio>
+
+#include "reldiv/reldiv.h"
+
+using namespace reldiv;
+
+namespace {
+
+Status Run() {
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
+  UniversitySpec spec;
+  spec.num_students = 300;
+  spec.num_courses = 16;
+  spec.num_database_courses = 4;
+  spec.db_students = 25;
+  RELDIV_ASSIGN_OR_RETURN(UniversityTables tables,
+                          LoadUniversity(db.get(), spec));
+
+  // Materialize the two division operands the examples share: the projected
+  // transcript and the restricted course list.
+  RELDIV_ASSIGN_OR_RETURN(
+      Relation transcript_pairs,
+      db->CreateTempTable("pairs",
+                          Schema{Field{"student_id", ValueType::kInt64},
+                                 Field{"course_no", ValueType::kInt64}}));
+  {
+    ProjectOperator project(
+        std::make_unique<ScanOperator>(db->ctx(), tables.transcript), {0, 1});
+    RELDIV_ASSIGN_OR_RETURN(uint64_t n,
+                            Materialize(&project, transcript_pairs.store));
+    (void)n;
+  }
+  RELDIV_ASSIGN_OR_RETURN(
+      Relation db_courses,
+      db->CreateTempTable("db_courses",
+                          Schema{Field{"course_no", ValueType::kInt64}}));
+  {
+    auto select = std::make_unique<FilterOperator>(
+        std::make_unique<ScanOperator>(db->ctx(), tables.courses),
+        [](const Tuple& t) {
+          return t.value(1).string_value().find("Database") !=
+                 std::string::npos;
+        });
+    ProjectOperator project(std::move(select), {0});
+    RELDIV_ASSIGN_OR_RETURN(uint64_t n,
+                            Materialize(&project, db_courses.store));
+    (void)n;
+  }
+
+  // 1. The aggregate formulation, as a logical plan.
+  auto make_formulation = [&]() -> LogicalNodePtr {
+    auto semi = std::make_unique<LogicalSemiJoinNode>(
+        std::make_unique<LogicalRelationNode>("transcript_pairs",
+                                              transcript_pairs),
+        std::make_unique<LogicalRelationNode>("db_courses", db_courses),
+        std::vector<size_t>{1}, std::vector<size_t>{0});
+    auto counted = std::make_unique<LogicalGroupCountNode>(
+        std::move(semi), std::vector<size_t>{0});
+    return std::make_unique<LogicalCountFilterNode>(
+        std::move(counted),
+        std::make_unique<LogicalRelationNode>("db_courses", db_courses));
+  };
+  std::printf("The query as users must write it (count & compare):\n\n%s\n",
+              make_formulation()->ToString().c_str());
+
+  // 2. The rewriter recognizes the for-all pattern.
+  RewriteResult rewritten = RewriteForAllPattern(make_formulation());
+  std::printf("After RewriteForAllPattern (%d division detected):\n\n%s\n",
+              rewritten.divisions_introduced,
+              rewritten.plan->ToString().c_str());
+
+  // 3. The cost model votes on an algorithm for these statistics.
+  DivisionQuery query{transcript_pairs, db_courses, {"course_no"}};
+  RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved, ResolveDivision(query));
+  DivisionStats stats = EstimateDivisionStats(resolved, db->ctx());
+  stats.divisor_restricted = true;  // the divisor came from a selection
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  std::printf("Cost model predictions (|R|=%.0f, |S|=%.0f):\n",
+              stats.dividend_tuples, stats.divisor_tuples);
+  for (const auto& [algorithm, ms] : choice.predicted_ms) {
+    std::printf("  %-26s %10.0f ms%s\n", DivisionAlgorithmName(algorithm),
+                ms, algorithm == choice.algorithm ? "   <-- chosen" : "");
+  }
+
+  // 4. Compile and execute the rewritten plan.
+  RELDIV_ASSIGN_OR_RETURN(
+      std::unique_ptr<Operator> plan,
+      CompileLogicalPlan(db->ctx(), std::move(rewritten.plan)));
+  RELDIV_ASSIGN_OR_RETURN(std::vector<Tuple> students,
+                          CollectAll(plan.get()));
+  std::printf("\n%zu students have taken every database course.\n",
+              students.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "optimizer_tour failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

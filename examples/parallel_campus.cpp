@@ -1,0 +1,81 @@
+// Shared-nothing execution (§6): the "students who took all courses" query
+// on a simulated four-node GAMMA-style machine. Shows both partitioning
+// strategies (divisor replication vs. divisor partitioning with a
+// collection site) and the network savings of Babb bit-vector filtering
+// when the Transcript contains many rows outside the divisor.
+
+#include <cstdio>
+
+#include "reldiv/reldiv.h"
+
+using namespace reldiv;
+
+namespace {
+
+Status Run() {
+  // Generate the relation contents directly (the parallel engine takes
+  // tuple batches — base relations are round-robin declustered over the
+  // nodes, as in GAMMA).
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 60;      // courses
+  spec.quotient_candidates = 2500;    // students
+  spec.candidate_completeness = 0.2;  // 500 students take everything
+  spec.nonmatching_tuples = 40000;    // rows for courses outside the divisor
+  spec.seed = 11;
+  GeneratedWorkload campus = GenerateWorkload(spec);
+  std::printf("Campus: %zu transcript rows over %llu courses; %zu students "
+              "took all of them.\n\n",
+              campus.dividend.size(),
+              static_cast<unsigned long long>(spec.divisor_cardinality),
+              campus.expected_quotient.size());
+
+  for (PartitionStrategy strategy :
+       {PartitionStrategy::kQuotient, PartitionStrategy::kDivisor}) {
+    for (bool filter : {false, true}) {
+      ParallelDivisionOptions options;
+      options.num_nodes = 4;
+      options.strategy = strategy;
+      options.use_bit_vector_filter = filter;
+      options.bit_vector_bits = 16 * 1024;
+      ParallelHashDivisionEngine engine(options);
+      RELDIV_ASSIGN_OR_RETURN(
+          ParallelDivisionResult result,
+          engine.Execute(campus.dividend_schema, campus.divisor_schema,
+                         campus.dividend, campus.divisor, {1}));
+      if (result.quotient.size() != campus.expected_quotient.size()) {
+        return Status::Internal("parallel quotient size mismatch");
+      }
+      std::printf(
+          "%-22s filter=%-3s | %zu students; slowest node %8.1f ms (model); "
+          "network %7.1f KB in %llu messages; %llu tuples filtered\n",
+          strategy == PartitionStrategy::kQuotient
+              ? "quotient partitioning"
+              : "divisor partitioning",
+          filter ? "on" : "off", result.quotient.size(),
+          result.max_node_cpu_ms,
+          static_cast<double>(result.network_bytes) / 1024.0,
+          static_cast<unsigned long long>(result.network_messages),
+          static_cast<unsigned long long>(result.tuples_filtered));
+    }
+  }
+  std::printf(
+      "\nQuotient partitioning replicates the 60-course divisor to every\n"
+      "node and then needs no synchronization at all; divisor partitioning\n"
+      "ships each node's quotient cluster to a collection site that divides\n"
+      "them over the node addresses (§3.4/§6). The bit-vector filter drops\n"
+      "transcript rows whose course has no divisor record before they ever\n"
+      "reach the network (§6, Babb 1979).\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "parallel_campus failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef RELDIV_COMMON_CONFIG_H_
+#define RELDIV_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reldiv {
+
+/// Storage-level constants mirroring the paper's experimental setup (§5.1):
+/// 8 KB transfer unit for data pages, 1 KB transfer unit for sort runs to
+/// allow a high merge fan-in, 256 KB initial buffer pool of which 100 KB may
+/// be used as sort space.
+
+/// Smallest disk transfer unit; everything else is a multiple of it.
+inline constexpr size_t kSectorSize = 1024;
+
+/// Regular data page size (8 KB transfers, paper §5.1).
+inline constexpr size_t kPageSize = 8 * kSectorSize;
+inline constexpr size_t kSectorsPerPage = kPageSize / kSectorSize;
+
+/// Sort-run transfer unit (1 KB, chosen in the paper for high fan-in).
+inline constexpr size_t kSortRunBlockSize = kSectorSize;
+
+/// Default buffer pool budget (256 KB).
+inline constexpr size_t kDefaultBufferPoolBytes = 256 * 1024;
+
+/// Default sort space inside the buffer pool (100 KB).
+inline constexpr size_t kDefaultSortSpaceBytes = 100 * 1024;
+
+/// Pages in an allocation extent for extent-based files.
+inline constexpr uint32_t kExtentPages = 8;
+
+/// Invalid page / record markers.
+inline constexpr uint32_t kInvalidPageNo = 0xffffffffu;
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_CONFIG_H_

@@ -1,0 +1,12 @@
+#include "common/counters.h"
+
+namespace reldiv {
+
+std::string CpuCounters::ToString() const {
+  return "comparisons=" + std::to_string(comparisons) +
+         " hashes=" + std::to_string(hashes) +
+         " moves=" + std::to_string(moves) +
+         " bit_ops=" + std::to_string(bit_ops);
+}
+
+}  // namespace reldiv

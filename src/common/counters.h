@@ -1,0 +1,34 @@
+#ifndef RELDIV_COMMON_COUNTERS_H_
+#define RELDIV_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reldiv {
+
+/// Deterministic CPU-operation counters mirroring the paper's Table 1 cost
+/// units (Comp, Hash, Move, Bit). Operators bump these as they run so that
+/// the analytical cost model can be validated against the implementation and
+/// so that unit tests can make machine-independent assertions.
+struct CpuCounters {
+  uint64_t comparisons = 0;  ///< tuple comparisons (Comp)
+  uint64_t hashes = 0;       ///< hash value computations (Hash)
+  uint64_t moves = 0;        ///< page-sized memory copies (Move)
+  uint64_t bit_ops = 0;      ///< bit map set/clear/scan word ops (Bit)
+
+  void Reset() { *this = CpuCounters{}; }
+
+  CpuCounters& operator+=(const CpuCounters& o) {
+    comparisons += o.comparisons;
+    hashes += o.hashes;
+    moves += o.moves;
+    bit_ops += o.bit_ops;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_COUNTERS_H_

@@ -1,0 +1,29 @@
+#ifndef RELDIV_COMMON_HASH_H_
+#define RELDIV_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reldiv {
+
+/// 64-bit finalizer (splitmix64). Good avalanche behaviour for bucket
+/// selection in chained hash tables and bit-vector filters.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes order-dependently.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Hash64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                        (seed >> 2)));
+}
+
+/// FNV-1a over a byte range, finalized through Hash64.
+uint64_t HashBytes(const void* data, size_t size);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_HASH_H_

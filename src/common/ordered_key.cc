@@ -1,0 +1,64 @@
+#include "common/ordered_key.h"
+
+#include <cstring>
+
+namespace reldiv {
+
+namespace {
+
+void PutU64BigEndian(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+}  // namespace
+
+Status EncodeOrderedKey(const Tuple& tuple, std::string* out) {
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& v = tuple.value(i);
+    out->push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case ValueType::kInt64: {
+        const uint64_t bits =
+            static_cast<uint64_t>(v.int64()) ^ (uint64_t{1} << 63);
+        PutU64BigEndian(bits, out);
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        const double d = v.double_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        if (bits & (uint64_t{1} << 63)) {
+          bits = ~bits;  // negative: invert everything
+        } else {
+          bits |= uint64_t{1} << 63;  // positive: set the sign bit
+        }
+        PutU64BigEndian(bits, out);
+        break;
+      }
+      case ValueType::kString: {
+        for (char c : v.string_value()) {
+          if (c == '\0') {
+            out->push_back('\0');
+            out->push_back('\xff');
+          } else {
+            out->push_back(c);
+          }
+        }
+        out->push_back('\0');
+        out->push_back('\0');
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> OrderedKeyToString(const Tuple& tuple) {
+  std::string out;
+  RELDIV_RETURN_NOT_OK(EncodeOrderedKey(tuple, &out));
+  return out;
+}
+
+}  // namespace reldiv

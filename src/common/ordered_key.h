@@ -1,0 +1,30 @@
+#ifndef RELDIV_COMMON_ORDERED_KEY_H_
+#define RELDIV_COMMON_ORDERED_KEY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/tuple.h"
+
+namespace reldiv {
+
+/// Order-preserving key encoding: the lexicographic BYTE order of two
+/// encoded tuples equals their value order (Tuple::Compare). Used for
+/// B+-tree index keys, whose nodes compare keys with memcmp.
+///
+/// Encoding per value:
+///  * int64  — sign bit flipped, big-endian (8 bytes);
+///  * double — IEEE-754 total-order trick: positive values get the sign bit
+///    set, negatives are bitwise inverted; big-endian;
+///  * string — bytes with 0x00 escaped as {0x00, 0xFF}, terminated by
+///    {0x00, 0x00}, so that prefixes sort first and embedded zeros survive.
+/// A one-byte type tag precedes each value (types order by tag, matching
+/// Value::Compare).
+Status EncodeOrderedKey(const Tuple& tuple, std::string* out);
+
+/// Convenience wrapper returning a fresh buffer.
+Result<std::string> OrderedKeyToString(const Tuple& tuple);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_ORDERED_KEY_H_

@@ -1,0 +1,66 @@
+#ifndef RELDIV_COMMON_RESULT_H_
+#define RELDIV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace reldiv {
+
+/// A value-or-error carrier: either holds a `T` or a non-OK Status.
+/// Mirrors arrow::Result. Constructing from an OK status is a programming
+/// error (asserted in debug builds, degraded to Internal otherwise).
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /* implicit */ Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+    if (status_.ok()) status_ = Status::Internal("Result built from OK");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assign a Result's value to `lhs`, or propagate its error Status.
+#define RELDIV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValue();
+
+#define RELDIV_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  RELDIV_ASSIGN_OR_RETURN_IMPL(RELDIV_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define RELDIV_CONCAT_INNER_(a, b) a##b
+#define RELDIV_CONCAT_(a, b) RELDIV_CONCAT_INNER_(a, b)
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_RESULT_H_

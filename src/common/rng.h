@@ -1,0 +1,51 @@
+#ifndef RELDIV_COMMON_RNG_H_
+#define RELDIV_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace reldiv {
+
+/// Deterministic xorshift128+ generator used by the workload generators and
+/// property tests. Same seed → same stream on every platform, which keeps
+/// experiment configurations reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak all-zero-ish states.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    s0_ = z ^ (z >> 27);
+    z = s0_ + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    s1_ = z ^ (z >> 27);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability `percent`/100.
+  bool Chance(uint32_t percent) { return Uniform(100) < percent; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_RNG_H_

@@ -1,0 +1,139 @@
+#include "common/row_codec.h"
+
+#include <cstring>
+
+namespace reldiv {
+
+namespace {
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+bool GetU64(Slice payload, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > payload.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(
+               static_cast<unsigned char>(payload[*pos + i]))
+           << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+bool GetU32(Slice payload, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > payload.size()) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(
+               static_cast<unsigned char>(payload[*pos + i]))
+           << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+Status RowCodec::Encode(const Tuple& tuple, std::string* out) const {
+  if (tuple.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("tuple arity " +
+                                   std::to_string(tuple.size()) +
+                                   " does not match schema " +
+                                   schema_.ToString());
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& v = tuple.value(i);
+    if (v.type() != schema_.field(i).type) {
+      return Status::InvalidArgument(
+          "value type mismatch in field '" + schema_.field(i).name + "'");
+    }
+    switch (v.type()) {
+      case ValueType::kInt64:
+        PutU64(static_cast<uint64_t>(v.int64()), out);
+        break;
+      case ValueType::kDouble: {
+        uint64_t bits;
+        double d = v.double_value();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(bits, out);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = v.string_value();
+        PutU32(static_cast<uint32_t>(s.size()), out);
+        out->append(s);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> RowCodec::EncodeToString(const Tuple& tuple) const {
+  std::string out;
+  RELDIV_RETURN_NOT_OK(Encode(tuple, &out));
+  return out;
+}
+
+Status RowCodec::Decode(Slice payload, Tuple* tuple) const {
+  tuple->Clear();
+  size_t pos = 0;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    switch (schema_.field(i).type) {
+      case ValueType::kInt64: {
+        uint64_t v;
+        if (!GetU64(payload, &pos, &v)) {
+          return Status::Corruption("truncated int64 field");
+        }
+        tuple->Append(Value::Int64(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!GetU64(payload, &pos, &bits)) {
+          return Status::Corruption("truncated double field");
+        }
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        tuple->Append(Value::Double(d));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        if (!GetU32(payload, &pos, &len)) {
+          return Status::Corruption("truncated string length");
+        }
+        if (pos + len > payload.size()) {
+          return Status::Corruption("truncated string payload");
+        }
+        tuple->Append(Value::String(std::string(payload.data() + pos, len)));
+        pos += len;
+        break;
+      }
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("trailing bytes after decoding record");
+  }
+  return Status::OK();
+}
+
+Result<size_t> RowCodec::EncodedSize(const Tuple& tuple) const {
+  std::string tmp;
+  RELDIV_RETURN_NOT_OK(Encode(tuple, &tmp));
+  return tmp.size();
+}
+
+}  // namespace reldiv

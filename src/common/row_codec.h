@@ -1,0 +1,43 @@
+#ifndef RELDIV_COMMON_ROW_CODEC_H_
+#define RELDIV_COMMON_ROW_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/slice.h"
+#include "common/tuple.h"
+
+namespace reldiv {
+
+/// Serializes tuples to the byte format stored in record files:
+/// int64/double as 8 bytes little-endian, strings as a 4-byte length prefix
+/// followed by the bytes. Encoding is schema-driven; decoding verifies that
+/// the payload is consistent with the schema and returns Corruption
+/// otherwise.
+class RowCodec {
+ public:
+  explicit RowCodec(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Appends the encoding of `tuple` to `out`. InvalidArgument on a
+  /// schema/tuple mismatch.
+  Status Encode(const Tuple& tuple, std::string* out) const;
+
+  /// Convenience wrapper returning a fresh buffer.
+  Result<std::string> EncodeToString(const Tuple& tuple) const;
+
+  /// Decodes one record payload into `tuple`.
+  Status Decode(Slice payload, Tuple* tuple) const;
+
+  /// Encoded size of `tuple` in bytes.
+  Result<size_t> EncodedSize(const Tuple& tuple) const;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_ROW_CODEC_H_

@@ -1,0 +1,55 @@
+#include "common/schema.h"
+
+#include <algorithm>
+
+namespace reldiv {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "' in " + ToString());
+}
+
+Result<std::vector<size_t>> Schema::FieldIndices(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    RELDIV_ASSIGN_OR_RETURN(size_t idx, FieldIndex(name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) out.push_back(fields_[idx]);
+  return Schema(std::move(out));
+}
+
+std::vector<size_t> Schema::ComplementIndices(
+    const std::vector<size_t>& indices) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (std::find(indices.begin(), indices.end(), i) == indices.end()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,68 @@
+#ifndef RELDIV_COMMON_SCHEMA_H_
+#define RELDIV_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace reldiv {
+
+/// One column of a relation: a name and a type.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// Ordered list of fields describing the layout of a relation's tuples.
+/// Schemas are value types and cheap to copy for the narrow relations this
+/// library works with.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Indices of all `names`, in the given order; NotFound if any is missing.
+  Result<std::vector<size_t>> FieldIndices(
+      const std::vector<std::string>& names) const;
+
+  /// Schema containing only the fields at `indices`, in that order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  /// The complement of `indices` in declaration order (used to derive the
+  /// quotient attributes as "dividend attributes not in the divisor").
+  std::vector<size_t> ComplementIndices(
+      const std::vector<size_t>& indices) const;
+
+  /// "(name:type, ...)" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_SCHEMA_H_

@@ -1,0 +1,57 @@
+#ifndef RELDIV_COMMON_SLICE_H_
+#define RELDIV_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace reldiv {
+
+/// Non-owning view over a byte range, as used for record payloads pinned in
+/// the buffer pool. The referenced storage must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /* implicit */ Slice(const char* s)  // NOLINT
+      : data_(s), size_(s == nullptr ? 0 : std::strlen(s)) {}
+  /* implicit */ Slice(const std::string& s)  // NOLINT
+      : data_(s.data()), size_(s.size()) {}
+  /* implicit */ Slice(std::string_view s)  // NOLINT
+      : data_(s.data()), size_(s.size()) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way lexicographic byte comparison.
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_SLICE_H_

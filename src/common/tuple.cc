@@ -1,0 +1,84 @@
+#include "common/tuple.h"
+
+#include "common/hash.h"
+
+namespace reldiv {
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) out.push_back(values_[idx]);
+  return Tuple(std::move(out));
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  const size_t n = values_.size() < other.values_.size()
+                       ? values_.size()
+                       : other.values_.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  if (values_.size() > other.values_.size()) return 1;
+  return 0;
+}
+
+int Tuple::CompareAt(const std::vector<size_t>& indices,
+                     const Tuple& other) const {
+  for (size_t idx : indices) {
+    int c = values_[idx].Compare(other.values_[idx]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int Tuple::CompareAtAgainstWhole(const std::vector<size_t>& indices,
+                                 const Tuple& other) const {
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i >= other.size()) return 1;
+    int c = values_[indices[i]].Compare(other.value(i));
+    if (c != 0) return c;
+  }
+  if (indices.size() < other.size()) return -1;
+  return 0;
+}
+
+int Tuple::CompareProjected(const std::vector<size_t>& my_indices,
+                            const Tuple& other,
+                            const std::vector<size_t>& other_indices) const {
+  const size_t n = my_indices.size() < other_indices.size()
+                       ? my_indices.size()
+                       : other_indices.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[my_indices[i]].Compare(other.value(other_indices[i]));
+    if (c != 0) return c;
+  }
+  if (my_indices.size() < other_indices.size()) return -1;
+  if (my_indices.size() > other_indices.size()) return 1;
+  return 0;
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 0x51ed270b153a4d2full;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t Tuple::HashAt(const std::vector<size_t>& indices) const {
+  uint64_t h = 0x51ed270b153a4d2full;
+  for (size_t idx : indices) h = HashCombine(h, values_[idx].Hash());
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,73 @@
+#ifndef RELDIV_COMMON_TUPLE_H_
+#define RELDIV_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace reldiv {
+
+/// A row of values. Tuples flow between operators by value; operators that
+/// pin records in the buffer pool decode them into Tuples on demand.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Clear() { values_.clear(); }
+
+  /// New tuple with the values at `indices`, in that order.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// Lexicographic three-way comparison over all values.
+  int Compare(const Tuple& other) const;
+
+  /// Lexicographic comparison restricted to `indices` on both sides.
+  int CompareAt(const std::vector<size_t>& indices, const Tuple& other) const;
+
+  /// Compares this tuple's `indices` columns against ALL of `other`
+  /// (used to match a dividend's divisor attributes against a divisor tuple).
+  int CompareAtAgainstWhole(const std::vector<size_t>& indices,
+                            const Tuple& other) const;
+
+  /// Compares this tuple's `my_indices` columns against `other`'s
+  /// `other_indices` columns pairwise (key comparison across two schemas).
+  int CompareProjected(const std::vector<size_t>& my_indices,
+                       const Tuple& other,
+                       const std::vector<size_t>& other_indices) const;
+
+  /// Hash over all values.
+  uint64_t Hash() const;
+
+  /// Hash restricted to the values at `indices`.
+  uint64_t HashAt(const std::vector<size_t>& indices) const;
+
+  /// "(v1, v2, ...)" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_TUPLE_H_

@@ -1,0 +1,72 @@
+#ifndef RELDIV_COMMON_VALUE_H_
+#define RELDIV_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace reldiv {
+
+/// Column data types supported by the engine. The paper's experiments use
+/// small fixed-width records (8-byte divisor/quotient, 16-byte dividend),
+/// which map onto kInt64 columns; strings support the university examples.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Name of a value type ("int64", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+/// A single typed column value. Cheap to copy for numeric payloads; strings
+/// own their bytes. Values of different types have a stable total order
+/// (ordered by type tag first) so heterogeneous comparison never asserts,
+/// but schema-checked plans only ever compare like types.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), int64_(0) {}
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const { return type_; }
+
+  int64_t int64() const { return int64_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Three-way comparison; types compare by tag first, then by value.
+  int Compare(const Value& other) const;
+
+  /// 64-bit hash of the value (type-tag mixed in).
+  uint64_t Hash() const;
+
+  /// Renders the value for diagnostics ("42", "3.5", "abc").
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  explicit Value(int64_t v) : type_(ValueType::kInt64), int64_(v) {}
+  explicit Value(double v) : type_(ValueType::kDouble), double_(v) {}
+  explicit Value(std::string v)
+      : type_(ValueType::kString), int64_(0), string_(std::move(v)) {}
+
+  ValueType type_;
+  union {
+    int64_t int64_;
+    double double_;
+  };
+  std::string string_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_VALUE_H_

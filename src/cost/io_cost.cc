@@ -1,0 +1,23 @@
+#include "cost/io_cost.h"
+
+#include <cstdio>
+
+namespace reldiv {
+
+double IoCostMs(const DiskStats& stats,
+                const ExperimentalCostWeights& weights) {
+  return static_cast<double>(stats.seeks) * weights.seek_ms +
+         static_cast<double>(stats.transfers) * weights.latency_ms +
+         static_cast<double>(stats.kbytes_transferred()) *
+             weights.transfer_ms_per_kb +
+         static_cast<double>(stats.transfers) * weights.cpu_ms_per_transfer;
+}
+
+std::string ExperimentalCost::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "cpu=%.1fms io=%.1fms total=%.1fms (%s)",
+                cpu_ms, io_ms, total_ms(), io_stats.ToString().c_str());
+  return buf;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,43 @@
+#ifndef RELDIV_COST_IO_COST_H_
+#define RELDIV_COST_IO_COST_H_
+
+#include <string>
+
+#include "common/counters.h"
+#include "storage/disk.h"
+
+namespace reldiv {
+
+/// Table 3: the weights used to convert the file system's I/O statistics
+/// into milliseconds in the experimental results (§5.1: "the I/O cost was
+/// calculated based on statistics collected by our file system").
+struct ExperimentalCostWeights {
+  double seek_ms = 20;             ///< physical seek on device
+  double latency_ms = 8;           ///< rotational latency per transfer
+  double transfer_ms_per_kb = 0.5; ///< transfer time per KByte
+  double cpu_ms_per_transfer = 2;  ///< CPU cost per transfer
+};
+
+/// Milliseconds of simulated I/O implied by `stats` under `weights`.
+double IoCostMs(const DiskStats& stats,
+                const ExperimentalCostWeights& weights = {});
+
+/// One experimental measurement in the paper's reporting scheme: CPU cost of
+/// the algorithm code plus I/O cost computed from file-system statistics.
+/// `cpu_ms` is derived from measured operation counts and the Table 1 unit
+/// times (machine-independent); `wall_ms` is the actual elapsed time on the
+/// host for reference.
+struct ExperimentalCost {
+  double cpu_ms = 0;
+  double io_ms = 0;
+  double wall_ms = 0;
+  DiskStats io_stats;
+  CpuCounters cpu_counters;
+
+  double total_ms() const { return cpu_ms + io_ms; }
+  std::string ToString() const;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COST_IO_COST_H_

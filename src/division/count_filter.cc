@@ -1,0 +1,70 @@
+#include "division/count_filter.h"
+
+#include <set>
+
+#include "exec/scalar_aggregate.h"
+#include "exec/scan.h"
+
+namespace reldiv {
+
+GroupCountFilterOperator::GroupCountFilterOperator(
+    ExecContext* ctx, std::unique_ptr<Operator> child, Relation divisor,
+    bool distinct_count)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      divisor_(divisor),
+      distinct_count_(distinct_count) {
+  std::vector<Field> fields = child_->output_schema().fields();
+  fields.pop_back();  // drop the count column
+  schema_ = Schema(std::move(fields));
+}
+
+Status GroupCountFilterOperator::Open() {
+  if (distinct_count_) {
+    std::set<Tuple> distinct;
+    ScanOperator scan(ctx_, divisor_);
+    RELDIV_RETURN_NOT_OK(scan.Open());
+    while (true) {
+      Tuple tuple;
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
+      if (!has) break;
+      ctx_->CountComparisons(1);
+      distinct.insert(std::move(tuple));
+    }
+    RELDIV_RETURN_NOT_OK(scan.Close());
+    divisor_count_ = static_cast<int64_t>(distinct.size());
+  } else {
+    RELDIV_ASSIGN_OR_RETURN(uint64_t count, CountRelation(ctx_, divisor_));
+    divisor_count_ = static_cast<int64_t>(count);
+  }
+  return child_->Open();
+}
+
+Status GroupCountFilterOperator::Next(Tuple* tuple, bool* has_next) {
+  while (true) {
+    Tuple in;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(child_->Next(&in, &has));
+    if (!has) {
+      *has_next = false;
+      return Status::OK();
+    }
+    const Value& count = in.value(in.size() - 1);
+    if (count.type() != ValueType::kInt64) {
+      return Status::InvalidArgument(
+          "group count filter: last column is not an int64 count");
+    }
+    ctx_->CountComparisons(1);
+    if (count.int64() == divisor_count_) {
+      std::vector<Value> values(in.values().begin(), in.values().end() - 1);
+      *tuple = Tuple(std::move(values));
+      *has_next = true;
+      return Status::OK();
+    }
+  }
+}
+
+Status GroupCountFilterOperator::Close() { return child_->Close(); }
+
+}  // namespace reldiv

@@ -1,0 +1,51 @@
+#include "division/hash_agg_division.h"
+
+#include "division/count_filter.h"
+#include "exec/hash_aggregate.h"
+#include "exec/hash_join.h"
+#include "exec/materialize.h"
+#include "exec/scan.h"
+
+namespace reldiv {
+
+Result<std::unique_ptr<Operator>> MakeHashAggregationDivisionPlan(
+    ExecContext* ctx, const ResolvedDivision& resolved, bool with_join,
+    const DivisionOptions& options) {
+  std::unique_ptr<Operator> dividend_input =
+      std::make_unique<ScanOperator>(ctx, resolved.dividend);
+
+  if (with_join) {
+    // Hash semi-join with its own hash table built on the divisor attrs
+    // (§2.2.2: "the hash table used for the join is a different one than
+    // the one used for aggregation").
+    std::vector<size_t> divisor_keys(resolved.divisor.schema.num_fields());
+    for (size_t i = 0; i < divisor_keys.size(); ++i) divisor_keys[i] = i;
+    auto semi_join = std::make_unique<HashJoinOperator>(
+        ctx, std::move(dividend_input),
+        std::make_unique<ScanOperator>(ctx, resolved.divisor),
+        resolved.match_attrs, std::move(divisor_keys), HashJoinMode::kLeftSemi,
+        options.expected_divisor_cardinality != 0
+            ? options.expected_divisor_cardinality
+            : resolved.divisor.store->num_records());
+    // Spool the semi-join output; the aggregation re-reads it (§4.4 charges
+    // the aggregation's own input scan in the with-join cost).
+    dividend_input = std::make_unique<SpoolOperator>(ctx, std::move(semi_join));
+  }
+
+  // Footnote 1: with explicit uniqueness, count DISTINCT matched values per
+  // group and compare against the divisor's distinct cardinality —
+  // duplicate inputs then need no pre-pass.
+  AggSpec count_spec{AggFn::kCount, 0, "count", {}};
+  if (options.count_distinct) {
+    count_spec = AggSpec{AggFn::kCountDistinct, resolved.match_attrs[0],
+                         "count", resolved.match_attrs};
+  }
+  auto aggregated = std::make_unique<HashAggregateOperator>(
+      ctx, std::move(dividend_input), resolved.quotient_attrs,
+      std::vector<AggSpec>{count_spec},
+      options.expected_quotient_cardinality);
+  return std::unique_ptr<Operator>(std::make_unique<GroupCountFilterOperator>(
+      ctx, std::move(aggregated), resolved.divisor, options.count_distinct));
+}
+
+}  // namespace reldiv

@@ -1,0 +1,35 @@
+#ifndef RELDIV_DIVISION_HASH_AGG_DIVISION_H_
+#define RELDIV_DIVISION_HASH_AGG_DIVISION_H_
+
+#include <memory>
+
+#include "division/division.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Builds the §2.2.2 plan: division expressed with hash-based aggregation.
+///
+/// Without join: hash aggregation counts each quotient group in a
+/// main-memory hash table (only the output relation is table-resident, so
+/// the dividend may be much larger than memory), followed by the selection
+/// of groups whose count equals the divisor's cardinality.
+///
+/// With join (restricted divisor): a hash semi-join — with its own hash
+/// table, built on the divisor attrs — precedes the aggregation, so that
+/// only valid dividend tuples are counted. The semi-join output is spooled
+/// to a temporary file and re-read by the aggregation, mirroring the
+/// paper's cost accounting for this strategy (§4.4: the with-join cost is
+/// essentially twice the no-join cost).
+///
+/// Precondition: duplicate-free inputs (hash aggregation "cannot include
+/// duplicate elimination, since only one tuple is kept in the hash table
+/// for each group", §2.2.2).
+Result<std::unique_ptr<Operator>> MakeHashAggregationDivisionPlan(
+    ExecContext* ctx, const ResolvedDivision& resolved, bool with_join,
+    const DivisionOptions& options);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_DIVISION_HASH_AGG_DIVISION_H_

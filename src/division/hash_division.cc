@@ -1,0 +1,268 @@
+#include "division/hash_division.h"
+
+#include "common/bitmap.h"
+
+namespace reldiv {
+
+HashDivisionCore::HashDivisionCore(ExecContext* ctx,
+                                   std::vector<size_t> match_attrs,
+                                   std::vector<size_t> quotient_attrs,
+                                   const DivisionOptions& options)
+    : ctx_(ctx),
+      match_attrs_(std::move(match_attrs)),
+      quotient_attrs_(std::move(quotient_attrs)),
+      options_(options),
+      divisor_arena_(ctx->pool()) {}
+
+Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
+                                           uint64_t expected_cardinality) {
+  const uint64_t hint = expected_cardinality != 0
+                            ? expected_cardinality
+                            : options_.expected_divisor_cardinality;
+  // Key = all divisor columns.
+  RELDIV_RETURN_NOT_OK(divisor->Open());
+  std::vector<Tuple> pending;  // buffered only when no hint sizes the table
+  std::vector<size_t> all_cols;
+  bool table_ready = false;
+  auto make_table = [&](uint64_t cardinality, size_t arity) {
+    all_cols.resize(arity);
+    for (size_t i = 0; i < arity; ++i) all_cols[i] = i;
+    divisor_table_ = std::make_unique<TupleHashTable>(
+        ctx_, &divisor_arena_, all_cols,
+        TupleHashTable::BucketsFor(cardinality == 0 ? 16 : cardinality));
+    table_ready = true;
+  };
+  divisor_count_ = 0;
+
+  auto insert = [&](Tuple tuple) -> Status {
+    bool inserted = false;
+    RELDIV_ASSIGN_OR_RETURN(TupleHashTable::Entry * entry,
+                            divisor_table_->FindOrInsert(std::move(tuple),
+                                                         &inserted));
+    if (inserted) {
+      // Assign the tuple's divisor number and count it (Figure 1, step 1);
+      // a rejected duplicate gets no number (§3.3, point 5).
+      entry->num = divisor_count_;
+      divisor_count_++;
+    }
+    return Status::OK();
+  };
+
+  while (true) {
+    Tuple tuple;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(divisor->Next(&tuple, &has));
+    if (!has) break;
+    if (!table_ready) {
+      if (hint != 0) {
+        make_table(hint, tuple.size());
+      } else {
+        pending.push_back(std::move(tuple));
+        continue;
+      }
+    }
+    RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
+  }
+  RELDIV_RETURN_NOT_OK(divisor->Close());
+  if (!table_ready) {
+    make_table(pending.size(), pending.empty() ? 1 : pending.front().size());
+    for (Tuple& tuple : pending) {
+      RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
+    }
+  }
+  return Status::OK();
+}
+
+Status HashDivisionCore::BuildDivisorTableFromNumbered(
+    const std::vector<std::pair<Tuple, uint64_t>>& numbered,
+    uint64_t divisor_count) {
+  std::vector<size_t> all_cols;
+  if (!numbered.empty()) {
+    all_cols.resize(numbered.front().first.size());
+    for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+  }
+  divisor_table_ = std::make_unique<TupleHashTable>(
+      ctx_, &divisor_arena_, all_cols,
+      TupleHashTable::BucketsFor(numbered.empty() ? 16 : numbered.size()));
+  for (const auto& [tuple, number] : numbered) {
+    RELDIV_ASSIGN_OR_RETURN(TupleHashTable::Entry * entry,
+                            divisor_table_->Insert(tuple));
+    entry->num = number;
+  }
+  divisor_count_ = divisor_count;
+  return Status::OK();
+}
+
+Status HashDivisionCore::ResetQuotientTable(uint64_t expected_cardinality) {
+  quotient_arena_ = std::make_unique<Arena>(ctx_->pool());
+  const uint64_t hint = expected_cardinality != 0
+                            ? expected_cardinality
+                            : options_.expected_quotient_cardinality;
+  std::vector<size_t> stored_keys(quotient_attrs_.size());
+  for (size_t i = 0; i < stored_keys.size(); ++i) stored_keys[i] = i;
+  quotient_table_ = std::make_unique<TupleHashTable>(
+      ctx_, quotient_arena_.get(), std::move(stored_keys),
+      TupleHashTable::BucketsFor(hint == 0 ? 1024 : hint));
+  return Status::OK();
+}
+
+Status HashDivisionCore::Consume(const Tuple& dividend,
+                                 std::vector<Tuple>* early_out) {
+  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
+    return Status::Internal("hash-division tables not initialized");
+  }
+  // Figure 1, step 2: probe the divisor table on the divisor attributes.
+  TupleHashTable::Entry* divisor_entry =
+      divisor_table_->Find(dividend, match_attrs_);
+  if (divisor_entry == nullptr) {
+    return Status::OK();  // immediate discard — no matching divisor tuple
+  }
+  const uint64_t divisor_number = divisor_entry->num;
+
+  // Probe / extend the quotient table on the quotient attributes.
+  bool inserted = false;
+  RELDIV_ASSIGN_OR_RETURN(
+      TupleHashTable::Entry * quotient_entry,
+      quotient_table_->FindOrInsert(dividend.Project(quotient_attrs_),
+                                    &inserted));
+  if (use_bitmaps()) {
+    if (inserted) {
+      // Create and clear the candidate's bit map (a word at a time).
+      const size_t words = Bitmap::WordsForBits(divisor_count_);
+      auto* storage = static_cast<uint64_t*>(
+          quotient_arena_->Allocate(words * sizeof(uint64_t)));
+      if (storage == nullptr) {
+        return Status::ResourceExhausted(
+            "hash-division: quotient bit map allocation failed");
+      }
+      quotient_entry->extra = storage;
+      Bitmap bitmap = Bitmap::MapOnto(storage, divisor_count_);
+      bitmap.ClearAll();
+      ctx_->CountBitOps(words);
+      quotient_entry->num = 0;  // early-output counter (§3.3)
+    }
+    Bitmap bitmap = Bitmap::MapOnto(quotient_entry->extra, divisor_count_);
+    ctx_->CountBitOps(1);
+    const bool was_clear = bitmap.Set(divisor_number);
+    if (options_.early_output && was_clear) {
+      quotient_entry->num++;
+      ctx_->CountComparisons(1);
+      if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
+        early_out->push_back(*quotient_entry->tuple);
+      }
+    }
+  } else {
+    // Counter variant (§3.3, point 6): valid only for duplicate-free
+    // dividends; no bit map, just a counter per candidate.
+    if (inserted) quotient_entry->num = 0;
+    quotient_entry->num++;
+    if (options_.early_output) {
+      ctx_->CountComparisons(1);
+      if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
+        early_out->push_back(*quotient_entry->tuple);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashDivisionCore::EmitComplete(std::vector<Tuple>* out) {
+  if (options_.early_output) return Status::OK();
+  if (quotient_table_ == nullptr) return Status::OK();
+  // Figure 1, step 3: scan all buckets for bit maps with no zero bit.
+  Status status;
+  quotient_table_->ForEach([&](TupleHashTable::Entry* entry) {
+    if (use_bitmaps()) {
+      Bitmap bitmap = Bitmap::MapOnto(entry->extra, divisor_count_);
+      ctx_->CountBitOps(Bitmap::WordsForBits(divisor_count_));
+      if (bitmap.AllSet()) out->push_back(*entry->tuple);
+    } else {
+      ctx_->CountComparisons(1);
+      if (entry->num == divisor_count_) out->push_back(*entry->tuple);
+    }
+    return true;
+  });
+  return status;
+}
+
+HashDivisionOperator::HashDivisionOperator(
+    ExecContext* ctx, std::unique_ptr<Operator> dividend,
+    std::unique_ptr<Operator> divisor, std::vector<size_t> match_attrs,
+    std::vector<size_t> quotient_attrs, const DivisionOptions& options)
+    : ctx_(ctx),
+      dividend_(std::move(dividend)),
+      divisor_(std::move(divisor)),
+      match_attrs_(match_attrs),
+      quotient_attrs_(quotient_attrs),
+      options_(options),
+      schema_(dividend_->output_schema().Project(quotient_attrs_)) {}
+
+Status HashDivisionOperator::Open() {
+  results_.clear();
+  emit_pos_ = 0;
+  dividend_done_ = false;
+
+  // A fresh core per Open: plans are re-openable and Close() releases the
+  // previous run's table memory.
+  core_ = std::make_unique<HashDivisionCore>(ctx_, match_attrs_,
+                                             quotient_attrs_, options_);
+  RELDIV_RETURN_NOT_OK(core_->BuildDivisorTable(divisor_.get()));
+  RELDIV_RETURN_NOT_OK(core_->ResetQuotientTable());
+  RELDIV_RETURN_NOT_OK(dividend_->Open());
+
+  if (!options_.early_output) {
+    // Stop-and-go: consume the dividend now; step 3 happens lazily below.
+    while (true) {
+      Tuple tuple;
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(dividend_->Next(&tuple, &has));
+      if (!has) break;
+      RELDIV_RETURN_NOT_OK(core_->Consume(tuple, nullptr));
+    }
+    RELDIV_RETURN_NOT_OK(dividend_->Close());
+    dividend_done_ = true;
+    RELDIV_RETURN_NOT_OK(core_->EmitComplete(&results_));
+  }
+  return Status::OK();
+}
+
+Status HashDivisionOperator::Next(Tuple* tuple, bool* has_next) {
+  while (true) {
+    if (emit_pos_ < results_.size()) {
+      *tuple = std::move(results_[emit_pos_++]);
+      *has_next = true;
+      return Status::OK();
+    }
+    if (dividend_done_) {
+      *has_next = false;
+      return Status::OK();
+    }
+    // Early-output mode: pull dividend tuples until one completes a
+    // candidate or the input ends.
+    results_.clear();
+    emit_pos_ = 0;
+    Tuple in;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(dividend_->Next(&in, &has));
+    if (!has) {
+      RELDIV_RETURN_NOT_OK(dividend_->Close());
+      dividend_done_ = true;
+      continue;
+    }
+    RELDIV_RETURN_NOT_OK(core_->Consume(in, &results_));
+  }
+}
+
+Status HashDivisionOperator::Close() {
+  Status status;
+  if (!dividend_done_) {
+    // Early-output consumer stopped before the stream ended.
+    status = dividend_->Close();
+    dividend_done_ = true;
+  }
+  core_.reset();
+  results_.clear();
+  return status;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,124 @@
+#ifndef RELDIV_DIVISION_HASH_DIVISION_H_
+#define RELDIV_DIVISION_HASH_DIVISION_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "division/division.h"
+#include "exec/exec_context.h"
+#include "exec/hash_table.h"
+#include "exec/operator.h"
+#include "storage/memory_manager.h"
+
+namespace reldiv {
+
+/// Reusable engine implementing the three steps of Figure 1. Factored out of
+/// the operator so that the overflow-partitioned (§3.4) and multi-processor
+/// (§6) variants can drive the same logic: the divisor table can be built
+/// once and divided against several dividend streams (quotient partitioning
+/// keeps the divisor table resident across phases), and the quotient table
+/// can be reset per phase.
+class HashDivisionCore {
+ public:
+  /// `match_attrs`: dividend columns matched positionally against all
+  /// divisor columns. `quotient_attrs`: the remaining dividend columns.
+  HashDivisionCore(ExecContext* ctx, std::vector<size_t> match_attrs,
+                   std::vector<size_t> quotient_attrs,
+                   const DivisionOptions& options);
+
+  /// Step 1: builds the divisor table, assigning dense divisor numbers.
+  /// Duplicates in the divisor are eliminated on the fly (§3.3, point 5).
+  Status BuildDivisorTable(Operator* divisor,
+                           uint64_t expected_cardinality = 0);
+
+  /// Seeds the divisor table from pre-numbered tuples (used by the
+  /// collection phase of divisor partitioning, which divides over phase
+  /// numbers instead — §3.4).
+  Status BuildDivisorTableFromNumbered(
+      const std::vector<std::pair<Tuple, uint64_t>>& numbered,
+      uint64_t divisor_count);
+
+  /// Prepares an empty quotient table (step 2 state). May be called again
+  /// to start a new phase; the previous table's memory is released.
+  Status ResetQuotientTable(uint64_t expected_cardinality = 0);
+
+  /// Step 2, one dividend tuple. With early output enabled, quotient tuples
+  /// whose bit map just filled are appended to `early_out` (§3.3, point 2);
+  /// otherwise `early_out` may be nullptr.
+  Status Consume(const Tuple& dividend, std::vector<Tuple>* early_out);
+
+  /// Step 3: scans the quotient table and appends every tuple whose bit map
+  /// contains no zero (or whose counter reached the divisor count). A no-op
+  /// when early output is enabled — those tuples were produced eagerly.
+  Status EmitComplete(std::vector<Tuple>* out);
+
+  uint64_t divisor_count() const { return divisor_count_; }
+  size_t quotient_candidates() const {
+    return quotient_table_ == nullptr ? 0 : quotient_table_->size();
+  }
+  size_t memory_bytes() const {
+    return divisor_arena_.bytes_allocated() +
+           (quotient_arena_ == nullptr ? 0
+                                       : quotient_arena_->bytes_allocated());
+  }
+
+ private:
+  bool use_bitmaps() const { return !options_.counters_instead_of_bitmaps; }
+
+  ExecContext* ctx_;
+  std::vector<size_t> match_attrs_;
+  std::vector<size_t> quotient_attrs_;
+  DivisionOptions options_;
+
+  Arena divisor_arena_;
+  std::unique_ptr<Arena> quotient_arena_;
+  std::unique_ptr<TupleHashTable> divisor_table_;
+  std::unique_ptr<TupleHashTable> quotient_table_;
+  uint64_t divisor_count_ = 0;
+};
+
+/// Hash-division (§3): the paper's new algorithm. Two hash tables — the
+/// divisor table maps divisor tuples to dense divisor numbers; the quotient
+/// table holds quotient candidates, each with a bit map indexed by divisor
+/// number. The quotient is exactly the candidates whose bit map has no zero
+/// bit. Dividend tuples with no matching divisor tuple are discarded
+/// immediately; dividend duplicates are ignored automatically; divisor
+/// duplicates are eliminated while building the divisor table.
+///
+/// Default mode is a stop-and-go operator (inputs consumed in Open(),
+/// quotient produced by scanning the table). With
+/// DivisionOptions::early_output the operator becomes a pipelined producer:
+/// each quotient tuple is emitted the moment its counter reaches the divisor
+/// count.
+class HashDivisionOperator : public Operator {
+ public:
+  HashDivisionOperator(ExecContext* ctx, std::unique_ptr<Operator> dividend,
+                       std::unique_ptr<Operator> divisor,
+                       std::vector<size_t> match_attrs,
+                       std::vector<size_t> quotient_attrs,
+                       const DivisionOptions& options = {});
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Tuple* tuple, bool* has_next) override;
+  Status Close() override;
+
+ private:
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> dividend_;
+  std::unique_ptr<Operator> divisor_;
+  std::vector<size_t> match_attrs_;
+  std::vector<size_t> quotient_attrs_;
+  DivisionOptions options_;
+  Schema schema_;
+
+  std::unique_ptr<HashDivisionCore> core_;
+  std::vector<Tuple> results_;  ///< stop-and-go output / early-output buffer
+  size_t emit_pos_ = 0;
+  bool dividend_done_ = false;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_DIVISION_HASH_DIVISION_H_

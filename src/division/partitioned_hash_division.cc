@@ -1,0 +1,458 @@
+#include "division/partitioned_hash_division.h"
+
+#include "common/row_codec.h"
+#include "division/hash_division.h"
+#include "exec/mem_source.h"
+#include "exec/scan.h"
+#include "storage/record_file.h"
+
+namespace reldiv {
+
+namespace {
+
+/// Maps a tuple to its cluster index: hash of the partitioning attrs, or
+/// the range of the first partitioning attr under precomputed splits.
+class ClusterAssigner {
+ public:
+  static ClusterAssigner Hash(std::vector<size_t> attrs,
+                              size_t num_partitions) {
+    ClusterAssigner assigner;
+    assigner.attrs_ = std::move(attrs);
+    assigner.num_partitions_ = num_partitions;
+    return assigner;
+  }
+
+  /// Range splits ascending; tuple goes to the first range whose split
+  /// exceeds its value (splits.size() + 1 == num_partitions).
+  static ClusterAssigner Range(size_t attr, std::vector<int64_t> splits) {
+    ClusterAssigner assigner;
+    assigner.attrs_ = {attr};
+    assigner.num_partitions_ = splits.size() + 1;
+    assigner.splits_ = std::move(splits);
+    assigner.by_range_ = true;
+    return assigner;
+  }
+
+  size_t operator()(ExecContext* ctx, const Tuple& tuple) const {
+    if (by_range_) {
+      ctx->CountComparisons(1);
+      const int64_t v = tuple.value(attrs_[0]).int64();
+      size_t p = 0;
+      while (p < splits_.size() && v >= splits_[p]) p++;
+      return p;
+    }
+    ctx->CountHashes(1);
+    return tuple.HashAt(attrs_) % num_partitions_;
+  }
+
+ private:
+  std::vector<size_t> attrs_;
+  size_t num_partitions_ = 1;
+  std::vector<int64_t> splits_;
+  bool by_range_ = false;
+};
+
+/// Uniform range splits over `attr` of `input` (int64 required), derived
+/// from its min/max in one scan.
+Result<std::vector<int64_t>> ComputeRangeSplits(ExecContext* ctx,
+                                                const Relation& input,
+                                                size_t attr,
+                                                size_t num_partitions) {
+  if (input.schema.field(attr).type != ValueType::kInt64) {
+    return Status::InvalidArgument(
+        "range partitioning requires an int64 first partitioning attribute "
+        "('" +
+        input.schema.field(attr).name + "' is not)");
+  }
+  int64_t min_v = 0, max_v = 0;
+  bool any = false;
+  ScanOperator scan(ctx, input);
+  RELDIV_RETURN_NOT_OK(scan.Open());
+  while (true) {
+    Tuple tuple;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
+    if (!has) break;
+    const int64_t v = tuple.value(attr).int64();
+    if (!any || v < min_v) min_v = v;
+    if (!any || v > max_v) max_v = v;
+    any = true;
+  }
+  RELDIV_RETURN_NOT_OK(scan.Close());
+  std::vector<int64_t> splits;
+  if (!any || num_partitions <= 1) return splits;
+  const double width =
+      static_cast<double>(max_v - min_v + 1) /
+      static_cast<double>(num_partitions);
+  for (size_t i = 1; i < num_partitions; ++i) {
+    splits.push_back(min_v +
+                     static_cast<int64_t>(width * static_cast<double>(i)));
+  }
+  return splits;
+}
+
+/// Partitions `input` into temporary record files under `assigner`.
+Result<std::vector<std::unique_ptr<RecordFile>>> PartitionRelation(
+    ExecContext* ctx, const Relation& input, const ClusterAssigner& assigner,
+    size_t num_partitions, const char* label) {
+  std::vector<std::unique_ptr<RecordFile>> clusters;
+  clusters.reserve(num_partitions);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    clusters.push_back(std::make_unique<RecordFile>(
+        ctx->disk(), ctx->buffer_manager(),
+        std::string(label) + "-cluster-" + std::to_string(i)));
+  }
+  RowCodec codec(input.schema);
+  ScanOperator scan(ctx, input);
+  RELDIV_RETURN_NOT_OK(scan.Open());
+  std::string buffer;
+  while (true) {
+    Tuple tuple;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
+    if (!has) break;
+    const size_t p = assigner(ctx, tuple);
+    buffer.clear();
+    RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+    RELDIV_ASSIGN_OR_RETURN(Rid rid, clusters[p]->Append(Slice(buffer)));
+    (void)rid;
+  }
+  RELDIV_RETURN_NOT_OK(scan.Close());
+  return clusters;
+}
+
+}  // namespace
+
+PartitionedHashDivisionOperator::PartitionedHashDivisionOperator(
+    ExecContext* ctx, const ResolvedDivision& resolved,
+    const DivisionOptions& options)
+    : ctx_(ctx),
+      resolved_(resolved),
+      options_(options),
+      schema_(resolved.quotient_schema) {}
+
+PartitionedHashDivisionOperator::~PartitionedHashDivisionOperator() = default;
+
+Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
+  const size_t num_partitions =
+      options_.num_partitions == 0 ? 1 : options_.num_partitions;
+  ClusterAssigner assigner =
+      ClusterAssigner::Hash(resolved_.quotient_attrs, num_partitions);
+  if (options_.partition_function == PartitionFunction::kRange) {
+    RELDIV_ASSIGN_OR_RETURN(
+        std::vector<int64_t> splits,
+        ComputeRangeSplits(ctx_, resolved_.dividend,
+                           resolved_.quotient_attrs[0], num_partitions));
+    assigner = ClusterAssigner::Range(resolved_.quotient_attrs[0],
+                                      std::move(splits));
+  }
+  RELDIV_ASSIGN_OR_RETURN(
+      auto clusters,
+      PartitionRelation(ctx_, resolved_.dividend, assigner, num_partitions,
+                        "quotient-part"));
+
+  // The divisor table is built once and kept in memory during all phases.
+  DivisionOptions core_options = options_;
+  core_options.early_output = false;
+  HashDivisionCore core(ctx_, resolved_.match_attrs, resolved_.quotient_attrs,
+                        core_options);
+  ScanOperator divisor_scan(ctx_, resolved_.divisor);
+  RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
+
+  const uint64_t quotient_hint =
+      options_.expected_quotient_cardinality == 0
+          ? 0
+          : options_.expected_quotient_cardinality / num_partitions + 1;
+  for (auto& cluster : clusters) {
+    RELDIV_RETURN_NOT_OK(core.ResetQuotientTable(quotient_hint));
+    Relation cluster_rel{resolved_.dividend.schema, cluster.get()};
+    ScanOperator scan(ctx_, cluster_rel);
+    RELDIV_RETURN_NOT_OK(scan.Open());
+    while (true) {
+      Tuple tuple;
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
+      if (!has) break;
+      RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
+    }
+    RELDIV_RETURN_NOT_OK(scan.Close());
+    // The quotient of the whole division is the concatenation of the
+    // per-phase quotient clusters.
+    RELDIV_RETURN_NOT_OK(core.EmitComplete(&results_));
+    phases_run_++;
+  }
+  return Status::OK();
+}
+
+Status PartitionedHashDivisionOperator::RunDivisorPartitioned() {
+  const size_t num_partitions =
+      options_.num_partitions == 0 ? 1 : options_.num_partitions;
+  // The same partitioning function must be applied to the divisor (on all
+  // its columns) and the dividend (on the divisor attributes) so matching
+  // tuples land in the same cluster.
+  std::vector<size_t> divisor_all(resolved_.divisor.schema.num_fields());
+  for (size_t i = 0; i < divisor_all.size(); ++i) divisor_all[i] = i;
+  ClusterAssigner divisor_assigner =
+      ClusterAssigner::Hash(divisor_all, num_partitions);
+  ClusterAssigner dividend_assigner =
+      ClusterAssigner::Hash(resolved_.match_attrs, num_partitions);
+  if (options_.partition_function == PartitionFunction::kRange) {
+    RELDIV_ASSIGN_OR_RETURN(
+        std::vector<int64_t> splits,
+        ComputeRangeSplits(ctx_, resolved_.divisor, 0, num_partitions));
+    divisor_assigner = ClusterAssigner::Range(0, splits);
+    dividend_assigner =
+        ClusterAssigner::Range(resolved_.match_attrs[0], std::move(splits));
+  }
+  RELDIV_ASSIGN_OR_RETURN(
+      auto divisor_clusters,
+      PartitionRelation(ctx_, resolved_.divisor, divisor_assigner,
+                        num_partitions, "divisor-part-s"));
+  RELDIV_ASSIGN_OR_RETURN(
+      auto dividend_clusters,
+      PartitionRelation(ctx_, resolved_.dividend, dividend_assigner,
+                        num_partitions, "divisor-part-r"));
+
+  // Tagged quotient clusters, spooled to one temporary file whose schema is
+  // (quotient attrs..., phase).
+  std::vector<Field> tagged_fields = resolved_.quotient_schema.fields();
+  tagged_fields.push_back(Field{"phase", ValueType::kInt64});
+  Schema tagged_schema(std::move(tagged_fields));
+  RowCodec tagged_codec(tagged_schema);
+  RecordFile tagged_store(ctx_->disk(), ctx_->buffer_manager(),
+                          "quotient-clusters");
+
+  std::vector<int64_t> participating;
+  std::string buffer;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    if (divisor_clusters[p]->num_records() == 0) {
+      // Empty divisor cluster: the for-all condition over it is vacuous, so
+      // the phase constrains nothing and must not appear in the collection
+      // divisor.
+      continue;
+    }
+    participating.push_back(static_cast<int64_t>(p));
+    phases_run_++;
+
+    DivisionOptions phase_options = options_;
+    phase_options.early_output = false;
+    HashDivisionCore core(ctx_, resolved_.match_attrs,
+                          resolved_.quotient_attrs, phase_options);
+    Relation divisor_rel{resolved_.divisor.schema, divisor_clusters[p].get()};
+    ScanOperator divisor_scan(ctx_, divisor_rel);
+    RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
+    RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
+
+    Relation dividend_rel{resolved_.dividend.schema,
+                          dividend_clusters[p].get()};
+    ScanOperator dividend_scan(ctx_, dividend_rel);
+    RELDIV_RETURN_NOT_OK(dividend_scan.Open());
+    while (true) {
+      Tuple tuple;
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(dividend_scan.Next(&tuple, &has));
+      if (!has) break;
+      RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
+    }
+    RELDIV_RETURN_NOT_OK(dividend_scan.Close());
+
+    std::vector<Tuple> phase_quotient;
+    RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
+    for (Tuple& q : phase_quotient) {
+      q.Append(Value::Int64(static_cast<int64_t>(p)));
+      buffer.clear();
+      RELDIV_RETURN_NOT_OK(tagged_codec.Encode(q, &buffer));
+      RELDIV_ASSIGN_OR_RETURN(Rid rid, tagged_store.Append(Slice(buffer)));
+      (void)rid;
+    }
+  }
+
+  if (participating.empty()) {
+    // Entire divisor was empty: empty quotient by convention.
+    return Status::OK();
+  }
+
+  // Collection phase: divide the union of the tagged quotient clusters over
+  // the set of participating phase numbers. Step 1 of hash-division is
+  // skipped — the phase numbers are seeded with dense divisor numbers.
+  DivisionOptions collect_options;
+  collect_options.expected_quotient_cardinality =
+      options_.expected_quotient_cardinality;
+  std::vector<size_t> collect_quotient_attrs(
+      resolved_.quotient_attrs.size());
+  for (size_t i = 0; i < collect_quotient_attrs.size(); ++i) {
+    collect_quotient_attrs[i] = i;
+  }
+  HashDivisionCore collector(
+      ctx_, {collect_quotient_attrs.size()},  // match attr: the phase column
+      collect_quotient_attrs, collect_options);
+  std::vector<std::pair<Tuple, uint64_t>> numbered;
+  numbered.reserve(participating.size());
+  for (size_t i = 0; i < participating.size(); ++i) {
+    numbered.emplace_back(Tuple{Value::Int64(participating[i])}, i);
+  }
+  RELDIV_RETURN_NOT_OK(collector.BuildDivisorTableFromNumbered(
+      numbered, participating.size()));
+  RELDIV_RETURN_NOT_OK(collector.ResetQuotientTable());
+
+  Relation tagged_rel{tagged_schema, &tagged_store};
+  ScanOperator tagged_scan(ctx_, tagged_rel);
+  RELDIV_RETURN_NOT_OK(tagged_scan.Open());
+  while (true) {
+    Tuple tuple;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(tagged_scan.Next(&tuple, &has));
+    if (!has) break;
+    RELDIV_RETURN_NOT_OK(collector.Consume(tuple, nullptr));
+  }
+  RELDIV_RETURN_NOT_OK(tagged_scan.Close());
+  RELDIV_RETURN_NOT_OK(collector.EmitComplete(&results_));
+  return Status::OK();
+}
+
+Status PartitionedHashDivisionOperator::RunCombined() {
+  // §3.4's closing question: neither table fits. Outer loop = divisor
+  // partitioning (shrinks the divisor table and the bit maps); inner loop =
+  // quotient partitioning of each divisor cluster's dividend (shrinks the
+  // quotient table); the divisor-cluster tags then go through the standard
+  // collection phase.
+  const size_t divisor_parts =
+      options_.num_partitions == 0 ? 1 : options_.num_partitions;
+  const size_t quotient_parts = options_.num_quotient_subpartitions == 0
+                                    ? divisor_parts
+                                    : options_.num_quotient_subpartitions;
+
+  std::vector<size_t> divisor_all(resolved_.divisor.schema.num_fields());
+  for (size_t i = 0; i < divisor_all.size(); ++i) divisor_all[i] = i;
+  RELDIV_ASSIGN_OR_RETURN(
+      auto divisor_clusters,
+      PartitionRelation(ctx_, resolved_.divisor,
+                        ClusterAssigner::Hash(divisor_all, divisor_parts),
+                        divisor_parts, "combined-s"));
+  RELDIV_ASSIGN_OR_RETURN(
+      auto dividend_clusters,
+      PartitionRelation(
+          ctx_, resolved_.dividend,
+          ClusterAssigner::Hash(resolved_.match_attrs, divisor_parts),
+          divisor_parts, "combined-r"));
+
+  std::vector<Field> tagged_fields = resolved_.quotient_schema.fields();
+  tagged_fields.push_back(Field{"phase", ValueType::kInt64});
+  Schema tagged_schema(std::move(tagged_fields));
+  RowCodec tagged_codec(tagged_schema);
+  RecordFile tagged_store(ctx_->disk(), ctx_->buffer_manager(),
+                          "combined-quotient-clusters");
+
+  std::vector<int64_t> participating;
+  std::string buffer;
+  for (size_t p = 0; p < divisor_parts; ++p) {
+    if (divisor_clusters[p]->num_records() == 0) continue;
+    participating.push_back(static_cast<int64_t>(p));
+
+    DivisionOptions phase_options = options_;
+    phase_options.early_output = false;
+    HashDivisionCore core(ctx_, resolved_.match_attrs,
+                          resolved_.quotient_attrs, phase_options);
+    Relation divisor_rel{resolved_.divisor.schema, divisor_clusters[p].get()};
+    ScanOperator divisor_scan(ctx_, divisor_rel);
+    RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
+
+    // Inner quotient partitioning of this cluster's dividend.
+    Relation dividend_rel{resolved_.dividend.schema,
+                          dividend_clusters[p].get()};
+    RELDIV_ASSIGN_OR_RETURN(
+        auto sub_clusters,
+        PartitionRelation(
+            ctx_, dividend_rel,
+            ClusterAssigner::Hash(resolved_.quotient_attrs, quotient_parts),
+            quotient_parts,
+            ("combined-r" + std::to_string(p)).c_str()));
+    std::vector<Tuple> phase_quotient;
+    for (auto& sub : sub_clusters) {
+      RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
+      Relation sub_rel{resolved_.dividend.schema, sub.get()};
+      ScanOperator scan(ctx_, sub_rel);
+      RELDIV_RETURN_NOT_OK(scan.Open());
+      while (true) {
+        Tuple tuple;
+        bool has = false;
+        RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
+        if (!has) break;
+        RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
+      }
+      RELDIV_RETURN_NOT_OK(scan.Close());
+      RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
+      phases_run_++;
+    }
+    for (Tuple& q : phase_quotient) {
+      q.Append(Value::Int64(static_cast<int64_t>(p)));
+      buffer.clear();
+      RELDIV_RETURN_NOT_OK(tagged_codec.Encode(q, &buffer));
+      RELDIV_ASSIGN_OR_RETURN(Rid rid, tagged_store.Append(Slice(buffer)));
+      (void)rid;
+    }
+  }
+
+  if (participating.empty()) return Status::OK();
+
+  // Collection phase over the divisor-cluster tags, itself quotient-safe
+  // because its table holds only candidates that completed some cluster.
+  DivisionOptions collect_options;
+  std::vector<size_t> collect_quotient_attrs(resolved_.quotient_attrs.size());
+  for (size_t i = 0; i < collect_quotient_attrs.size(); ++i) {
+    collect_quotient_attrs[i] = i;
+  }
+  HashDivisionCore collector(ctx_, {collect_quotient_attrs.size()},
+                             collect_quotient_attrs, collect_options);
+  std::vector<std::pair<Tuple, uint64_t>> numbered;
+  for (size_t i = 0; i < participating.size(); ++i) {
+    numbered.emplace_back(Tuple{Value::Int64(participating[i])}, i);
+  }
+  RELDIV_RETURN_NOT_OK(collector.BuildDivisorTableFromNumbered(
+      numbered, participating.size()));
+  RELDIV_RETURN_NOT_OK(collector.ResetQuotientTable());
+  Relation tagged_rel{tagged_schema, &tagged_store};
+  ScanOperator tagged_scan(ctx_, tagged_rel);
+  RELDIV_RETURN_NOT_OK(tagged_scan.Open());
+  while (true) {
+    Tuple tuple;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(tagged_scan.Next(&tuple, &has));
+    if (!has) break;
+    RELDIV_RETURN_NOT_OK(collector.Consume(tuple, nullptr));
+  }
+  RELDIV_RETURN_NOT_OK(tagged_scan.Close());
+  return collector.EmitComplete(&results_);
+}
+
+Status PartitionedHashDivisionOperator::Open() {
+  results_.clear();
+  emit_pos_ = 0;
+  phases_run_ = 0;
+  switch (options_.partition_strategy) {
+    case PartitionStrategy::kQuotient:
+      return RunQuotientPartitioned();
+    case PartitionStrategy::kDivisor:
+      return RunDivisorPartitioned();
+    case PartitionStrategy::kCombined:
+      return RunCombined();
+  }
+  return Status::NotSupported("unknown partition strategy");
+}
+
+Status PartitionedHashDivisionOperator::Next(Tuple* tuple, bool* has_next) {
+  if (emit_pos_ >= results_.size()) {
+    *has_next = false;
+    return Status::OK();
+  }
+  *tuple = std::move(results_[emit_pos_++]);
+  *has_next = true;
+  return Status::OK();
+}
+
+Status PartitionedHashDivisionOperator::Close() {
+  results_.clear();
+  return Status::OK();
+}
+
+}  // namespace reldiv

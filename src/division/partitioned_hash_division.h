@@ -1,0 +1,62 @@
+#ifndef RELDIV_DIVISION_PARTITIONED_HASH_DIVISION_H_
+#define RELDIV_DIVISION_PARTITIONED_HASH_DIVISION_H_
+
+#include <memory>
+#include <vector>
+
+#include "division/division.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Hash-division with hash-table-overflow management (§3.4): the inputs are
+/// hash-partitioned into disjoint clusters spooled to temporary files and
+/// processed one cluster per phase.
+///
+/// Quotient partitioning: the dividend is partitioned on the quotient
+/// attrs; every phase divides one dividend cluster by the ENTIRE divisor,
+/// whose table is built once and stays resident across phases. The final
+/// quotient is the concatenation of the per-phase quotients.
+///
+/// Divisor partitioning: divisor and dividend are partitioned with the same
+/// function on the divisor attrs. Each phase produces a quotient cluster
+/// tagged with its phase number; a final collection phase divides the union
+/// of the tagged clusters over the set of participating phase numbers —
+/// "this problem is exactly the division problem again" — skipping step 1 of
+/// hash-division because the phase tag directly indexes the bit map. Phases
+/// whose divisor cluster is empty constrain nothing and are excluded from
+/// the collection divisor.
+class PartitionedHashDivisionOperator : public Operator {
+ public:
+  PartitionedHashDivisionOperator(ExecContext* ctx,
+                                  const ResolvedDivision& resolved,
+                                  const DivisionOptions& options);
+  ~PartitionedHashDivisionOperator() override;
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Tuple* tuple, bool* has_next) override;
+  Status Close() override;
+
+  /// Number of phases actually executed (test hook).
+  size_t phases_run() const { return phases_run_; }
+
+ private:
+  Status RunQuotientPartitioned();
+  Status RunDivisorPartitioned();
+  Status RunCombined();
+
+  ExecContext* ctx_;
+  ResolvedDivision resolved_;
+  DivisionOptions options_;
+  Schema schema_;
+
+  std::vector<Tuple> results_;
+  size_t emit_pos_ = 0;
+  size_t phases_run_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_DIVISION_PARTITIONED_HASH_DIVISION_H_

@@ -1,0 +1,103 @@
+#include "division/sort_agg_division.h"
+
+#include "division/count_filter.h"
+#include "exec/merge_join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/sort_aggregate.h"
+
+namespace reldiv {
+
+namespace {
+
+/// Sort spec lifting dividend tuples to (quotient attrs..., count=1) and
+/// summing counts for equal quotient keys — aggregation during sorting.
+SortSpec CountingSortSpec(const ResolvedDivision& resolved) {
+  SortSpec spec;
+  spec.keys.resize(resolved.quotient_attrs.size());
+  for (size_t i = 0; i < spec.keys.size(); ++i) spec.keys[i] = i;
+  spec.collapse_equal_keys = true;
+  const std::vector<size_t> quotient_attrs = resolved.quotient_attrs;
+  spec.lift = [quotient_attrs](const Tuple& t) {
+    Tuple lifted = t.Project(quotient_attrs);
+    lifted.Append(Value::Int64(1));
+    return lifted;
+  };
+  std::vector<Field> fields = resolved.quotient_schema.fields();
+  fields.push_back(Field{"count", ValueType::kInt64});
+  spec.lifted_schema = Schema(std::move(fields));
+  const size_t count_col = quotient_attrs.size();
+  spec.merge = [count_col](Tuple* acc, const Tuple& next) {
+    acc->value(count_col) =
+        Value::Int64(acc->value(count_col).int64() +
+                     next.value(count_col).int64());
+  };
+  return spec;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Operator>> MakeSortAggregationDivisionPlan(
+    ExecContext* ctx, const ResolvedDivision& resolved, bool with_join,
+    const DivisionOptions& options) {
+  std::unique_ptr<Operator> dividend_input =
+      std::make_unique<ScanOperator>(ctx, resolved.dividend);
+
+  if (with_join) {
+    // Sort the dividend on the divisor attrs for the merge semi-join
+    // ("notice that the relation must be sorted on different than the
+    // grouping attributes").
+    SortSpec join_sort;
+    join_sort.keys = resolved.match_attrs;
+    auto sorted_dividend = std::make_unique<SortOperator>(
+        ctx, std::move(dividend_input), std::move(join_sort));
+
+    SortSpec divisor_sort;
+    divisor_sort.keys.resize(resolved.divisor.schema.num_fields());
+    for (size_t i = 0; i < divisor_sort.keys.size(); ++i) {
+      divisor_sort.keys[i] = i;
+    }
+    auto sorted_divisor = std::make_unique<SortOperator>(
+        ctx, std::make_unique<ScanOperator>(ctx, resolved.divisor),
+        std::move(divisor_sort));
+
+    // Semi-join in which the outer (dividend) relation produces the result:
+    // no linked lists, no copying (§5.1).
+    std::vector<size_t> divisor_keys(resolved.divisor.schema.num_fields());
+    for (size_t i = 0; i < divisor_keys.size(); ++i) divisor_keys[i] = i;
+    dividend_input = std::make_unique<MergeJoinOperator>(
+        ctx, std::move(sorted_dividend), std::move(sorted_divisor),
+        resolved.match_attrs, std::move(divisor_keys),
+        MergeJoinMode::kLeftSemi);
+  }
+
+  if (options.count_distinct) {
+    // Footnote 1 via sorting: eliminate duplicate (quotient, divisor)
+    // combinations during the sort itself (keys cover every column), then
+    // count the surviving tuples per group in a streaming aggregate and
+    // compare against the divisor's DISTINCT cardinality.
+    SortSpec dedup_sort;
+    dedup_sort.keys = resolved.quotient_attrs;
+    dedup_sort.keys.insert(dedup_sort.keys.end(),
+                           resolved.match_attrs.begin(),
+                           resolved.match_attrs.end());
+    dedup_sort.collapse_equal_keys = true;
+    auto sorted = std::make_unique<SortOperator>(
+        ctx, std::move(dividend_input), std::move(dedup_sort));
+    auto counted = std::make_unique<SortAggregateOperator>(
+        ctx, std::move(sorted), resolved.quotient_attrs,
+        std::vector<AggSpec>{AggSpec{AggFn::kCount, 0, "count"}});
+    return std::unique_ptr<Operator>(
+        std::make_unique<GroupCountFilterOperator>(
+            ctx, std::move(counted), resolved.divisor,
+            /*distinct_count=*/true));
+  }
+
+  // Aggregation during the (second) sort, then the count selection.
+  auto counted = std::make_unique<SortOperator>(
+      ctx, std::move(dividend_input), CountingSortSpec(resolved));
+  return std::unique_ptr<Operator>(std::make_unique<GroupCountFilterOperator>(
+      ctx, std::move(counted), resolved.divisor));
+}
+
+}  // namespace reldiv

@@ -1,0 +1,177 @@
+#include "exec/database.h"
+
+#include "common/row_codec.h"
+
+namespace reldiv {
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database());
+  if (options.file_backed_disk) {
+    RELDIV_ASSIGN_OR_RETURN(db->disk_,
+                            SimDisk::OpenFileBacked(options.disk_path));
+  } else {
+    db->disk_ = std::make_unique<SimDisk>();
+  }
+  db->pool_ = options.pool_bytes == 0
+                  ? nullptr
+                  : std::make_unique<MemoryPool>(options.pool_bytes);
+  db->buffer_manager_ =
+      std::make_unique<BufferManager>(db->disk_.get(), db->pool_.get());
+  if (db->pool_ != nullptr) {
+    // Under memory pressure the buffer pool gives back unfixed frames.
+    BufferManager* bm = db->buffer_manager_.get();
+    db->pool_->SetReclaimer([bm] { return bm->TryShedFrame(); });
+  }
+  db->ctx_ = std::make_unique<ExecContext>(db->disk_.get(),
+                                           db->buffer_manager_.get(),
+                                           db->pool_.get(), &db->counters_);
+  db->ctx_->set_sort_space_bytes(options.sort_space_bytes);
+  return db;
+}
+
+Database::~Database() = default;
+
+Result<Relation> Database::CreateTable(const std::string& name,
+                                       Schema schema) {
+  if (tables_.count(name) != 0) {
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  NamedTable table;
+  table.schema = schema;
+  table.store = std::make_unique<RecordFile>(disk_.get(),
+                                             buffer_manager_.get(), name);
+  RecordStore* store = table.store.get();
+  tables_.emplace(name, std::move(table));
+  return Relation{std::move(schema), store};
+}
+
+Result<Relation> Database::CreateTempTable(const std::string& name,
+                                           Schema schema) {
+  if (tables_.count(name) != 0) {
+    return Status::InvalidArgument("table '" + name + "' already exists");
+  }
+  NamedTable table;
+  table.schema = schema;
+  table.store = std::make_unique<VirtualDevice>(pool_.get(), name);
+  RecordStore* store = table.store.get();
+  tables_.emplace(name, std::move(table));
+  return Relation{std::move(schema), store};
+}
+
+Result<Relation> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Relation{it->second.schema, it->second.store.get()};
+}
+
+Status Database::Insert(const std::string& name, const Tuple& tuple) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  NamedTable& table = it->second;
+  RowCodec codec(table.schema);
+  std::string buffer;
+  RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+  RELDIV_ASSIGN_OR_RETURN(Rid rid, table.store->Append(Slice(buffer)));
+  for (TableIndex* index : table.indexes) {
+    RELDIV_RETURN_NOT_OK(index->Add(tuple, rid));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Database::DeleteWhere(
+    const std::string& table,
+    const std::function<bool(const Tuple&)>& predicate) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + table + "'");
+  }
+  NamedTable& named = it->second;
+  auto* file = dynamic_cast<RecordFile*>(named.store.get());
+  if (file == nullptr) {
+    return Status::NotSupported("DeleteWhere on a temporary table");
+  }
+  // Collect victims first (the scan pins pages; deletion re-fixes them).
+  RowCodec codec(named.schema);
+  std::vector<std::pair<Rid, Tuple>> victims;
+  {
+    RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<RecordScan> scan,
+                            named.store->OpenScan());
+    while (true) {
+      RecordRef ref;
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(scan->Next(&ref, &has));
+      if (!has) break;
+      Tuple tuple;
+      RELDIV_RETURN_NOT_OK(codec.Decode(ref.payload, &tuple));
+      if (predicate(tuple)) victims.emplace_back(ref.rid, std::move(tuple));
+    }
+    RELDIV_RETURN_NOT_OK(scan->Close());
+  }
+  for (const auto& [rid, tuple] : victims) {
+    RELDIV_RETURN_NOT_OK(file->Delete(rid));
+    for (TableIndex* index : named.indexes) {
+      RELDIV_RETURN_NOT_OK(index->Remove(tuple, rid));
+    }
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+Result<TableIndex*> Database::CreateIndex(
+    const std::string& index_name, const std::string& table,
+    const std::vector<std::string>& columns) {
+  if (indexes_.count(index_name) != 0) {
+    return Status::InvalidArgument("index '" + index_name +
+                                   "' already exists");
+  }
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + table + "'");
+  }
+  NamedTable& named = it->second;
+  RELDIV_ASSIGN_OR_RETURN(std::vector<size_t> indices,
+                          named.schema.FieldIndices(columns));
+  auto index = std::make_unique<TableIndex>(
+      disk_.get(), buffer_manager_.get(), named.schema.Project(indices),
+      indices);
+
+  // Index the existing rows.
+  RowCodec codec(named.schema);
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<RecordScan> scan,
+                          named.store->OpenScan());
+  while (true) {
+    RecordRef ref;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(scan->Next(&ref, &has));
+    if (!has) break;
+    Tuple tuple;
+    RELDIV_RETURN_NOT_OK(codec.Decode(ref.payload, &tuple));
+    RELDIV_RETURN_NOT_OK(index->Add(tuple, ref.rid));
+  }
+  RELDIV_RETURN_NOT_OK(scan->Close());
+
+  TableIndex* raw = index.get();
+  named.indexes.push_back(raw);
+  indexes_.emplace(index_name, std::move(index));
+  return raw;
+}
+
+Result<TableIndex*> Database::GetIndex(const std::string& index_name) const {
+  auto it = indexes_.find(index_name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named '" + index_name + "'");
+  }
+  return it->second.get();
+}
+
+void Database::ResetStats() {
+  disk_->ResetStats();
+  counters_.Reset();
+  buffer_manager_->ResetStats();
+}
+
+}  // namespace reldiv

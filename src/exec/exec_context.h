@@ -1,0 +1,67 @@
+#ifndef RELDIV_EXEC_EXEC_CONTEXT_H_
+#define RELDIV_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+
+#include "common/config.h"
+#include "common/counters.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "storage/memory_manager.h"
+
+namespace reldiv {
+
+/// Shared services handed to every operator in a query evaluation plan:
+/// the simulated disk, the buffer manager, the main memory pool from which
+/// hash tables and sort space are drawn, and deterministic CPU counters.
+/// All functions on data records (comparison, hashing) are bound at plan
+/// construction time, mirroring the paper's compiled function pointers.
+class ExecContext {
+ public:
+  ExecContext(SimDisk* disk, BufferManager* buffer_manager, MemoryPool* pool,
+              CpuCounters* counters)
+      : disk_(disk),
+        buffer_manager_(buffer_manager),
+        pool_(pool),
+        counters_(counters) {}
+
+  SimDisk* disk() const { return disk_; }
+  BufferManager* buffer_manager() const { return buffer_manager_; }
+  MemoryPool* pool() const { return pool_; }
+  CpuCounters* counters() const { return counters_; }
+
+  /// Sort space (run-formation memory) available to each sort operator,
+  /// 100 KB of the 256 KB buffer by default (§5.1).
+  size_t sort_space_bytes() const { return sort_space_bytes_; }
+  void set_sort_space_bytes(size_t bytes) { sort_space_bytes_ = bytes; }
+
+  /// Memory ceiling for a single operator's hash tables (divisor table plus
+  /// quotient table in hash-division). 0 means "whatever the pool allows".
+  size_t hash_memory_bytes() const { return hash_memory_bytes_; }
+  void set_hash_memory_bytes(size_t bytes) { hash_memory_bytes_ = bytes; }
+
+  // Cost-unit bumpers (Table 1: Comp / Hash / Move / Bit).
+  void CountComparisons(uint64_t n) const { counters_->comparisons += n; }
+  void CountHashes(uint64_t n) const { counters_->hashes += n; }
+  void CountBitOps(uint64_t n) const { counters_->bit_ops += n; }
+
+  /// Accumulates memory-copy volume; one Move unit per page of bytes.
+  void CountMoveBytes(uint64_t bytes) const {
+    move_accumulator_ += bytes;
+    counters_->moves += move_accumulator_ / kPageSize;
+    move_accumulator_ %= kPageSize;
+  }
+
+ private:
+  SimDisk* disk_;
+  BufferManager* buffer_manager_;
+  MemoryPool* pool_;
+  CpuCounters* counters_;
+  size_t sort_space_bytes_ = kDefaultSortSpaceBytes;
+  size_t hash_memory_bytes_ = 0;
+  mutable uint64_t move_accumulator_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_EXEC_CONTEXT_H_

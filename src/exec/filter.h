@@ -1,0 +1,50 @@
+#ifndef RELDIV_EXEC_FILTER_H_
+#define RELDIV_EXEC_FILTER_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Selection: passes through tuples for which `predicate` returns true.
+class FilterOperator : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  FilterOperator(std::unique_ptr<Operator> child, Predicate predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  Status Open() override { return child_->Open(); }
+
+  Status Next(Tuple* tuple, bool* has_next) override {
+    while (true) {
+      bool has = false;
+      RELDIV_RETURN_NOT_OK(child_->Next(tuple, &has));
+      if (!has) {
+        *has_next = false;
+        return Status::OK();
+      }
+      if (predicate_(*tuple)) {
+        *has_next = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  Status Close() override { return child_->Close(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Predicate predicate_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_FILTER_H_

@@ -1,0 +1,93 @@
+#ifndef RELDIV_EXEC_HASH_TABLE_H_
+#define RELDIV_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+#include "common/tuple.h"
+#include "exec/exec_context.h"
+#include "storage/memory_manager.h"
+
+namespace reldiv {
+
+/// Bucket-chaining hash table over tuples, the common core of the hash
+/// semi-join, hash aggregation, and both tables of hash-division. Matches
+/// the paper's implementation notes (§5.1): conflict resolution by bucket
+/// chaining; chain elements are auxiliary structures holding a pointer to
+/// the next element in the bucket, the tuple, and "the divisor count or the
+/// pointer to the bit map respectively" — generalized here to a 64-bit
+/// payload plus an optional pointer.
+///
+/// Memory for chain elements, bit maps, and tuple bytes is charged to an
+/// Arena; when the arena's pool is exhausted, mutations return
+/// ResourceExhausted, which the partitioned division algorithms translate
+/// into hash-table-overflow handling (§3.4).
+class TupleHashTable {
+ public:
+  /// One chain element. `num` holds the divisor number, group count, or any
+  /// other per-entry integer; `extra` points at an arena-allocated bit map
+  /// for hash-division's quotient table.
+  struct Entry {
+    Entry* next = nullptr;
+    const Tuple* tuple = nullptr;
+    uint64_t num = 0;
+    uint64_t* extra = nullptr;
+  };
+
+  /// `key_indices`: the stored tuples' key columns. `num_buckets` is fixed
+  /// for the table's lifetime (the paper sizes tables for an average bucket
+  /// size of ~2 and handles overflow by partitioning, not rehashing).
+  TupleHashTable(ExecContext* ctx, Arena* arena,
+                 std::vector<size_t> key_indices, size_t num_buckets);
+
+  TupleHashTable(const TupleHashTable&) = delete;
+  TupleHashTable& operator=(const TupleHashTable&) = delete;
+
+  /// Inserts `tuple` without looking for an existing match (multi-table
+  /// build). Returns the new entry.
+  Result<Entry*> Insert(Tuple tuple);
+
+  /// Finds the entry whose key equals `tuple`'s key, or inserts `tuple` as a
+  /// new entry. `*inserted` reports which happened.
+  Result<Entry*> FindOrInsert(Tuple tuple, bool* inserted);
+
+  /// Probes with `probe`'s `probe_indices` columns against stored keys.
+  /// Returns nullptr if absent. Counts one Hash plus one Comp per chain
+  /// element inspected.
+  Entry* Find(const Tuple& probe, const std::vector<size_t>& probe_indices) const;
+
+  /// Visits every entry (bucket order). `fn` returning false stops early.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (Entry* head : buckets_) {
+      for (Entry* e = head; e != nullptr; e = e->next) {
+        if (!fn(e)) return;
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  Arena* arena() const { return arena_; }
+
+  /// Picks a bucket count targeting the paper's average bucket size of 2.
+  static size_t BucketsFor(uint64_t expected_entries);
+
+ private:
+  uint64_t HashKey(const Tuple& tuple,
+                   const std::vector<size_t>& indices) const;
+  Result<Entry*> InsertIntoBucket(Tuple tuple, size_t bucket);
+
+  ExecContext* ctx_;
+  Arena* arena_;
+  std::vector<size_t> key_indices_;
+  std::vector<Entry*> buckets_;
+  std::deque<Tuple> tuples_;  ///< owns tuple storage (strings not arena-safe)
+  size_t size_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_HASH_TABLE_H_

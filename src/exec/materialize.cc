@@ -1,0 +1,74 @@
+#include "exec/materialize.h"
+
+#include "exec/scan.h"
+#include "storage/record_file.h"
+
+namespace reldiv {
+
+Result<uint64_t> Materialize(Operator* input, RecordStore* store) {
+  RowCodec codec(input->output_schema());
+  uint64_t written = 0;
+  RELDIV_RETURN_NOT_OK(input->Open());
+  std::string buffer;
+  while (true) {
+    Tuple tuple;
+    bool has_next = false;
+    RELDIV_RETURN_NOT_OK(input->Next(&tuple, &has_next));
+    if (!has_next) break;
+    buffer.clear();
+    RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+    RELDIV_ASSIGN_OR_RETURN(Rid rid, store->Append(Slice(buffer)));
+    (void)rid;
+    written++;
+  }
+  RELDIV_RETURN_NOT_OK(input->Close());
+  return written;
+}
+
+Result<std::vector<Tuple>> ReadAll(ExecContext* ctx,
+                                   const Relation& relation) {
+  ScanOperator scan(ctx, relation);
+  return CollectAll(&scan);
+}
+
+Status AppendAll(const Relation& relation, const std::vector<Tuple>& tuples) {
+  RowCodec codec(relation.schema);
+  std::string buffer;
+  for (const Tuple& tuple : tuples) {
+    buffer.clear();
+    RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+    RELDIV_ASSIGN_OR_RETURN(Rid rid, relation.store->Append(Slice(buffer)));
+    (void)rid;
+  }
+  return Status::OK();
+}
+
+SpoolOperator::SpoolOperator(ExecContext* ctx,
+                             std::unique_ptr<Operator> child)
+    : ctx_(ctx), child_(std::move(child)) {}
+
+SpoolOperator::~SpoolOperator() = default;
+
+Status SpoolOperator::Open() {
+  spool_ = std::make_unique<RecordFile>(ctx_->disk(), ctx_->buffer_manager(),
+                                        "spool");
+  RELDIV_ASSIGN_OR_RETURN(uint64_t written,
+                          Materialize(child_.get(), spool_.get()));
+  (void)written;
+  Relation spooled{child_->output_schema(), spool_.get()};
+  reader_ = std::make_unique<ScanOperator>(ctx_, spooled);
+  return reader_->Open();
+}
+
+Status SpoolOperator::Next(Tuple* tuple, bool* has_next) {
+  return reader_->Next(tuple, has_next);
+}
+
+Status SpoolOperator::Close() {
+  Status status = reader_ == nullptr ? Status::OK() : reader_->Close();
+  reader_.reset();
+  spool_.reset();
+  return status;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,3 @@
+#include "exec/mem_source.h"
+
+// Header-only operator; translation unit kept for build uniformity.

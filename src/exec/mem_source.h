@@ -1,0 +1,45 @@
+#ifndef RELDIV_EXEC_MEM_SOURCE_H_
+#define RELDIV_EXEC_MEM_SOURCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Operator yielding an in-memory tuple vector; used by tests and to feed
+/// already-materialized intermediate results back into a plan.
+class MemSourceOperator : public Operator {
+ public:
+  MemSourceOperator(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+
+  Status Open() override {
+    next_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Tuple* tuple, bool* has_next) override {
+    if (next_ >= tuples_.size()) {
+      *has_next = false;
+      return Status::OK();
+    }
+    *tuple = tuples_[next_++];
+    *has_next = true;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  size_t next_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_MEM_SOURCE_H_

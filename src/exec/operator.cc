@@ -1,0 +1,19 @@
+#include "exec/operator.h"
+
+namespace reldiv {
+
+Result<std::vector<Tuple>> CollectAll(Operator* op) {
+  std::vector<Tuple> out;
+  RELDIV_RETURN_NOT_OK(op->Open());
+  while (true) {
+    Tuple tuple;
+    bool has_next = false;
+    RELDIV_RETURN_NOT_OK(op->Next(&tuple, &has_next));
+    if (!has_next) break;
+    out.push_back(std::move(tuple));
+  }
+  RELDIV_RETURN_NOT_OK(op->Close());
+  return out;
+}
+
+}  // namespace reldiv

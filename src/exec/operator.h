@@ -1,0 +1,35 @@
+#ifndef RELDIV_EXEC_OPERATOR_H_
+#define RELDIV_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace reldiv {
+
+/// Demand-driven iterator interface implemented by every relational algebra
+/// operator (§5.1: "all relational algebra operators are implemented as
+/// iterators, i.e., they support a simple open-next-close protocol").
+///
+/// Contract: Open() before any Next(); Next() sets `*has_next=false` exactly
+/// once at end of stream after which it must not be called again; Close()
+/// releases resources and may be called at most once after Open().
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual Status Open() = 0;
+  virtual Status Next(Tuple* tuple, bool* has_next) = 0;
+  virtual Status Close() = 0;
+};
+
+/// Drains `op` (Open/Next*/Close) into a vector. Test and example helper.
+Result<std::vector<Tuple>> CollectAll(Operator* op);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_OPERATOR_H_

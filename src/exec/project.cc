@@ -1,0 +1,3 @@
+#include "exec/project.h"
+
+// Header-only operator; translation unit kept for build uniformity.

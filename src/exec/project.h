@@ -1,0 +1,50 @@
+#ifndef RELDIV_EXEC_PROJECT_H_
+#define RELDIV_EXEC_PROJECT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Projection to a column subset (no duplicate elimination; combine with
+/// SortOperator{collapse} or hash aggregation when set semantics are
+/// needed — duplicate handling is a first-class topic of the paper).
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(std::unique_ptr<Operator> child,
+                  std::vector<size_t> indices)
+      : child_(std::move(child)),
+        indices_(std::move(indices)),
+        schema_(child_->output_schema().Project(indices_)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+
+  Status Open() override { return child_->Open(); }
+
+  Status Next(Tuple* tuple, bool* has_next) override {
+    Tuple in;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(child_->Next(&in, &has));
+    if (!has) {
+      *has_next = false;
+      return Status::OK();
+    }
+    *tuple = in.Project(indices_);
+    *has_next = true;
+    return Status::OK();
+  }
+
+  Status Close() override { return child_->Close(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> indices_;
+  Schema schema_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_PROJECT_H_

@@ -1,0 +1,18 @@
+#ifndef RELDIV_EXEC_RELATION_H_
+#define RELDIV_EXEC_RELATION_H_
+
+#include "common/schema.h"
+#include "storage/record_store.h"
+
+namespace reldiv {
+
+/// A stored relation: a schema plus the record store holding its tuples.
+/// Non-owning; Database (exec/database.h) owns named relations.
+struct Relation {
+  Schema schema;
+  RecordStore* store = nullptr;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_RELATION_H_

@@ -1,0 +1,34 @@
+#include "exec/scan.h"
+
+namespace reldiv {
+
+Status ScanOperator::Open() {
+  if (relation_.store == nullptr) {
+    return Status::InvalidArgument("scan of relation without a store");
+  }
+  RELDIV_ASSIGN_OR_RETURN(scan_, relation_.store->OpenScan());
+  return Status::OK();
+}
+
+Status ScanOperator::Next(Tuple* tuple, bool* has_next) {
+  RecordRef ref;
+  bool has = false;
+  RELDIV_RETURN_NOT_OK(scan_->Next(&ref, &has));
+  if (!has) {
+    *has_next = false;
+    return Status::OK();
+  }
+  RELDIV_RETURN_NOT_OK(codec_.Decode(ref.payload, tuple));
+  *has_next = true;
+  return Status::OK();
+}
+
+Status ScanOperator::Close() {
+  if (scan_ != nullptr) {
+    RELDIV_RETURN_NOT_OK(scan_->Close());
+    scan_.reset();
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

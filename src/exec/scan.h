@@ -1,0 +1,36 @@
+#ifndef RELDIV_EXEC_SCAN_H_
+#define RELDIV_EXEC_SCAN_H_
+
+#include <memory>
+
+#include "common/row_codec.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+#include "exec/relation.h"
+
+namespace reldiv {
+
+/// Sequential file scan decoding stored records into tuples. The underlying
+/// RecordScan keeps the current page fixed; decoding copies values out so the
+/// produced Tuple is independent of the pin.
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(ExecContext* ctx, Relation relation)
+      : ctx_(ctx), relation_(relation), codec_(relation.schema) {}
+
+  const Schema& output_schema() const override { return relation_.schema; }
+
+  Status Open() override;
+  Status Next(Tuple* tuple, bool* has_next) override;
+  Status Close() override;
+
+ private:
+  ExecContext* ctx_;
+  Relation relation_;
+  RowCodec codec_;
+  std::unique_ptr<RecordScan> scan_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_SCAN_H_

@@ -1,0 +1,490 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/config.h"
+
+namespace reldiv {
+
+namespace {
+
+/// Tuple memory estimate used for sort-space accounting.
+size_t EstimateTupleBytes(const Tuple& tuple) {
+  size_t bytes = 24 + 16 * tuple.size();
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple.value(i).type() == ValueType::kString) {
+      bytes += tuple.value(i).string_value().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+/// One sorted run on the simulated disk, written and read in 1 KB blocks
+/// (kSortRunBlockSize) so that a limited sort space still yields a high
+/// merge fan-in. Sectors are allocated in contiguous chunks.
+class SortOperator::Run {
+ public:
+  explicit Run(SimDisk* disk) : disk_(disk) {}
+
+  Status Append(Slice record) {
+    uint32_t len = static_cast<uint32_t>(record.size());
+    char len_buf[4];
+    std::memcpy(len_buf, &len, 4);
+    RELDIV_RETURN_NOT_OK(WriteBytes(len_buf, 4));
+    RELDIV_RETURN_NOT_OK(WriteBytes(record.data(), record.size()));
+    num_records_++;
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (buffer_used_ > 0) {
+      RELDIV_RETURN_NOT_OK(FlushBlock());
+    }
+    return Status::OK();
+  }
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  friend class SortOperator::RunReader;
+
+  static constexpr uint64_t kSectorsPerAllocation = 64;
+
+  Status WriteBytes(const char* data, size_t size) {
+    total_bytes_ += size;
+    while (size > 0) {
+      const size_t room = kSortRunBlockSize - buffer_used_;
+      const size_t chunk = size < room ? size : room;
+      std::memcpy(buffer_ + buffer_used_, data, chunk);
+      buffer_used_ += chunk;
+      data += chunk;
+      size -= chunk;
+      if (buffer_used_ == kSortRunBlockSize) {
+        RELDIV_RETURN_NOT_OK(FlushBlock());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status FlushBlock() {
+    if (next_sector_ == end_sector_) {
+      const uint64_t first = disk_->AllocateSectors(kSectorsPerAllocation);
+      segments_.emplace_back(first, kSectorsPerAllocation);
+      next_sector_ = first;
+      end_sector_ = first + kSectorsPerAllocation;
+    }
+    // Pad the trailing partial block with zeros.
+    if (buffer_used_ < kSortRunBlockSize) {
+      std::memset(buffer_ + buffer_used_, 0, kSortRunBlockSize - buffer_used_);
+    }
+    RELDIV_RETURN_NOT_OK(disk_->Write(next_sector_, 1, buffer_));
+    next_sector_++;
+    blocks_written_++;
+    buffer_used_ = 0;
+    return Status::OK();
+  }
+
+  SimDisk* disk_;
+  char buffer_[kSortRunBlockSize];
+  size_t buffer_used_ = 0;
+  uint64_t num_records_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t blocks_written_ = 0;
+  uint64_t next_sector_ = 0;
+  uint64_t end_sector_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> segments_;
+};
+
+/// Sequential reader over a Run, one 1 KB block in memory at a time.
+class SortOperator::RunReader {
+ public:
+  RunReader(SimDisk* disk, const Run* run) : disk_(disk), run_(run) {}
+
+  /// Reads the next encoded record into `record`.
+  Status Next(std::string* record, bool* has_next) {
+    if (bytes_read_ >= run_->total_bytes_) {
+      *has_next = false;
+      return Status::OK();
+    }
+    char len_buf[4];
+    RELDIV_RETURN_NOT_OK(ReadBytes(len_buf, 4));
+    uint32_t len;
+    std::memcpy(&len, len_buf, 4);
+    record->resize(len);
+    RELDIV_RETURN_NOT_OK(ReadBytes(record->data(), len));
+    *has_next = true;
+    return Status::OK();
+  }
+
+ private:
+  Status ReadBytes(char* dst, size_t size) {
+    while (size > 0) {
+      if (buffer_pos_ == buffer_filled_) {
+        RELDIV_RETURN_NOT_OK(FillBlock());
+      }
+      const size_t avail = buffer_filled_ - buffer_pos_;
+      const size_t chunk = size < avail ? size : avail;
+      std::memcpy(dst, buffer_ + buffer_pos_, chunk);
+      buffer_pos_ += chunk;
+      dst += chunk;
+      size -= chunk;
+      bytes_read_ += chunk;
+    }
+    return Status::OK();
+  }
+
+  Status FillBlock() {
+    if (segment_index_ >= run_->segments_.size()) {
+      return Status::Internal("sort run reader ran past the last block");
+    }
+    auto [first, count] = run_->segments_[segment_index_];
+    RELDIV_RETURN_NOT_OK(disk_->Read(first + segment_offset_, 1, buffer_));
+    segment_offset_++;
+    if (segment_offset_ == count) {
+      segment_index_++;
+      segment_offset_ = 0;
+    }
+    buffer_pos_ = 0;
+    buffer_filled_ = kSortRunBlockSize;
+    return Status::OK();
+  }
+
+  SimDisk* disk_;
+  const Run* run_;
+  char buffer_[kSortRunBlockSize];
+  size_t buffer_pos_ = 0;
+  size_t buffer_filled_ = 0;
+  uint64_t bytes_read_ = 0;
+  size_t segment_index_ = 0;
+  uint64_t segment_offset_ = 0;
+};
+
+SortOperator::SortOperator(ExecContext* ctx, std::unique_ptr<Operator> child,
+                           SortSpec spec)
+    : ctx_(ctx),
+      child_(std::move(child)),
+      spec_(std::move(spec)),
+      working_schema_(spec_.lifted_schema.has_value()
+                          ? *spec_.lifted_schema
+                          : child_->output_schema()),
+      codec_(working_schema_),
+      max_fan_in_(
+          std::max<size_t>(2, ctx_->sort_space_bytes() / kSortRunBlockSize)) {}
+
+SortOperator::~SortOperator() = default;
+
+int SortOperator::CompareKeys(const Tuple& a, const Tuple& b) const {
+  ctx_->CountComparisons(1);
+  return a.CompareAt(spec_.keys, b);
+}
+
+void SortOperator::Combine(Tuple* acc, const Tuple& next) const {
+  if (spec_.merge) {
+    spec_.merge(acc, next);
+  }
+  // Default: keep the first tuple (duplicate elimination).
+}
+
+bool SortOperator::HeapLess(const HeapEntry& a, const HeapEntry& b) const {
+  const int c = CompareKeys(a.tuple, b.tuple);
+  if (c != 0) return c < 0;
+  return a.reader < b.reader;  // stable across runs: older run first
+}
+
+void SortOperator::HeapPush(HeapEntry entry) {
+  heap_.push_back(std::move(entry));
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!HeapLess(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+SortOperator::HeapEntry SortOperator::HeapPop() {
+  HeapEntry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  size_t i = 0;
+  while (true) {
+    const size_t l = 2 * i + 1;
+    const size_t r = 2 * i + 2;
+    size_t smallest = i;
+    if (l < heap_.size() && HeapLess(heap_[l], heap_[smallest])) smallest = l;
+    if (r < heap_.size() && HeapLess(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return top;
+}
+
+Status SortOperator::WriteRun(std::vector<Tuple>* batch) {
+  std::sort(batch->begin(), batch->end(),
+            [this](const Tuple& a, const Tuple& b) {
+              return CompareKeys(a, b) < 0;
+            });
+  auto run = std::make_unique<Run>(ctx_->disk());
+  std::string encoded;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (spec_.collapse_equal_keys && i + 1 < batch->size()) {
+      // Combine the whole equal-key group before writing one tuple.
+      Tuple acc = std::move((*batch)[i]);
+      size_t j = i + 1;
+      while (j < batch->size() && CompareKeys(acc, (*batch)[j]) == 0) {
+        Combine(&acc, (*batch)[j]);
+        j++;
+      }
+      i = j - 1;
+      encoded.clear();
+      RELDIV_RETURN_NOT_OK(codec_.Encode(acc, &encoded));
+      RELDIV_RETURN_NOT_OK(run->Append(Slice(encoded)));
+    } else {
+      encoded.clear();
+      RELDIV_RETURN_NOT_OK(codec_.Encode((*batch)[i], &encoded));
+      RELDIV_RETURN_NOT_OK(run->Append(Slice(encoded)));
+    }
+    ctx_->CountMoveBytes(encoded.size());
+  }
+  RELDIV_RETURN_NOT_OK(run->Finish());
+  runs_.push_back(std::move(run));
+  batch->clear();
+  return Status::OK();
+}
+
+Status SortOperator::MergeRuns(std::vector<std::unique_ptr<Run>> inputs) {
+  std::vector<std::unique_ptr<RunReader>> readers;
+  readers.reserve(inputs.size());
+  for (const auto& run : inputs) {
+    readers.push_back(std::make_unique<RunReader>(ctx_->disk(), run.get()));
+  }
+  std::vector<HeapEntry> saved_heap;
+  std::swap(saved_heap, heap_);
+
+  std::string record;
+  for (size_t i = 0; i < readers.size(); ++i) {
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(readers[i]->Next(&record, &has));
+    if (!has) continue;
+    HeapEntry entry;
+    entry.reader = i;
+    RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &entry.tuple));
+    HeapPush(std::move(entry));
+  }
+
+  auto output = std::make_unique<Run>(ctx_->disk());
+  std::string encoded;
+  bool have_acc = false;
+  Tuple acc;
+  auto flush_acc = [&]() -> Status {
+    if (!have_acc) return Status::OK();
+    encoded.clear();
+    RELDIV_RETURN_NOT_OK(codec_.Encode(acc, &encoded));
+    ctx_->CountMoveBytes(encoded.size());
+    return output->Append(Slice(encoded));
+  };
+
+  while (!heap_.empty()) {
+    HeapEntry top = HeapPop();
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(readers[top.reader]->Next(&record, &has));
+    if (has) {
+      HeapEntry refill;
+      refill.reader = top.reader;
+      RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &refill.tuple));
+      HeapPush(std::move(refill));
+    }
+    if (spec_.collapse_equal_keys) {
+      if (have_acc && CompareKeys(acc, top.tuple) == 0) {
+        Combine(&acc, top.tuple);
+      } else {
+        RELDIV_RETURN_NOT_OK(flush_acc());
+        acc = std::move(top.tuple);
+        have_acc = true;
+      }
+    } else {
+      encoded.clear();
+      RELDIV_RETURN_NOT_OK(codec_.Encode(top.tuple, &encoded));
+      ctx_->CountMoveBytes(encoded.size());
+      RELDIV_RETURN_NOT_OK(output->Append(Slice(encoded)));
+    }
+  }
+  RELDIV_RETURN_NOT_OK(flush_acc());
+  RELDIV_RETURN_NOT_OK(output->Finish());
+
+  std::swap(saved_heap, heap_);
+  runs_.push_back(std::move(output));
+  return Status::OK();
+}
+
+Status SortOperator::OpenFinalMerge() {
+  final_readers_.clear();
+  heap_.clear();
+  std::string record;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    final_readers_.push_back(
+        std::make_unique<RunReader>(ctx_->disk(), runs_[i].get()));
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(final_readers_[i]->Next(&record, &has));
+    if (!has) continue;
+    HeapEntry entry;
+    entry.reader = i;
+    RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &entry.tuple));
+    HeapPush(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status SortOperator::Open() {
+  RELDIV_RETURN_NOT_OK(child_->Open());
+
+  std::vector<Tuple> batch;
+  size_t batch_bytes = 0;
+  bool input_exhausted = false;
+  bool first_batch = true;
+
+  while (!input_exhausted) {
+    Tuple raw;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(child_->Next(&raw, &has));
+    if (!has) {
+      input_exhausted = true;
+    } else {
+      Tuple working = spec_.lift ? spec_.lift(raw) : std::move(raw);
+      batch_bytes += EstimateTupleBytes(working);
+      batch.push_back(std::move(working));
+    }
+    const bool batch_full = batch_bytes >= ctx_->sort_space_bytes();
+    if ((input_exhausted || batch_full) && (!batch.empty() || first_batch)) {
+      if (first_batch && input_exhausted) {
+        // Whole input fits in the sort space: in-memory quicksort, no I/O.
+        std::sort(batch.begin(), batch.end(),
+                  [this](const Tuple& a, const Tuple& b) {
+                    return CompareKeys(a, b) < 0;
+                  });
+        if (spec_.collapse_equal_keys && !batch.empty()) {
+          std::vector<Tuple> collapsed;
+          collapsed.push_back(std::move(batch.front()));
+          for (size_t i = 1; i < batch.size(); ++i) {
+            if (CompareKeys(collapsed.back(), batch[i]) == 0) {
+              Combine(&collapsed.back(), batch[i]);
+            } else {
+              collapsed.push_back(std::move(batch[i]));
+            }
+          }
+          batch = std::move(collapsed);
+        }
+        memory_tuples_ = std::move(batch);
+        in_memory_ = true;
+        memory_pos_ = 0;
+        break;
+      }
+      if (!batch.empty()) {
+        RELDIV_RETURN_NOT_OK(WriteRun(&batch));
+        batch_bytes = 0;
+        initial_runs_++;
+      }
+      first_batch = false;
+    }
+  }
+  RELDIV_RETURN_NOT_OK(child_->Close());
+
+  if (!in_memory_) {
+    // Intermediate merges until one final merge step remains (footnote 2).
+    while (runs_.size() > max_fan_in_) {
+      std::vector<std::unique_ptr<Run>> group;
+      const size_t take = std::min(max_fan_in_, runs_.size());
+      group.assign(std::make_move_iterator(runs_.begin()),
+                   std::make_move_iterator(runs_.begin() +
+                                           static_cast<long>(take)));
+      runs_.erase(runs_.begin(), runs_.begin() + static_cast<long>(take));
+      RELDIV_RETURN_NOT_OK(MergeRuns(std::move(group)));
+      intermediate_merges_++;
+    }
+    RELDIV_RETURN_NOT_OK(OpenFinalMerge());
+  }
+  open_ = true;
+  have_pending_ = false;
+  return Status::OK();
+}
+
+Status SortOperator::RawMergeNext(Tuple* tuple, bool* has_next) {
+  if (heap_.empty()) {
+    *has_next = false;
+    return Status::OK();
+  }
+  HeapEntry top = HeapPop();
+  std::string record;
+  bool has = false;
+  RELDIV_RETURN_NOT_OK(final_readers_[top.reader]->Next(&record, &has));
+  if (has) {
+    HeapEntry refill;
+    refill.reader = top.reader;
+    RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &refill.tuple));
+    HeapPush(std::move(refill));
+  }
+  *tuple = std::move(top.tuple);
+  *has_next = true;
+  return Status::OK();
+}
+
+Status SortOperator::Next(Tuple* tuple, bool* has_next) {
+  if (!open_) return Status::Internal("sort Next() before Open()");
+  if (in_memory_) {
+    if (memory_pos_ >= memory_tuples_.size()) {
+      *has_next = false;
+      return Status::OK();
+    }
+    *tuple = std::move(memory_tuples_[memory_pos_++]);
+    *has_next = true;
+    return Status::OK();
+  }
+  if (!spec_.collapse_equal_keys) {
+    return RawMergeNext(tuple, has_next);
+  }
+  // Group-collapse on the final merge output.
+  while (true) {
+    Tuple next;
+    bool has = false;
+    RELDIV_RETURN_NOT_OK(RawMergeNext(&next, &has));
+    if (!has) {
+      if (have_pending_) {
+        *tuple = std::move(pending_);
+        have_pending_ = false;
+        *has_next = true;
+        return Status::OK();
+      }
+      *has_next = false;
+      return Status::OK();
+    }
+    if (!have_pending_) {
+      pending_ = std::move(next);
+      have_pending_ = true;
+      continue;
+    }
+    if (CompareKeys(pending_, next) == 0) {
+      Combine(&pending_, next);
+      continue;
+    }
+    *tuple = std::move(pending_);
+    pending_ = std::move(next);
+    *has_next = true;
+    return Status::OK();
+  }
+}
+
+Status SortOperator::Close() {
+  memory_tuples_.clear();
+  final_readers_.clear();
+  heap_.clear();
+  runs_.clear();
+  open_ = false;
+  return Status::OK();
+}
+
+}  // namespace reldiv

@@ -1,0 +1,106 @@
+#ifndef RELDIV_EXEC_SORT_H_
+#define RELDIV_EXEC_SORT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/row_codec.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Configuration of a sort.
+///
+/// `lift` optionally transforms each input tuple into a working tuple before
+/// sorting (e.g. Transcript(student, course) → (student, count=1) for
+/// aggregation during sorting); `lifted_schema` then describes the working
+/// tuples and `keys` index into them. With `collapse_equal_keys`, tuples
+/// with equal sort keys are combined as early as possible — during run
+/// formation and in every merge — via `merge` (default: keep the first
+/// tuple, i.e. plain duplicate elimination). This mirrors the paper's sort,
+/// which "performs aggregation and duplicate elimination as early as
+/// possible, i.e., no intermediate run contains duplicate sort keys".
+struct SortSpec {
+  std::vector<size_t> keys;
+  bool collapse_equal_keys = false;
+  std::function<Tuple(const Tuple&)> lift;
+  std::optional<Schema> lifted_schema;
+  std::function<void(Tuple*, const Tuple&)> merge;
+};
+
+/// External merge sort (§2.1/§5.1): quicksort run formation bounded by the
+/// context's sort space, runs written with 1 KB transfers for high fan-in,
+/// intermediate merges until one merge step is left, and the final merge
+/// performed on demand by Next() (paper footnote 2). Inputs that fit in the
+/// sort space are sorted entirely in memory with no I/O.
+class SortOperator : public Operator {
+ public:
+  SortOperator(ExecContext* ctx, std::unique_ptr<Operator> child,
+               SortSpec spec);
+  ~SortOperator() override;
+
+  const Schema& output_schema() const override { return working_schema_; }
+
+  Status Open() override;
+  Status Next(Tuple* tuple, bool* has_next) override;
+  Status Close() override;
+
+  /// Number of initial runs written to disk (0 = in-memory sort). Test hook.
+  size_t initial_runs() const { return initial_runs_; }
+  /// Number of intermediate merge passes performed in Open(). Test hook.
+  size_t intermediate_merges() const { return intermediate_merges_; }
+
+ private:
+  class Run;
+  class RunReader;
+
+  int CompareKeys(const Tuple& a, const Tuple& b) const;
+  void Combine(Tuple* acc, const Tuple& next) const;
+  /// Sorts `batch`, applies collapse, and writes it as a new run.
+  Status WriteRun(std::vector<Tuple>* batch);
+  /// Merges `inputs` into a single new run (with collapse).
+  Status MergeRuns(std::vector<std::unique_ptr<Run>> inputs);
+  Status OpenFinalMerge();
+  /// Produces the next tuple of the final merge before collapse grouping.
+  Status RawMergeNext(Tuple* tuple, bool* has_next);
+
+  ExecContext* ctx_;
+  std::unique_ptr<Operator> child_;
+  SortSpec spec_;
+  Schema working_schema_;
+  RowCodec codec_;
+  size_t max_fan_in_;
+
+  // In-memory path.
+  bool in_memory_ = false;
+  std::vector<Tuple> memory_tuples_;
+  size_t memory_pos_ = 0;
+
+  // External path.
+  std::vector<std::unique_ptr<Run>> runs_;
+  std::vector<std::unique_ptr<RunReader>> final_readers_;
+  struct HeapEntry {
+    Tuple tuple;
+    size_t reader;
+  };
+  std::vector<HeapEntry> heap_;
+  bool HeapLess(const HeapEntry& a, const HeapEntry& b) const;
+  void HeapPush(HeapEntry entry);
+  HeapEntry HeapPop();
+
+  // Collapse grouping state for the final merge.
+  bool have_pending_ = false;
+  Tuple pending_;
+
+  size_t initial_runs_ = 0;
+  size_t intermediate_merges_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_SORT_H_

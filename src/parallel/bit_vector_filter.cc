@@ -1,0 +1,3 @@
+#include "parallel/bit_vector_filter.h"
+
+// Header-only; translation unit kept for build uniformity.

@@ -1,0 +1,3 @@
+#include "parallel/network.h"
+
+// Header-only; translation unit kept for build uniformity.

@@ -1,0 +1,60 @@
+#ifndef RELDIV_PARALLEL_NETWORK_H_
+#define RELDIV_PARALLEL_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reldiv {
+
+/// Interconnection-network accounting for the shared-nothing simulation
+/// (§6). Local hand-offs (from == to) are free; every remote shipment
+/// counts one message and its payload bytes. "Network activity can become a
+/// bottleneck in a shared-nothing database machine" — these counters are
+/// what the §6 benchmarks report.
+class Interconnect {
+ public:
+  explicit Interconnect(size_t num_nodes)
+      : num_nodes_(num_nodes), sent_matrix_(num_nodes * num_nodes, 0) {}
+
+  /// Records a shipment of `bytes` payload from node `from` to node `to`.
+  void Ship(size_t from, size_t to, uint64_t bytes) {
+    if (from == to) return;
+    messages_++;
+    bytes_ += bytes;
+    sent_matrix_[from * num_nodes_ + to] += bytes;
+  }
+
+  /// Broadcast accounting helper: `bytes` to every node except `from`.
+  void Broadcast(size_t from, uint64_t bytes) {
+    for (size_t to = 0; to < num_nodes_; ++to) Ship(from, to, bytes);
+  }
+
+  uint64_t messages() const { return messages_; }
+  uint64_t bytes() const { return bytes_; }
+  size_t num_nodes() const { return num_nodes_; }
+  uint64_t bytes_between(size_t from, size_t to) const {
+    return sent_matrix_[from * num_nodes_ + to];
+  }
+
+  void Reset() {
+    messages_ = 0;
+    bytes_ = 0;
+    sent_matrix_.assign(sent_matrix_.size(), 0);
+  }
+
+  std::string ToString() const {
+    return "messages=" + std::to_string(messages_) +
+           " bytes=" + std::to_string(bytes_);
+  }
+
+ private:
+  size_t num_nodes_;
+  uint64_t messages_ = 0;
+  uint64_t bytes_ = 0;
+  std::vector<uint64_t> sent_matrix_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_PARALLEL_NETWORK_H_

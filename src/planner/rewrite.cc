@@ -1,0 +1,228 @@
+#include "planner/rewrite.h"
+
+#include <algorithm>
+
+namespace reldiv {
+
+namespace {
+
+/// True iff `indices` is exactly {0, 1, ..., n-1}.
+bool IsIdentity(const std::vector<size_t>& indices, size_t n) {
+  if (indices.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (indices[i] != i) return false;
+  }
+  return true;
+}
+
+/// True iff group ∪ match covers every column of `schema` exactly once.
+bool CoversAllColumns(const std::vector<size_t>& group,
+                      const std::vector<size_t>& match, size_t num_fields) {
+  std::vector<bool> seen(num_fields, false);
+  for (size_t i : group) {
+    if (i >= num_fields || seen[i]) return false;
+    seen[i] = true;
+  }
+  for (size_t i : match) {
+    if (i >= num_fields || seen[i]) return false;
+    seen[i] = true;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+/// Column types of `match` in the dividend line up with the divisor's.
+bool TypesMatch(const Schema& dividend, const std::vector<size_t>& match,
+                const Schema& divisor) {
+  if (match.size() != divisor.num_fields()) return false;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (dividend.field(match[i]).type != divisor.field(i).type) return false;
+  }
+  return true;
+}
+
+/// Wraps `division` in a projection restoring the aggregate formulation's
+/// output order (the group columns in `group` order). The division's
+/// quotient columns are the dividend complement in declaration order.
+LogicalNodePtr RestoreColumnOrder(std::unique_ptr<LogicalDivisionNode> division,
+                                  const std::vector<size_t>& group) {
+  const std::vector<size_t>& quotient = division->quotient_attrs();
+  std::vector<size_t> permutation;
+  permutation.reserve(group.size());
+  for (size_t g : group) {
+    for (size_t i = 0; i < quotient.size(); ++i) {
+      if (quotient[i] == g) {
+        permutation.push_back(i);
+        break;
+      }
+    }
+  }
+  if (IsIdentity(permutation, quotient.size())) {
+    return division;
+  }
+  return std::make_unique<LogicalProjectNode>(std::move(division),
+                                              std::move(permutation));
+}
+
+LogicalNodePtr RewriteNode(LogicalNodePtr node, const RewriteOptions& options,
+                           int* introduced);
+
+/// Tries to turn a CountFilter node into a division. Returns the (possibly
+/// unchanged) node.
+LogicalNodePtr TryRewriteCountFilter(
+    std::unique_ptr<LogicalCountFilterNode> filter,
+    const RewriteOptions& options, int* introduced) {
+  if (filter->child(0).kind() != LogicalNodeKind::kGroupCount) {
+    return filter;
+  }
+  auto* group_count = static_cast<LogicalGroupCountNode*>(
+      const_cast<LogicalNode*>(&filter->child(0)));
+  const std::vector<size_t> group = group_count->group_indices();
+  const LogicalNode& counted = group_count->child(0);
+  const LogicalNode& divisor_source = filter->child(1);
+
+  if (counted.kind() == LogicalNodeKind::kSemiJoin) {
+    // Shape 1: the with-join formulation.
+    const auto& semi = static_cast<const LogicalSemiJoinNode&>(counted);
+    const size_t divisor_arity = semi.child(1).output_schema().num_fields();
+    const bool right_keys_are_whole_divisor =
+        IsIdentity(semi.right_keys(), divisor_arity);
+    const bool sources_equal =
+        EquivalentSources(semi.child(1), divisor_source);
+    const bool partition_ok = CoversAllColumns(
+        group, semi.left_keys(), semi.child(0).output_schema().num_fields());
+    if (right_keys_are_whole_divisor && sources_equal && partition_ok) {
+      LogicalNodePtr filter_input = filter->TakeInput();
+      auto* gc = static_cast<LogicalGroupCountNode*>(filter_input.get());
+      LogicalNodePtr semi_owned = gc->TakeInput();
+      auto* sj = static_cast<LogicalSemiJoinNode*>(semi_owned.get());
+      std::vector<size_t> match = sj->left_keys();
+      auto division = std::make_unique<LogicalDivisionNode>(
+          sj->TakeLeft(), filter->TakeCompareTo(), std::move(match));
+      (*introduced)++;
+      return RestoreColumnOrder(std::move(division), group);
+    }
+    return filter;
+  }
+
+  if (options.assume_referential_integrity) {
+    // Shape 2: the bare counting formulation; sound only under referential
+    // integrity from the counted columns into the divisor.
+    const Schema& dividend_schema = counted.output_schema();
+    std::vector<size_t> match =
+        dividend_schema.ComplementIndices(group);
+    // Keep the match columns in declaration order (ComplementIndices does)
+    // and require a positional type match with the divisor.
+    const bool partition_ok =
+        CoversAllColumns(group, match, dividend_schema.num_fields());
+    if (partition_ok &&
+        TypesMatch(dividend_schema, match, divisor_source.output_schema())) {
+      LogicalNodePtr filter_input = filter->TakeInput();
+      auto* gc = static_cast<LogicalGroupCountNode*>(filter_input.get());
+      auto division = std::make_unique<LogicalDivisionNode>(
+          gc->TakeInput(), filter->TakeCompareTo(), std::move(match));
+      (*introduced)++;
+      return RestoreColumnOrder(std::move(division), group);
+    }
+  }
+  return filter;
+}
+
+LogicalNodePtr RewriteNode(LogicalNodePtr node, const RewriteOptions& options,
+                           int* introduced) {
+  // Rebuild the node with rewritten children, then try the pattern here.
+  switch (node->kind()) {
+    case LogicalNodeKind::kRelation:
+      return node;
+    case LogicalNodeKind::kSelect: {
+      auto* select = static_cast<LogicalSelectNode*>(node.get());
+      auto predicate = select->predicate();
+      const double selectivity = select->selectivity();
+      LogicalNodePtr input =
+          RewriteNode(select->TakeInput(), options, introduced);
+      return std::make_unique<LogicalSelectNode>(std::move(input),
+                                                 std::move(predicate),
+                                                 selectivity);
+    }
+    case LogicalNodeKind::kProject: {
+      auto* project = static_cast<LogicalProjectNode*>(node.get());
+      std::vector<size_t> indices = project->indices();
+      const bool distinct = project->distinct();
+      LogicalNodePtr input =
+          RewriteNode(project->TakeInput(), options, introduced);
+      return std::make_unique<LogicalProjectNode>(std::move(input),
+                                                  std::move(indices),
+                                                  distinct);
+    }
+    case LogicalNodeKind::kSemiJoin: {
+      auto* semi = static_cast<LogicalSemiJoinNode*>(node.get());
+      std::vector<size_t> lk = semi->left_keys();
+      std::vector<size_t> rk = semi->right_keys();
+      LogicalNodePtr left = RewriteNode(semi->TakeLeft(), options, introduced);
+      LogicalNodePtr right =
+          RewriteNode(semi->TakeRight(), options, introduced);
+      return std::make_unique<LogicalSemiJoinNode>(
+          std::move(left), std::move(right), std::move(lk), std::move(rk));
+    }
+    case LogicalNodeKind::kGroupCount: {
+      auto* gc = static_cast<LogicalGroupCountNode*>(node.get());
+      std::vector<size_t> group = gc->group_indices();
+      LogicalNodePtr input = RewriteNode(gc->TakeInput(), options, introduced);
+      return std::make_unique<LogicalGroupCountNode>(std::move(input),
+                                                     std::move(group));
+    }
+    case LogicalNodeKind::kCountFilter: {
+      auto* filter = static_cast<LogicalCountFilterNode*>(node.get());
+      LogicalNodePtr input =
+          RewriteNode(filter->TakeInput(), options, introduced);
+      LogicalNodePtr compare_to =
+          RewriteNode(filter->TakeCompareTo(), options, introduced);
+      auto rebuilt = std::make_unique<LogicalCountFilterNode>(
+          std::move(input), std::move(compare_to));
+      return TryRewriteCountFilter(std::move(rebuilt), options, introduced);
+    }
+    case LogicalNodeKind::kDivision: {
+      auto* division = static_cast<LogicalDivisionNode*>(node.get());
+      std::vector<size_t> match = division->match_attrs();
+      LogicalNodePtr dividend =
+          RewriteNode(division->TakeDividend(), options, introduced);
+      LogicalNodePtr divisor =
+          RewriteNode(division->TakeDivisor(), options, introduced);
+      return std::make_unique<LogicalDivisionNode>(
+          std::move(dividend), std::move(divisor), std::move(match));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+bool EquivalentSources(const LogicalNode& a, const LogicalNode& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case LogicalNodeKind::kRelation: {
+      const auto& ra = static_cast<const LogicalRelationNode&>(a);
+      const auto& rb = static_cast<const LogicalRelationNode&>(b);
+      return ra.relation().store == rb.relation().store;
+    }
+    case LogicalNodeKind::kProject: {
+      const auto& pa = static_cast<const LogicalProjectNode&>(a);
+      const auto& pb = static_cast<const LogicalProjectNode&>(b);
+      return pa.indices() == pb.indices() &&
+             pa.distinct() == pb.distinct() &&
+             EquivalentSources(a.child(0), b.child(0));
+    }
+    default:
+      // Opaque predicates (Select) and everything else: never assume equal.
+      return false;
+  }
+}
+
+RewriteResult RewriteForAllPattern(LogicalNodePtr plan,
+                                   const RewriteOptions& options) {
+  RewriteResult result;
+  result.plan = RewriteNode(std::move(plan), options,
+                            &result.divisions_introduced);
+  return result;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,53 @@
+#ifndef RELDIV_PLANNER_REWRITE_H_
+#define RELDIV_PLANNER_REWRITE_H_
+
+#include "planner/logical_plan.h"
+
+namespace reldiv {
+
+/// Options for the for-all pattern rewriter.
+struct RewriteOptions {
+  /// Permit the rewrite of the no-semi-join counting pattern
+  /// CountFilter(GroupCount(X), S). That pattern equals a division only
+  /// when every X tuple refers to some S tuple (§2.2, the first example's
+  /// key-projection situation); the optimizer must know this — e.g. from a
+  /// foreign-key constraint — to rewrite soundly.
+  bool assume_referential_integrity = false;
+};
+
+/// Result of a rewrite pass.
+struct RewriteResult {
+  LogicalNodePtr plan;
+  int divisions_introduced = 0;
+};
+
+/// Detects the universal-quantification-by-counting pattern and replaces it
+/// with a LogicalDivisionNode (§5.2: "it is interesting to note that if a
+/// universal quantification is expressed in terms of an aggregate function
+/// ... the query may be evaluated using an inferior strategy"; §7: "it is
+/// desirable either to include for-all predicates in the query language, or
+/// to detect them automatically in a complex aggregate expression").
+///
+/// Recognized shapes (bottom-up, anywhere in the tree):
+///
+///   CountFilter(GroupCount(SemiJoin(X, S, lk = all-of-S), G), S')
+///     where S' is structurally the same source as S and G ∪ lk = all
+///     columns of X         →  Project(Division(X, S, lk))
+///
+///   CountFilter(GroupCount(X, G), S)          [requires the option above]
+///     where the complement M of G matches S's column types positionally
+///                          →  Project(Division(X, S, M))
+///
+/// The Project restores the aggregate formulation's output column order
+/// when the group columns are not in declaration order.
+RewriteResult RewriteForAllPattern(LogicalNodePtr plan,
+                                   const RewriteOptions& options = {});
+
+/// Structural source equivalence used by the rewriter: base relations with
+/// the same store, or identical projections over equivalent sources.
+/// Conservative by design — opaque predicates are never assumed equal.
+bool EquivalentSources(const LogicalNode& a, const LogicalNode& b);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_PLANNER_REWRITE_H_

@@ -1,0 +1,424 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+#include "common/config.h"
+#include "storage/page.h"
+
+namespace reldiv {
+
+namespace {
+
+constexpr size_t kNodeHeaderSize = 16;
+
+void PutU16At(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32At(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16At(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32At(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+BTree::BTree(SimDisk* disk, BufferManager* buffer_manager)
+    : buffer_manager_(buffer_manager), file_(disk) {
+  root_page_ = AllocateNodePage();
+  Node root;
+  root.is_leaf = true;
+  Status st = WriteNode(root_page_, root);
+  (void)st;  // fresh page in an owned buffer pool cannot fail to format
+}
+
+uint64_t BTree::AllocateNodePage() { return file_.AllocatePage(); }
+
+size_t BTree::NodeBytes(const Node& node) const {
+  size_t bytes = kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    bytes += 2 + e.key.size() + (node.is_leaf ? 6 : 4);
+  }
+  return bytes;
+}
+
+Result<BTree::Node> BTree::ReadNode(uint64_t local_page) {
+  RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(local_page));
+  RELDIV_ASSIGN_OR_RETURN(char* frame,
+                          buffer_manager_->Fix(global, /*create=*/false));
+  Node node;
+  node.is_leaf = frame[0] != 0;
+  const uint16_t count = GetU16At(frame + 2);
+  const uint32_t aux = GetU32At(frame + 4);
+  if (node.is_leaf) {
+    node.next_leaf = aux;
+  } else {
+    node.leftmost_child = aux;
+  }
+  size_t pos = kNodeHeaderSize;
+  node.entries.reserve(count);
+  Status parse_error;
+  for (uint16_t i = 0; i < count; ++i) {
+    if (pos + 2 > kPageSize) {
+      parse_error = Status::Corruption("btree node entry overruns page");
+      break;
+    }
+    const uint16_t klen = GetU16At(frame + pos);
+    pos += 2;
+    Entry entry;
+    entry.key.assign(frame + pos, klen);
+    pos += klen;
+    if (node.is_leaf) {
+      entry.rid.page_no = GetU32At(frame + pos);
+      entry.rid.slot = GetU16At(frame + pos + 4);
+      pos += 6;
+    } else {
+      entry.child = GetU32At(frame + pos);
+      pos += 4;
+    }
+    node.entries.push_back(std::move(entry));
+  }
+  RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/false));
+  if (!parse_error.ok()) return parse_error;
+  return node;
+}
+
+Status BTree::WriteNode(uint64_t local_page, const Node& node) {
+  if (NodeBytes(node) > kPageSize) {
+    return Status::Internal("btree node exceeds page size");
+  }
+  RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(local_page));
+  RELDIV_ASSIGN_OR_RETURN(char* frame,
+                          buffer_manager_->Fix(global, /*create=*/true));
+  std::memset(frame, 0, kNodeHeaderSize);
+  frame[0] = node.is_leaf ? 1 : 0;
+  PutU16At(frame + 2, static_cast<uint16_t>(node.entries.size()));
+  PutU32At(frame + 4, static_cast<uint32_t>(node.is_leaf
+                                                ? node.next_leaf
+                                                : node.leftmost_child));
+  size_t pos = kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    PutU16At(frame + pos, static_cast<uint16_t>(e.key.size()));
+    pos += 2;
+    std::memcpy(frame + pos, e.key.data(), e.key.size());
+    pos += e.key.size();
+    if (node.is_leaf) {
+      PutU32At(frame + pos, e.rid.page_no);
+      PutU16At(frame + pos + 4, e.rid.slot);
+      pos += 6;
+    } else {
+      PutU32At(frame + pos, static_cast<uint32_t>(e.child));
+      pos += 4;
+    }
+  }
+  return buffer_manager_->Unfix(global, /*dirty=*/true);
+}
+
+Result<BTree::SplitResult> BTree::InsertInto(uint64_t local_page, Slice key,
+                                             Rid rid) {
+  RELDIV_ASSIGN_OR_RETURN(Node node, ReadNode(local_page));
+
+  if (node.is_leaf) {
+    // Insert after any equal keys (duplicates keep insertion order).
+    size_t pos = 0;
+    while (pos < node.entries.size() &&
+           Slice(node.entries[pos].key).compare(key) <= 0) {
+      pos++;
+    }
+    Entry entry;
+    entry.key = key.ToString();
+    entry.rid = rid;
+    node.entries.insert(node.entries.begin() + static_cast<long>(pos),
+                        std::move(entry));
+  } else {
+    // Inserts descend RIGHT of equal separators so that new duplicates land
+    // after all existing ones (lookups descend left, preserving scan order).
+    size_t i = 0;
+    while (i < node.entries.size() &&
+           Slice(node.entries[i].key).compare(key) <= 0) {
+      i++;
+    }
+    const uint64_t child =
+        i == 0 ? node.leftmost_child : node.entries[i - 1].child;
+    RELDIV_ASSIGN_OR_RETURN(SplitResult child_split,
+                            InsertInto(child, key, rid));
+    if (!child_split.split) {
+      return SplitResult{};
+    }
+    // Insert the promoted separator.
+    size_t pos = 0;
+    while (pos < node.entries.size() &&
+           Slice(node.entries[pos].key).compare(Slice(child_split.separator)) <
+               0) {
+      pos++;
+    }
+    Entry entry;
+    entry.key = child_split.separator;
+    entry.child = child_split.right_page;
+    node.entries.insert(node.entries.begin() + static_cast<long>(pos),
+                        std::move(entry));
+  }
+
+  if (NodeBytes(node) <= kPageSize) {
+    RELDIV_RETURN_NOT_OK(WriteNode(local_page, node));
+    return SplitResult{};
+  }
+
+  // Split: move the upper half (by bytes) into a fresh right sibling.
+  const size_t total = NodeBytes(node);
+  size_t left_bytes = kNodeHeaderSize;
+  size_t split_at = 0;
+  const size_t per_entry_fixed = node.is_leaf ? 8 : 6;  // 2 + payload
+  while (split_at < node.entries.size() - 1 && left_bytes < total / 2) {
+    left_bytes += per_entry_fixed + node.entries[split_at].key.size();
+    split_at++;
+  }
+  if (split_at == 0) split_at = 1;
+
+  Node right;
+  right.is_leaf = node.is_leaf;
+  SplitResult result;
+  result.split = true;
+  result.right_page = AllocateNodePage();
+
+  if (node.is_leaf) {
+    right.entries.assign(node.entries.begin() + static_cast<long>(split_at),
+                         node.entries.end());
+    node.entries.resize(split_at);
+    right.next_leaf = node.next_leaf;
+    node.next_leaf = result.right_page + 1;
+    result.separator = right.entries.front().key;
+  } else {
+    // The separator entry's key moves up; its child seeds the right node.
+    result.separator = node.entries[split_at].key;
+    right.leftmost_child = node.entries[split_at].child;
+    right.entries.assign(
+        node.entries.begin() + static_cast<long>(split_at) + 1,
+        node.entries.end());
+    node.entries.resize(split_at);
+  }
+
+  RELDIV_RETURN_NOT_OK(WriteNode(local_page, node));
+  RELDIV_RETURN_NOT_OK(WriteNode(result.right_page, right));
+  return result;
+}
+
+Status BTree::Insert(Slice key, Rid rid) {
+  if (key.size() > 1024) {
+    return Status::InvalidArgument("btree key longer than 1024 bytes");
+  }
+  RELDIV_ASSIGN_OR_RETURN(SplitResult split, InsertInto(root_page_, key, rid));
+  if (split.split) {
+    const uint64_t new_root = AllocateNodePage();
+    Node root;
+    root.is_leaf = false;
+    root.leftmost_child = root_page_;
+    Entry entry;
+    entry.key = split.separator;
+    entry.child = split.right_page;
+    root.entries.push_back(std::move(entry));
+    RELDIV_RETURN_NOT_OK(WriteNode(new_root, root));
+    root_page_ = new_root;
+    height_++;
+  }
+  num_entries_++;
+  return Status::OK();
+}
+
+Result<uint64_t> BTree::DescendToLeaf(Slice key) {
+  uint64_t page = root_page_;
+  while (true) {
+    RELDIV_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+    if (node.is_leaf) return page;
+    // First entry with key >= search key; go left of it (duplicates may sit
+    // at the end of the preceding subtree).
+    size_t i = 0;
+    while (i < node.entries.size() &&
+           Slice(node.entries[i].key).compare(key) < 0) {
+      i++;
+    }
+    page = i == 0 ? node.leftmost_child : node.entries[i - 1].child;
+  }
+}
+
+Result<std::vector<Rid>> BTree::Lookup(Slice key) {
+  std::vector<Rid> out;
+  RELDIV_ASSIGN_OR_RETURN(uint64_t leaf_page, DescendToLeaf(key));
+  uint64_t page_plus_one = leaf_page + 1;
+  while (page_plus_one != 0) {
+    RELDIV_ASSIGN_OR_RETURN(Node node, ReadNode(page_plus_one - 1));
+    for (const Entry& e : node.entries) {
+      const int c = Slice(e.key).compare(key);
+      if (c < 0) continue;
+      if (c > 0) return out;
+      out.push_back(e.rid);
+    }
+    page_plus_one = node.next_leaf;
+  }
+  return out;
+}
+
+Result<bool> BTree::Contains(Slice key) {
+  RELDIV_ASSIGN_OR_RETURN(std::vector<Rid> rids, Lookup(key));
+  return !rids.empty();
+}
+
+Status BTree::Erase(Slice key, Rid rid) {
+  RELDIV_ASSIGN_OR_RETURN(uint64_t leaf_page, DescendToLeaf(key));
+  uint64_t page_plus_one = leaf_page + 1;
+  while (page_plus_one != 0) {
+    const uint64_t page = page_plus_one - 1;
+    RELDIV_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+    bool past_key = false;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const int c = Slice(node.entries[i].key).compare(key);
+      if (c < 0) continue;
+      if (c > 0) {
+        past_key = true;
+        break;
+      }
+      if (node.entries[i].rid == rid) {
+        node.entries.erase(node.entries.begin() + static_cast<long>(i));
+        RELDIV_RETURN_NOT_OK(WriteNode(page, node));
+        num_entries_--;
+        return Status::OK();
+      }
+    }
+    if (past_key) break;
+    page_plus_one = node.next_leaf;
+  }
+  return Status::NotFound("no index entry (key, " + rid.ToString() + ")");
+}
+
+Status BTree::Iterator::LoadLeaf(uint64_t leaf_page) {
+  RELDIV_ASSIGN_OR_RETURN(Node node, tree_->ReadNode(leaf_page));
+  entries_.clear();
+  for (Entry& e : node.entries) {
+    entries_.push_back(LeafEntry{std::move(e.key), e.rid});
+  }
+  next_leaf_ = node.next_leaf;
+  index_ = 0;
+  return Status::OK();
+}
+
+Status BTree::Iterator::SeekToFirst() {
+  valid_ = false;
+  uint64_t page = tree_->root_page_;
+  while (true) {
+    RELDIV_ASSIGN_OR_RETURN(Node node, tree_->ReadNode(page));
+    if (node.is_leaf) break;
+    page = node.leftmost_child;
+  }
+  RELDIV_RETURN_NOT_OK(LoadLeaf(page));
+  while (entries_.empty() && next_leaf_ != 0) {
+    RELDIV_RETURN_NOT_OK(LoadLeaf(next_leaf_ - 1));
+  }
+  valid_ = !entries_.empty();
+  return Status::OK();
+}
+
+Status BTree::Iterator::Seek(Slice key) {
+  valid_ = false;
+  RELDIV_ASSIGN_OR_RETURN(uint64_t leaf_page, tree_->DescendToLeaf(key));
+  RELDIV_RETURN_NOT_OK(LoadLeaf(leaf_page));
+  while (true) {
+    while (index_ < entries_.size() &&
+           Slice(entries_[index_].key).compare(key) < 0) {
+      index_++;
+    }
+    if (index_ < entries_.size()) {
+      valid_ = true;
+      return Status::OK();
+    }
+    if (next_leaf_ == 0) return Status::OK();
+    RELDIV_RETURN_NOT_OK(LoadLeaf(next_leaf_ - 1));
+  }
+}
+
+Status BTree::Iterator::Next() {
+  if (!valid_) return Status::Internal("Next() on invalid iterator");
+  index_++;
+  while (index_ >= entries_.size()) {
+    if (next_leaf_ == 0) {
+      valid_ = false;
+      return Status::OK();
+    }
+    RELDIV_RETURN_NOT_OK(LoadLeaf(next_leaf_ - 1));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckNode(uint64_t page, uint32_t depth,
+                        const std::string* lower, const std::string* upper,
+                        uint64_t* leaf_count, uint32_t* leaf_depth) {
+  RELDIV_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+  for (size_t i = 0; i + 1 < node.entries.size(); ++i) {
+    if (Slice(node.entries[i].key).compare(Slice(node.entries[i + 1].key)) >
+        0) {
+      return Status::Corruption("btree node keys out of order");
+    }
+  }
+  for (const Entry& e : node.entries) {
+    if (lower != nullptr && Slice(e.key).compare(Slice(*lower)) < 0) {
+      return Status::Corruption("btree key below subtree lower bound");
+    }
+    if (upper != nullptr && Slice(e.key).compare(Slice(*upper)) > 0) {
+      return Status::Corruption("btree key above subtree upper bound");
+    }
+  }
+  if (node.is_leaf) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("btree leaves at differing depths");
+    }
+    *leaf_count += node.entries.size();
+    return Status::OK();
+  }
+  for (size_t i = 0; i <= node.entries.size(); ++i) {
+    const uint64_t child =
+        i == 0 ? node.leftmost_child : node.entries[i - 1].child;
+    const std::string* lo = i == 0 ? lower : &node.entries[i - 1].key;
+    const std::string* hi =
+        i == node.entries.size() ? upper : &node.entries[i].key;
+    RELDIV_RETURN_NOT_OK(
+        CheckNode(child, depth + 1, lo, hi, leaf_count, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() {
+  uint64_t leaf_count = 0;
+  uint32_t leaf_depth = 0;
+  RELDIV_RETURN_NOT_OK(CheckNode(root_page_, 1, nullptr, nullptr, &leaf_count,
+                                 &leaf_depth));
+  if (leaf_count != num_entries_) {
+    return Status::Corruption("btree entry count mismatch: tree " +
+                              std::to_string(leaf_count) + " vs expected " +
+                              std::to_string(num_entries_));
+  }
+  // The leaf chain must visit exactly the same entries in order.
+  Iterator it(this);
+  RELDIV_RETURN_NOT_OK(it.SeekToFirst());
+  uint64_t chained = 0;
+  std::string prev;
+  bool have_prev = false;
+  while (it.Valid()) {
+    if (have_prev && Slice(prev).compare(it.key()) > 0) {
+      return Status::Corruption("btree leaf chain out of order");
+    }
+    prev = it.key().ToString();
+    have_prev = true;
+    chained++;
+    RELDIV_RETURN_NOT_OK(it.Next());
+  }
+  if (chained != num_entries_) {
+    return Status::Corruption("btree leaf chain misses entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

@@ -1,0 +1,125 @@
+#ifndef RELDIV_STORAGE_BTREE_H_
+#define RELDIV_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/buffer_manager.h"
+#include "storage/extent_file.h"
+#include "storage/rid.h"
+
+namespace reldiv {
+
+/// Disk-page B+-tree mapping byte-string keys to Rids — one of the §5.1
+/// substrate services ("extent-based files, records, B+-trees, scans, ...").
+/// Keys are arbitrary encoded byte strings (see RowCodec); duplicate keys
+/// are allowed and kept in insertion order. Nodes live on pages of an
+/// ExtentFile and are accessed through the buffer manager.
+class BTree {
+ public:
+  BTree(SimDisk* disk, BufferManager* buffer_manager);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts (key, rid); splits propagate up to the root.
+  Status Insert(Slice key, Rid rid);
+
+  /// All Rids stored under exactly `key`, in insertion order.
+  Result<std::vector<Rid>> Lookup(Slice key);
+
+  /// True if at least one entry with `key` exists.
+  Result<bool> Contains(Slice key);
+
+  /// Removes the entry (key, rid). Lazy deletion: the leaf entry is removed
+  /// in place with no rebalancing (sparse leaves stay linked), the common
+  /// discipline for append-mostly workloads. NotFound if no such entry.
+  Status Erase(Slice key, Rid rid);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+
+  /// Forward iterator over (key, rid) pairs in key order. Reads one leaf at
+  /// a time into memory, so no page stays pinned between calls.
+  class Iterator {
+   public:
+    explicit Iterator(BTree* tree) : tree_(tree) {}
+
+    /// Positions at the first entry (invalid if the tree is empty).
+    Status SeekToFirst();
+
+    /// Positions at the first entry with key >= `key`.
+    Status Seek(Slice key);
+
+    Status Next();
+
+    bool Valid() const { return valid_; }
+    Slice key() const { return Slice(entries_[index_].key); }
+    Rid rid() const { return entries_[index_].rid; }
+
+   private:
+    friend class BTree;
+    struct LeafEntry {
+      std::string key;
+      Rid rid;
+    };
+
+    Status LoadLeaf(uint64_t leaf_page);
+
+    BTree* tree_;
+    std::vector<LeafEntry> entries_;
+    size_t index_ = 0;
+    uint64_t next_leaf_ = 0;  ///< page+1; 0 = none
+    bool valid_ = false;
+  };
+
+  /// Consistency check walking the whole tree: key order within and across
+  /// nodes, separator correctness, leaf chain completeness. Test hook.
+  Status CheckInvariants();
+
+ private:
+  friend class Iterator;
+
+  struct Entry {
+    std::string key;
+    Rid rid{};          // leaf payload
+    uint64_t child = 0;  // internal payload (file-local page)
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    uint64_t leftmost_child = 0;  // internal only
+    uint64_t next_leaf = 0;       // leaf only; page+1, 0 = none
+    std::vector<Entry> entries;
+  };
+
+  struct SplitResult {
+    bool split = false;
+    std::string separator;
+    uint64_t right_page = 0;
+  };
+
+  Result<Node> ReadNode(uint64_t local_page);
+  Status WriteNode(uint64_t local_page, const Node& node);
+  uint64_t AllocateNodePage();
+  size_t NodeBytes(const Node& node) const;
+  Result<SplitResult> InsertInto(uint64_t local_page, Slice key, Rid rid);
+  /// Leaf page containing the first key >= `key`.
+  Result<uint64_t> DescendToLeaf(Slice key);
+  Status CheckNode(uint64_t page, uint32_t depth, const std::string* lower,
+                   const std::string* upper, uint64_t* leaf_count,
+                   uint32_t* leaf_depth);
+
+  BufferManager* buffer_manager_;
+  ExtentFile file_;
+  uint64_t root_page_ = 0;
+  uint32_t height_ = 1;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_BTREE_H_

@@ -1,0 +1,150 @@
+#include "storage/buffer_manager.h"
+
+namespace reldiv {
+
+std::string BufferStats::ToString() const {
+  return "fixes=" + std::to_string(fixes) + " hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses) +
+         " evictions=" + std::to_string(evictions) +
+         " writebacks=" + std::to_string(writebacks);
+}
+
+BufferManager::BufferManager(SimDisk* disk, MemoryPool* pool)
+    : disk_(disk), pool_(pool) {}
+
+BufferManager::~BufferManager() {
+  // Dirty frames are intentionally not flushed here: the owner decides when
+  // FlushAll() runs; destruction releases memory only.
+  if (pool_ != nullptr) pool_->Release(frames_.size() * kPageSize);
+}
+
+Status BufferManager::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  RELDIV_RETURN_NOT_OK(disk_->Write(frame->page_no * kSectorsPerPage,
+                                    kSectorsPerPage, frame->data.get()));
+  frame->dirty = false;
+  stats_.writebacks++;
+  return Status::OK();
+}
+
+Status BufferManager::ReadIn(Frame* frame) {
+  return disk_->Read(frame->page_no * kSectorsPerPage, kSectorsPerPage,
+                     frame->data.get());
+}
+
+Result<bool> BufferManager::EvictOne() {
+  if (lru_.empty()) return false;
+  const uint64_t victim = lru_.front();
+  RELDIV_RETURN_NOT_OK(ReleaseFrame(victim));
+  stats_.evictions++;
+  return true;
+}
+
+Status BufferManager::ReleaseFrame(uint64_t page_no) {
+  auto it = frames_.find(page_no);
+  if (it == frames_.end()) return Status::OK();
+  Frame& frame = it->second;
+  RELDIV_RETURN_NOT_OK(WriteBack(&frame));
+  if (frame.in_lru) lru_.erase(frame.lru_pos);
+  frames_.erase(it);
+  if (pool_ != nullptr) pool_->Release(kPageSize);
+  return Status::OK();
+}
+
+Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
+  stats_.fixes++;
+  auto it = frames_.find(page_no);
+  if (it != frames_.end()) {
+    stats_.hits++;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.pin_count++;
+    return frame.data.get();
+  }
+  stats_.misses++;
+
+  // Grow the pool if possible; otherwise evict an unfixed frame.
+  while (pool_ != nullptr && !pool_->Reserve(kPageSize)) {
+    RELDIV_ASSIGN_OR_RETURN(bool evicted, EvictOne());
+    if (!evicted) {
+      return Status::ResourceExhausted(
+          "buffer pool: all frames fixed and memory pool exhausted");
+    }
+  }
+
+  Frame frame;
+  frame.data = std::make_unique<char[]>(kPageSize);
+  frame.page_no = page_no;
+  frame.pin_count = 1;
+  if (!create) {
+    Status st = ReadIn(&frame);
+    if (!st.ok()) {
+      if (pool_ != nullptr) pool_->Release(kPageSize);
+      return st;
+    }
+  }
+  char* data = frame.data.get();
+  frames_.emplace(page_no, std::move(frame));
+  return data;
+}
+
+Status BufferManager::Unfix(uint64_t page_no, bool dirty,
+                            bool replace_immediately) {
+  auto it = frames_.find(page_no);
+  if (it == frames_.end()) {
+    return Status::InvalidArgument("unfix of non-resident page " +
+                                   std::to_string(page_no));
+  }
+  Frame& frame = it->second;
+  if (frame.pin_count <= 0) {
+    return Status::Internal("unfix of unpinned page " +
+                            std::to_string(page_no));
+  }
+  frame.dirty = frame.dirty || dirty;
+  frame.pin_count--;
+  if (frame.pin_count == 0) {
+    if (replace_immediately) {
+      // §5.1: the unfix call says the page can be replaced immediately; the
+      // pool shrinks right away.
+      return ReleaseFrame(page_no);
+    }
+    frame.lru_pos = lru_.insert(lru_.end(), page_no);
+    frame.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  for (auto& [page_no, frame] : frames_) {
+    RELDIV_RETURN_NOT_OK(WriteBack(&frame));
+  }
+  return Status::OK();
+}
+
+Status BufferManager::DropAll() {
+  for (const auto& [page_no, frame] : frames_) {
+    if (frame.pin_count > 0) {
+      return Status::Internal("DropAll with page " + std::to_string(page_no) +
+                              " still fixed");
+    }
+  }
+  while (!lru_.empty()) {
+    RELDIV_RETURN_NOT_OK(ReleaseFrame(lru_.front()));
+  }
+  return Status::OK();
+}
+
+bool BufferManager::TryShedFrame() {
+  auto evicted = EvictOne();
+  return evicted.ok() && *evicted;
+}
+
+int BufferManager::PinCount(uint64_t page_no) const {
+  auto it = frames_.find(page_no);
+  return it == frames_.end() ? 0 : it->second.pin_count;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,143 @@
+#ifndef RELDIV_STORAGE_BUFFER_MANAGER_H_
+#define RELDIV_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "storage/disk.h"
+#include "storage/memory_manager.h"
+
+namespace reldiv {
+
+/// Buffer-pool statistics (deterministic; asserted in tests).
+struct BufferStats {
+  uint64_t fixes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+
+  std::string ToString() const;
+};
+
+/// Page buffer manager in the WiSS style described in §5.1: callers fix a
+/// page and receive the frame address (records are used in place, no
+/// copying); an unfix call indicates whether the page can be replaced
+/// immediately or should go to the LRU list. The pool grows dynamically
+/// until the shared MemoryPool is exhausted and shrinks as frames are
+/// released.
+class BufferManager {
+ public:
+  /// `pool` may be nullptr for an unbounded pool.
+  BufferManager(SimDisk* disk, MemoryPool* pool);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Fixes the disk page `page_no` (global page index; one page spans
+  /// kSectorsPerPage sectors) and returns the frame address. With
+  /// `create` the page is not read from disk (freshly allocated page).
+  /// ResourceExhausted when every frame is fixed and the pool cannot grow.
+  Result<char*> Fix(uint64_t page_no, bool create);
+
+  /// Releases one pin. `dirty` schedules write-back; `replace_immediately`
+  /// is the §5.1 hint that the page will not be re-referenced: the frame is
+  /// written back at once and its memory returned to the pool.
+  Status Unfix(uint64_t page_no, bool dirty, bool replace_immediately = false);
+
+  /// Writes back all dirty frames (pages stay cached).
+  Status FlushAll();
+
+  /// Drops every unfixed frame (after write-back), returning memory to the
+  /// pool. Internal error if any page is still fixed.
+  Status DropAll();
+
+  /// Pin count of `page_no` (0 if not resident) — test hook.
+  int PinCount(uint64_t page_no) const;
+
+  /// Releases one unfixed frame back to the pool (LRU victim, written back
+  /// if dirty). Returns false when every frame is fixed. This is the
+  /// MemoryPool reclaimer: the buffer pool shrinks when other components —
+  /// hash tables, sort space — need the memory (§5.1).
+  bool TryShedFrame();
+
+  size_t num_frames() const { return frames_.size(); }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    uint64_t page_no = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_lru = false;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  Status WriteBack(Frame* frame);
+  Status ReadIn(Frame* frame);
+  /// Evicts one unfixed frame (LRU head); false if none exists.
+  Result<bool> EvictOne();
+  Status ReleaseFrame(uint64_t page_no);
+
+  SimDisk* disk_;
+  MemoryPool* pool_;
+  std::unordered_map<uint64_t, Frame> frames_;
+  std::list<uint64_t> lru_;  ///< unfixed pages, least recent first
+  BufferStats stats_;
+};
+
+/// RAII pin over a buffer page: unfixes on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferManager* bm, uint64_t page_no, char* frame, bool dirty)
+      : bm_(bm), page_no_(page_no), frame_(frame), dirty_(dirty) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      bm_ = o.bm_;
+      page_no_ = o.page_no_;
+      frame_ = o.frame_;
+      dirty_ = o.dirty_;
+      o.bm_ = nullptr;
+      o.frame_ = nullptr;
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  char* frame() const { return frame_; }
+  bool valid() const { return frame_ != nullptr; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (bm_ != nullptr && frame_ != nullptr) {
+      bm_->Unfix(page_no_, dirty_);  // best-effort in a destructor
+    }
+    bm_ = nullptr;
+    frame_ = nullptr;
+  }
+
+ private:
+  BufferManager* bm_ = nullptr;
+  uint64_t page_no_ = 0;
+  char* frame_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,120 @@
+#include "storage/disk.h"
+
+#include <cstring>
+
+namespace reldiv {
+
+std::string DiskStats::ToString() const {
+  return "transfers=" + std::to_string(transfers) +
+         " seeks=" + std::to_string(seeks) +
+         " kb=" + std::to_string(sectors_transferred) +
+         " reads=" + std::to_string(read_transfers) +
+         " writes=" + std::to_string(write_transfers);
+}
+
+SimDisk::SimDisk() : backing_(Backing::kMemory) {}
+
+SimDisk::SimDisk(std::FILE* file, std::string path)
+    : backing_(Backing::kFile), file_(file), path_(std::move(path)) {}
+
+Result<std::unique_ptr<SimDisk>> SimDisk::OpenFileBacked(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open disk backing file '" + path + "'");
+  }
+  return std::unique_ptr<SimDisk>(new SimDisk(f, path));
+}
+
+SimDisk::~SimDisk() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+uint64_t SimDisk::AllocateSectors(uint64_t count) {
+  const uint64_t first = num_sectors_;
+  num_sectors_ += count;
+  if (backing_ == Backing::kMemory) {
+    const uint64_t needed_chunks =
+        (num_sectors_ + kSectorsPerChunk - 1) / kSectorsPerChunk;
+    while (chunks_.size() < needed_chunks) {
+      chunks_.emplace_back(kSectorsPerChunk * kSectorSize, 0);
+    }
+  }
+  return first;
+}
+
+Status SimDisk::CheckRange(uint64_t sector, uint64_t count) const {
+  if (count == 0) return Status::InvalidArgument("zero-sector transfer");
+  if (sector + count > num_sectors_) {
+    return Status::InvalidArgument(
+        "transfer beyond end of disk: sector " + std::to_string(sector) +
+        " count " + std::to_string(count) + " of " +
+        std::to_string(num_sectors_));
+  }
+  return Status::OK();
+}
+
+void SimDisk::Account(uint64_t sector, uint64_t count, bool is_read) {
+  stats_.transfers++;
+  if (is_read) {
+    stats_.read_transfers++;
+  } else {
+    stats_.write_transfers++;
+  }
+  stats_.sectors_transferred += count;
+  if (!arm_valid_ || sector != arm_position_) stats_.seeks++;
+  arm_position_ = sector + count;
+  arm_valid_ = true;
+}
+
+Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {
+  RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
+  Account(sector, count, /*is_read=*/true);
+  if (backing_ == Backing::kMemory) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t s = sector + i;
+      const std::vector<char>& chunk = chunks_[s / kSectorsPerChunk];
+      std::memcpy(dst + i * kSectorSize,
+                  chunk.data() + (s % kSectorsPerChunk) * kSectorSize,
+                  kSectorSize);
+    }
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(sector * kSectorSize), SEEK_SET) !=
+      0) {
+    return Status::IOError("fseek failed");
+  }
+  const size_t want = count * kSectorSize;
+  const size_t got = std::fread(dst, 1, want, file_);
+  // Sectors allocated but never written read back as zeros.
+  if (got < want) std::memset(dst + got, 0, want - got);
+  return Status::OK();
+}
+
+Status SimDisk::Write(uint64_t sector, uint64_t count, const char* src) {
+  RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
+  Account(sector, count, /*is_read=*/false);
+  if (backing_ == Backing::kMemory) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t s = sector + i;
+      std::vector<char>& chunk = chunks_[s / kSectorsPerChunk];
+      std::memcpy(chunk.data() + (s % kSectorsPerChunk) * kSectorSize,
+                  src + i * kSectorSize, kSectorSize);
+    }
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(sector * kSectorSize), SEEK_SET) !=
+      0) {
+    return Status::IOError("fseek failed");
+  }
+  if (std::fwrite(src, 1, count * kSectorSize, file_) !=
+      count * kSectorSize) {
+    return Status::IOError("fwrite failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

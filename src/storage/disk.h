@@ -1,0 +1,108 @@
+#ifndef RELDIV_STORAGE_DISK_H_
+#define RELDIV_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace reldiv {
+
+/// I/O statistics collected by the simulated disk. The experimental harness
+/// converts these into milliseconds with the Table 3 cost weights (physical
+/// seek, rotational latency per transfer, transfer time per KB, CPU cost per
+/// transfer); unit tests assert on the raw counts, which are deterministic.
+struct DiskStats {
+  uint64_t transfers = 0;             ///< read+write transfer operations
+  uint64_t seeks = 0;                 ///< transfers not contiguous with the previous one
+  uint64_t sectors_transferred = 0;   ///< total 1 KB sectors moved
+  uint64_t read_transfers = 0;
+  uint64_t write_transfers = 0;
+
+  uint64_t kbytes_transferred() const { return sectors_transferred; }
+
+  DiskStats& operator-=(const DiskStats& o) {
+    transfers -= o.transfers;
+    seeks -= o.seeks;
+    sectors_transferred -= o.sectors_transferred;
+    read_transfers -= o.read_transfers;
+    write_transfers -= o.write_transfers;
+    return *this;
+  }
+  friend DiskStats operator-(DiskStats a, const DiskStats& b) {
+    a -= b;
+    return a;
+  }
+
+  std::string ToString() const;
+};
+
+/// Simulated disk in the style of the paper's file system (§5.1): "it
+/// simulates a disk using a UNIX file or main memory". Storage is addressed
+/// in 1 KB sectors; a transfer moves a contiguous run of sectors. A transfer
+/// whose first sector does not directly follow the previous transfer's last
+/// sector counts as a seek (the arm moved); contiguous transfers model
+/// read-ahead over physically clustered files.
+class SimDisk {
+ public:
+  enum class Backing { kMemory, kFile };
+
+  /// Creates a memory-backed disk.
+  SimDisk();
+
+  /// Creates a disk backed by the Unix file at `path` (created/truncated).
+  static Result<std::unique_ptr<SimDisk>> OpenFileBacked(
+      const std::string& path);
+
+  ~SimDisk();
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  /// Appends `count` unwritten sectors and returns the first new sector
+  /// number. Allocation is physically contiguous, so extent-based files get
+  /// clustered placement.
+  uint64_t AllocateSectors(uint64_t count);
+
+  /// Reads `count` sectors starting at `sector` into `dst`
+  /// (count * kSectorSize bytes). One transfer.
+  Status Read(uint64_t sector, uint64_t count, char* dst);
+
+  /// Writes `count` sectors starting at `sector` from `src`. One transfer.
+  Status Write(uint64_t sector, uint64_t count, const char* src);
+
+  uint64_t num_sectors() const { return num_sectors_; }
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  explicit SimDisk(std::FILE* file, std::string path);
+
+  Status CheckRange(uint64_t sector, uint64_t count) const;
+  void Account(uint64_t sector, uint64_t count, bool is_read);
+
+  Backing backing_;
+  uint64_t num_sectors_ = 0;
+  uint64_t arm_position_ = 0;  ///< sector just past the last transfer
+  bool arm_valid_ = false;
+  DiskStats stats_;
+
+  // Memory backing: sectors in fixed-size chunks to avoid giant reallocs.
+  static constexpr uint64_t kSectorsPerChunk = 1024;  // 1 MB chunks
+  std::deque<std::vector<char>> chunks_;
+
+  // File backing.
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_DISK_H_

@@ -1,0 +1,31 @@
+#include "storage/extent_file.h"
+
+namespace reldiv {
+
+uint64_t ExtentFile::AllocatePage() {
+  if (extents_.empty() ||
+      extents_.back().pages_used == extents_.back().pages_capacity) {
+    Extent extent;
+    extent.first_page =
+        disk_->AllocateSectors(uint64_t{extent_pages_} * kSectorsPerPage) /
+        kSectorsPerPage;
+    extent.pages_used = 0;
+    extent.pages_capacity = extent_pages_;
+    extents_.push_back(extent);
+  }
+  extents_.back().pages_used++;
+  return num_pages_++;
+}
+
+Result<uint64_t> ExtentFile::GlobalPage(uint64_t i) const {
+  if (i >= num_pages_) {
+    return Status::InvalidArgument("page " + std::to_string(i) +
+                                   " beyond end of file (" +
+                                   std::to_string(num_pages_) + " pages)");
+  }
+  const uint64_t extent_idx = i / extent_pages_;
+  const uint64_t offset = i % extent_pages_;
+  return extents_[extent_idx].first_page + offset;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,53 @@
+#ifndef RELDIV_STORAGE_EXTENT_FILE_H_
+#define RELDIV_STORAGE_EXTENT_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "storage/disk.h"
+
+namespace reldiv {
+
+/// Extent-based file (§5.1): pages are allocated in physically contiguous
+/// extents so that a sequential scan over the file produces mostly seek-free
+/// transfers on the simulated disk. Page numbers exposed to clients are
+/// file-local (0..num_pages), mapped to disk-global pages internally.
+class ExtentFile {
+ public:
+  explicit ExtentFile(SimDisk* disk, uint32_t extent_pages = kExtentPages)
+      : disk_(disk), extent_pages_(extent_pages) {}
+
+  ExtentFile(const ExtentFile&) = delete;
+  ExtentFile& operator=(const ExtentFile&) = delete;
+  ExtentFile(ExtentFile&&) = default;
+  ExtentFile& operator=(ExtentFile&&) = default;
+
+  /// Appends one page to the file (allocating a new extent when the current
+  /// one is full) and returns its file-local page number.
+  uint64_t AllocatePage();
+
+  /// Disk-global page number of file-local page `i`.
+  Result<uint64_t> GlobalPage(uint64_t i) const;
+
+  uint64_t num_pages() const { return num_pages_; }
+  size_t num_extents() const { return extents_.size(); }
+  SimDisk* disk() const { return disk_; }
+
+ private:
+  struct Extent {
+    uint64_t first_page;  // disk-global
+    uint32_t pages_used;
+    uint32_t pages_capacity;
+  };
+
+  SimDisk* disk_;
+  uint32_t extent_pages_;
+  uint64_t num_pages_ = 0;
+  std::vector<Extent> extents_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_EXTENT_FILE_H_

@@ -1,0 +1,37 @@
+#include "storage/memory_manager.h"
+
+namespace reldiv {
+
+void* Arena::Allocate(size_t bytes) {
+  const size_t aligned = (bytes + 7) & ~size_t{7};
+  if (chunks_.empty() || chunks_.back().used + aligned > chunks_.back().size) {
+    // Adapt the chunk size downward under memory pressure so that a small
+    // remaining budget can still satisfy small allocations.
+    size_t chunk_size = aligned > chunk_bytes_ ? aligned : chunk_bytes_;
+    if (pool_ != nullptr) {
+      while (!pool_->Reserve(chunk_size)) {
+        if (chunk_size <= aligned) return nullptr;
+        chunk_size = chunk_size / 2 > aligned ? chunk_size / 2 : aligned;
+      }
+    }
+    Chunk chunk;
+    chunk.data = std::make_unique<char[]>(chunk_size);
+    chunk.size = chunk_size;
+    chunks_.push_back(std::move(chunk));
+    bytes_reserved_ += chunk_size;
+  }
+  Chunk& chunk = chunks_.back();
+  void* out = chunk.data.get() + chunk.used;
+  chunk.used += aligned;
+  bytes_allocated_ += aligned;
+  return out;
+}
+
+void Arena::Reset() {
+  chunks_.clear();
+  if (pool_ != nullptr) pool_->Release(bytes_reserved_);
+  bytes_reserved_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace reldiv

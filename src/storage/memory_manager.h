@@ -1,0 +1,96 @@
+#ifndef RELDIV_STORAGE_MEMORY_MANAGER_H_
+#define RELDIV_STORAGE_MEMORY_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace reldiv {
+
+/// Shared main-memory budget. The buffer pool grows dynamically against this
+/// pool and shrinks as buffer slots are unfixed (paper §5.1); hash tables,
+/// bit maps and chain elements draw from the same pool through Arena. When
+/// Reserve() fails the requester must spill or partition — this is exactly
+/// the "hash table overflow" trigger of §3.4.
+class MemoryPool {
+ public:
+  explicit MemoryPool(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Claims `bytes` from the pool; false if that would exceed the budget.
+  /// On pressure, the registered reclaimer (the buffer manager shedding
+  /// unfixed frames — §5.1 "shrinks as buffer slots are unfixed") is invoked
+  /// repeatedly until enough space frees up or it reports nothing left.
+  bool Reserve(size_t bytes) {
+    while (used_ + bytes > budget_) {
+      if (!reclaimer_ || !reclaimer_()) return false;
+    }
+    used_ += bytes;
+    return true;
+  }
+
+  /// Registers a callback that frees some pool memory and returns true, or
+  /// returns false when it has nothing left to give back.
+  void SetReclaimer(std::function<bool()> reclaimer) {
+    reclaimer_ = std::move(reclaimer);
+  }
+
+  void Release(size_t bytes) { used_ = bytes > used_ ? 0 : used_ - bytes; }
+
+  size_t budget() const { return budget_; }
+  size_t used() const { return used_; }
+  size_t available() const { return budget_ - used_; }
+
+ private:
+  size_t budget_;
+  size_t used_ = 0;
+  std::function<bool()> reclaimer_;
+};
+
+/// Chunked arena allocator over a MemoryPool, used for hash tables, chain
+/// elements, and bit maps. Allocate() returns nullptr when the pool budget
+/// is exhausted; callers translate that into hash-table-overflow handling.
+/// All memory is returned to the pool on Reset() or destruction; individual
+/// frees are not supported (matching the paper's per-operator memory use).
+class Arena {
+ public:
+  /// `pool` may be nullptr for an unbounded arena (tests, tiny examples).
+  /// Chunks default to one page so that a tight budget is not swallowed by
+  /// a single oversized reservation.
+  explicit Arena(MemoryPool* pool, size_t chunk_bytes = 8 * 1024)
+      : pool_(pool), chunk_bytes_(chunk_bytes) {}
+
+  ~Arena() { Reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 8-byte-aligned allocation; nullptr when the pool is exhausted.
+  void* Allocate(size_t bytes);
+
+  /// Frees all chunks and releases their bytes to the pool.
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  MemoryPool* pool_;
+  size_t chunk_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_MEMORY_MANAGER_H_

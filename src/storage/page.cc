@@ -1,0 +1,85 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace reldiv {
+
+uint16_t SlottedPage::LoadU16(size_t offset) const {
+  uint16_t v;
+  std::memcpy(&v, frame_ + offset, sizeof(v));
+  return v;
+}
+
+void SlottedPage::StoreU16(size_t offset, uint16_t v) {
+  std::memcpy(frame_ + offset, &v, sizeof(v));
+}
+
+void SlottedPage::Init() {
+  StoreU16(0, 0);                                   // slot count
+  StoreU16(2, static_cast<uint16_t>(kHeaderSize));  // free-space offset
+}
+
+uint16_t SlottedPage::num_slots() const { return LoadU16(0); }
+
+size_t SlottedPage::FreeSpace() const {
+  const size_t slots = num_slots();
+  const size_t dir_start = kPageSize - slots * kSlotEntrySize;
+  const size_t free_offset = LoadU16(2);
+  if (dir_start < free_offset + kSlotEntrySize) return 0;
+  return dir_start - free_offset - kSlotEntrySize;
+}
+
+bool SlottedPage::Fits(size_t size) const { return size <= FreeSpace(); }
+
+Result<uint16_t> SlottedPage::AddRecord(Slice record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record larger than a page");
+  }
+  if (!Fits(record.size())) {
+    return Status::ResourceExhausted("page full");
+  }
+  const uint16_t slot = num_slots();
+  const uint16_t offset = LoadU16(2);
+  std::memcpy(frame_ + offset, record.data(), record.size());
+  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+  StoreU16(dir_entry, offset);
+  StoreU16(dir_entry + 2, static_cast<uint16_t>(record.size()));
+  StoreU16(0, static_cast<uint16_t>(slot + 1));
+  StoreU16(2, static_cast<uint16_t>(offset + record.size()));
+  return slot;
+}
+
+Result<Slice> SlottedPage::GetRecord(uint16_t slot) const {
+  if (slot >= num_slots()) {
+    return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                   " out of range");
+  }
+  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+  const uint16_t offset = LoadU16(dir_entry);
+  const uint16_t len = LoadU16(dir_entry + 2);
+  if (len == kTombstoneLen) {
+    return Status::NotFound("record deleted");
+  }
+  if (offset + len > kPageSize) {
+    return Status::Corruption("slot entry points beyond page end");
+  }
+  return Slice(frame_ + offset, len);
+}
+
+Status SlottedPage::DeleteRecord(uint16_t slot) {
+  if (slot >= num_slots()) {
+    return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                   " out of range");
+  }
+  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+  StoreU16(dir_entry + 2, kTombstoneLen);
+  return Status::OK();
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  if (slot >= num_slots()) return false;
+  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+  return LoadU16(dir_entry + 2) != kTombstoneLen;
+}
+
+}  // namespace reldiv

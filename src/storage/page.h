@@ -1,0 +1,70 @@
+#ifndef RELDIV_STORAGE_PAGE_H_
+#define RELDIV_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace reldiv {
+
+/// View over one page frame interpreted as a slotted record page.
+///
+/// Layout (little-endian, offsets in bytes from the frame start):
+///   [0..2)  uint16 slot count
+///   [2..4)  uint16 free-space offset (start of unused region)
+///   records grow upward from offset 4; the slot directory grows downward
+///   from the end of the page, one 4-byte entry {uint16 offset, uint16 len}
+///   per record.
+///
+/// The view does not own the frame; it is valid only while the frame stays
+/// fixed in the buffer pool.
+class SlottedPage {
+ public:
+  explicit SlottedPage(char* frame) : frame_(frame) {}
+
+  /// Formats an empty page.
+  void Init();
+
+  uint16_t num_slots() const;
+
+  /// Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// True if a record of `size` bytes fits.
+  bool Fits(size_t size) const;
+
+  /// Appends a record; returns its slot index or ResourceExhausted when the
+  /// page is full.
+  Result<uint16_t> AddRecord(Slice record);
+
+  /// Payload of the record in `slot`; InvalidArgument for a bad slot,
+  /// NotFound for a deleted one. The Slice points into the frame.
+  Result<Slice> GetRecord(uint16_t slot) const;
+
+  /// Tombstones the record in `slot` (space is not reclaimed; scans skip
+  /// it). Idempotent.
+  Status DeleteRecord(uint16_t slot);
+
+  /// True if `slot` holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotEntrySize = 4;
+  static constexpr uint16_t kTombstoneLen = 0xffff;
+
+  /// Largest record payload a single empty page can hold.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotEntrySize;
+
+ private:
+  uint16_t LoadU16(size_t offset) const;
+  void StoreU16(size_t offset, uint16_t v);
+
+  char* frame_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_PAGE_H_

@@ -1,0 +1,148 @@
+#include "storage/record_file.h"
+
+namespace reldiv {
+
+RecordFile::RecordFile(SimDisk* disk, BufferManager* buffer_manager,
+                       std::string name)
+    : name_(std::move(name)), buffer_manager_(buffer_manager), file_(disk) {}
+
+Result<Rid> RecordFile::Append(Slice record) {
+  if (record.size() > SlottedPage::kMaxRecordSize) {
+    return Status::InvalidArgument("record larger than a page in file '" +
+                                   name_ + "'");
+  }
+  // Try the last page first.
+  if (has_open_page_) {
+    const uint64_t local = file_.num_pages() - 1;
+    RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(local));
+    RELDIV_ASSIGN_OR_RETURN(char* frame,
+                            buffer_manager_->Fix(global, /*create=*/false));
+    SlottedPage page(frame);
+    if (page.Fits(record.size())) {
+      RELDIV_ASSIGN_OR_RETURN(uint16_t slot, page.AddRecord(record));
+      RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
+      num_records_++;
+      return Rid{static_cast<uint32_t>(local), slot};
+    }
+    has_open_page_ = false;
+    RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/false));
+  }
+  // Allocate a fresh page.
+  const uint64_t local = file_.AllocatePage();
+  RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(local));
+  RELDIV_ASSIGN_OR_RETURN(char* frame,
+                          buffer_manager_->Fix(global, /*create=*/true));
+  SlottedPage page(frame);
+  page.Init();
+  RELDIV_ASSIGN_OR_RETURN(uint16_t slot, page.AddRecord(record));
+  RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
+  has_open_page_ = true;
+  num_records_++;
+  return Rid{static_cast<uint32_t>(local), slot};
+}
+
+Status RecordFile::Delete(Rid rid) {
+  RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(rid.page_no));
+  RELDIV_ASSIGN_OR_RETURN(char* frame,
+                          buffer_manager_->Fix(global, /*create=*/false));
+  SlottedPage page(frame);
+  if (!page.IsLive(rid.slot)) {
+    Status unfix = buffer_manager_->Unfix(global, /*dirty=*/false);
+    (void)unfix;
+    return Status::NotFound("record " + rid.ToString() +
+                            " already deleted or absent");
+  }
+  RELDIV_RETURN_NOT_OK(page.DeleteRecord(rid.slot));
+  RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
+  num_records_--;
+  return Status::OK();
+}
+
+Status RecordFile::Get(Rid rid, Slice* payload, PageGuard* guard) {
+  RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(rid.page_no));
+  RELDIV_ASSIGN_OR_RETURN(char* frame,
+                          buffer_manager_->Fix(global, /*create=*/false));
+  SlottedPage page(frame);
+  auto record = page.GetRecord(rid.slot);
+  if (!record.ok()) {
+    Status unfix = buffer_manager_->Unfix(global, /*dirty=*/false);
+    (void)unfix;
+    return record.status();
+  }
+  *payload = record.value();
+  *guard = PageGuard(buffer_manager_, global, frame, /*dirty=*/false);
+  return Status::OK();
+}
+
+/// Sequential scan keeping the current page fixed between Next() calls so
+/// that returned payload slices stay valid (records used in place).
+class RecordFile::FileScan : public RecordScan {
+ public:
+  explicit FileScan(RecordFile* file) : file_(file) {}
+
+  ~FileScan() override {
+    Status st = Close();
+    (void)st;
+  }
+
+  Status Next(RecordRef* ref, bool* has_next) override {
+    while (true) {
+      if (!page_fixed_) {
+        if (next_page_ >= file_->file_.num_pages()) {
+          *has_next = false;
+          return Status::OK();
+        }
+        RELDIV_ASSIGN_OR_RETURN(uint64_t global,
+                                file_->file_.GlobalPage(next_page_));
+        RELDIV_ASSIGN_OR_RETURN(
+            frame_, file_->buffer_manager_->Fix(global, /*create=*/false));
+        global_page_ = global;
+        local_page_ = next_page_;
+        next_page_++;
+        next_slot_ = 0;
+        page_fixed_ = true;
+      }
+      SlottedPage page(frame_);
+      if (next_slot_ < page.num_slots()) {
+        if (!page.IsLive(next_slot_)) {  // deleted records are skipped
+          next_slot_++;
+          continue;
+        }
+        RELDIV_ASSIGN_OR_RETURN(Slice payload, page.GetRecord(next_slot_));
+        ref->rid = Rid{static_cast<uint32_t>(local_page_), next_slot_};
+        ref->payload = payload;
+        next_slot_++;
+        *has_next = true;
+        return Status::OK();
+      }
+      // Page exhausted: move on. A scanned page of a base file is likely to
+      // be re-read only in multi-pass algorithms, so keep it in LRU.
+      RELDIV_RETURN_NOT_OK(
+          file_->buffer_manager_->Unfix(global_page_, /*dirty=*/false));
+      page_fixed_ = false;
+    }
+  }
+
+  Status Close() override {
+    if (page_fixed_) {
+      page_fixed_ = false;
+      return file_->buffer_manager_->Unfix(global_page_, /*dirty=*/false);
+    }
+    return Status::OK();
+  }
+
+ private:
+  RecordFile* file_;
+  uint64_t next_page_ = 0;
+  uint64_t local_page_ = 0;
+  uint64_t global_page_ = 0;
+  uint16_t next_slot_ = 0;
+  char* frame_ = nullptr;
+  bool page_fixed_ = false;
+};
+
+Result<std::unique_ptr<RecordScan>> RecordFile::OpenScan() {
+  return std::unique_ptr<RecordScan>(new FileScan(this));
+}
+
+}  // namespace reldiv

@@ -1,0 +1,57 @@
+#ifndef RELDIV_STORAGE_RECORD_STORE_H_
+#define RELDIV_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/rid.h"
+
+namespace reldiv {
+
+/// One record surfaced by a scan: its identifier plus a view of its payload.
+/// The payload points into storage pinned by the scan and is valid until the
+/// next Next()/Close() call — the §5.1 "scans give memory addresses to
+/// records fixed in the buffer pool" discipline.
+struct RecordRef {
+  Rid rid;
+  Slice payload;
+};
+
+/// Sequential scan over a record store (open-next-close protocol).
+class RecordScan {
+ public:
+  virtual ~RecordScan() = default;
+
+  /// Fetches the next record. `*has_next` false at end of store.
+  virtual Status Next(RecordRef* ref, bool* has_next) = 0;
+
+  /// Releases pinned pages; called implicitly by the destructor.
+  virtual Status Close() = 0;
+};
+
+/// Append-only record container. Two implementations exist: RecordFile
+/// (disk pages through the buffer manager) and VirtualDevice (memory-resident
+/// intermediate results, §5.1). Operators are "programmed as if input and
+/// output were permanent files" — they see only this interface.
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  /// Appends a record; returns its Rid.
+  virtual Result<Rid> Append(Slice record) = 0;
+
+  /// Opens a sequential scan.
+  virtual Result<std::unique_ptr<RecordScan>> OpenScan() = 0;
+
+  virtual uint64_t num_records() const = 0;
+
+  /// Number of storage pages (for the paper's page-cardinality cost inputs);
+  /// virtual devices report their equivalent page count.
+  virtual uint64_t num_pages() const = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,29 @@
+#ifndef RELDIV_STORAGE_RID_H_
+#define RELDIV_STORAGE_RID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reldiv {
+
+/// Record identifier: page number within a file plus slot within the page.
+struct Rid {
+  uint32_t page_no = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page_no == b.page_no && a.slot == b.slot;
+  }
+  friend bool operator!=(const Rid& a, const Rid& b) { return !(a == b); }
+  friend bool operator<(const Rid& a, const Rid& b) {
+    return a.page_no != b.page_no ? a.page_no < b.page_no : a.slot < b.slot;
+  }
+
+  std::string ToString() const {
+    return "[" + std::to_string(page_no) + "." + std::to_string(slot) + "]";
+  }
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_RID_H_

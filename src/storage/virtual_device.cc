@@ -1,0 +1,58 @@
+#include "storage/virtual_device.h"
+
+namespace reldiv {
+
+VirtualDevice::VirtualDevice(MemoryPool* pool, std::string name)
+    : name_(std::move(name)), pool_(pool) {}
+
+VirtualDevice::~VirtualDevice() {
+  if (pool_ != nullptr) pool_->Release(bytes_reserved_);
+}
+
+Result<Rid> VirtualDevice::Append(Slice record) {
+  // Reserve pool memory page-wise so virtual devices compete with the
+  // buffer pool at the same granularity.
+  while (pool_ != nullptr && bytes_used_ + record.size() > bytes_reserved_) {
+    if (!pool_->Reserve(kPageSize)) {
+      return Status::ResourceExhausted("virtual device '" + name_ +
+                                       "': memory pool exhausted");
+    }
+    bytes_reserved_ += kPageSize;
+  }
+  const uint64_t index = records_.size();
+  records_.emplace_back(record.data(), record.size());
+  bytes_used_ += record.size();
+  return Rid{static_cast<uint32_t>(index >> 16),
+             static_cast<uint16_t>(index & 0xffff)};
+}
+
+class VirtualDevice::DeviceScan : public RecordScan {
+ public:
+  explicit DeviceScan(VirtualDevice* device) : device_(device) {}
+
+  Status Next(RecordRef* ref, bool* has_next) override {
+    if (next_ >= device_->records_.size()) {
+      *has_next = false;
+      return Status::OK();
+    }
+    const std::string& record = device_->records_[next_];
+    ref->rid = Rid{static_cast<uint32_t>(next_ >> 16),
+                   static_cast<uint16_t>(next_ & 0xffff)};
+    ref->payload = Slice(record.data(), record.size());
+    next_++;
+    *has_next = true;
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  VirtualDevice* device_;
+  size_t next_ = 0;
+};
+
+Result<std::unique_ptr<RecordScan>> VirtualDevice::OpenScan() {
+  return std::unique_ptr<RecordScan>(new DeviceScan(this));
+}
+
+}  // namespace reldiv

@@ -1,0 +1,50 @@
+#ifndef RELDIV_STORAGE_VIRTUAL_DEVICE_H_
+#define RELDIV_STORAGE_VIRTUAL_DEVICE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "storage/memory_manager.h"
+#include "storage/record_store.h"
+
+namespace reldiv {
+
+/// Memory-resident record store for intermediate query results — the §5.1
+/// "virtual device": records can be fixed in the buffer pool and have a
+/// record identifier but disappear when unfixed; no disk I/O occurs. Memory
+/// is charged against the shared MemoryPool when one is provided, so large
+/// intermediates surface as ResourceExhausted exactly like hash-table
+/// overflow.
+class VirtualDevice : public RecordStore {
+ public:
+  /// `pool` may be nullptr for an unbounded device.
+  explicit VirtualDevice(MemoryPool* pool, std::string name = "virtual");
+  ~VirtualDevice() override;
+
+  Result<Rid> Append(Slice record) override;
+  Result<std::unique_ptr<RecordScan>> OpenScan() override;
+  uint64_t num_records() const override { return records_.size(); }
+
+  /// Equivalent page count, for cost-model inputs.
+  uint64_t num_pages() const override {
+    return (bytes_used_ + kPageSize - 1) / kPageSize;
+  }
+
+  const std::string& name() const { return name_; }
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  class DeviceScan;
+
+  std::string name_;
+  MemoryPool* pool_;
+  std::deque<std::string> records_;
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_STORAGE_VIRTUAL_DEVICE_H_

@@ -1,0 +1,111 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace reldiv {
+
+GeneratedWorkload GenerateWorkload(const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  GeneratedWorkload out;
+  out.dividend_schema = Schema{Field{"quotient_id", ValueType::kInt64},
+                               Field{"divisor_id", ValueType::kInt64}};
+  out.divisor_schema = Schema{Field{"divisor_id", ValueType::kInt64}};
+
+  for (uint64_t d = 0; d < spec.divisor_cardinality; ++d) {
+    out.divisor.push_back(Tuple{Value::Int64(static_cast<int64_t>(d))});
+  }
+
+  const uint64_t full_candidates = static_cast<uint64_t>(
+      spec.candidate_completeness *
+          static_cast<double>(spec.quotient_candidates) +
+      0.5);
+  for (uint64_t q = 0; q < spec.quotient_candidates; ++q) {
+    const int64_t qid = static_cast<int64_t>(q);
+    if (q < full_candidates) {
+      // Complete candidate: gets every divisor value → in the quotient.
+      for (uint64_t d = 0; d < spec.divisor_cardinality; ++d) {
+        out.dividend.push_back(
+            Tuple{Value::Int64(qid), Value::Int64(static_cast<int64_t>(d))});
+      }
+      out.expected_quotient.push_back(Tuple{Value::Int64(qid)});
+    } else {
+      // Partial candidate: a random strict subset of the divisor values.
+      const uint64_t take =
+          spec.divisor_cardinality <= 1
+              ? 0
+              : rng.Uniform(spec.divisor_cardinality - 1) + 1;
+      // Choose `take` distinct divisor ids via a partial Fisher-Yates.
+      std::vector<uint64_t> ids(spec.divisor_cardinality);
+      for (uint64_t i = 0; i < spec.divisor_cardinality; ++i) ids[i] = i;
+      for (uint64_t i = 0; i < take; ++i) {
+        const uint64_t j = i + rng.Uniform(spec.divisor_cardinality - i);
+        std::swap(ids[i], ids[j]);
+        out.dividend.push_back(Tuple{
+            Value::Int64(qid), Value::Int64(static_cast<int64_t>(ids[i]))});
+      }
+    }
+  }
+
+  // Dividend tuples referencing values absent from the divisor.
+  for (uint64_t i = 0; i < spec.nonmatching_tuples; ++i) {
+    const int64_t qid = spec.quotient_candidates == 0
+                            ? 0
+                            : static_cast<int64_t>(
+                                  rng.Uniform(spec.quotient_candidates));
+    const int64_t did = static_cast<int64_t>(spec.divisor_cardinality +
+                                             rng.Uniform(
+                                                 spec.divisor_cardinality +
+                                                 1));
+    out.dividend.push_back(Tuple{Value::Int64(qid), Value::Int64(did)});
+  }
+
+  // Exact duplicates.
+  for (uint64_t i = 0; i < spec.dividend_duplicates && !out.dividend.empty();
+       ++i) {
+    out.dividend.push_back(out.dividend[rng.Uniform(out.dividend.size())]);
+  }
+  for (uint64_t i = 0; i < spec.divisor_duplicates && !out.divisor.empty();
+       ++i) {
+    out.divisor.push_back(out.divisor[rng.Uniform(out.divisor.size())]);
+  }
+
+  if (spec.shuffle) {
+    for (size_t i = out.dividend.size(); i > 1; --i) {
+      std::swap(out.dividend[i - 1], out.dividend[rng.Uniform(i)]);
+    }
+  }
+  std::sort(out.expected_quotient.begin(), out.expected_quotient.end());
+  return out;
+}
+
+WorkloadSpec PaperCell(uint64_t divisor_tuples, uint64_t quotient_tuples) {
+  WorkloadSpec spec;
+  spec.divisor_cardinality = divisor_tuples;
+  spec.quotient_candidates = quotient_tuples;
+  spec.candidate_completeness = 1.0;
+  spec.nonmatching_tuples = 0;
+  spec.dividend_duplicates = 0;
+  spec.divisor_duplicates = 0;
+  return spec;
+}
+
+Status LoadWorkload(Database* db, const GeneratedWorkload& workload,
+                    const std::string& prefix, Relation* dividend,
+                    Relation* divisor) {
+  RELDIV_ASSIGN_OR_RETURN(
+      *dividend,
+      db->CreateTable(prefix + "_dividend", workload.dividend_schema));
+  RELDIV_ASSIGN_OR_RETURN(
+      *divisor, db->CreateTable(prefix + "_divisor", workload.divisor_schema));
+  for (const Tuple& tuple : workload.dividend) {
+    RELDIV_RETURN_NOT_OK(db->Insert(prefix + "_dividend", tuple));
+  }
+  for (const Tuple& tuple : workload.divisor) {
+    RELDIV_RETURN_NOT_OK(db->Insert(prefix + "_divisor", tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

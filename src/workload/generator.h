@@ -1,0 +1,67 @@
+#ifndef RELDIV_WORKLOAD_GENERATOR_H_
+#define RELDIV_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "exec/database.h"
+#include "exec/relation.h"
+
+namespace reldiv {
+
+/// Parameters of a synthetic division workload over two int64 columns:
+/// dividend(quotient_id, divisor_id) ÷ divisor(divisor_id).
+///
+/// The paper's analytical and experimental setting is the exact case
+/// R = Q × S (`candidate_completeness` = 1, no non-matching tuples, no
+/// duplicates); the other knobs produce the §4.6 speculation scenarios —
+/// dividend tuples that match no divisor tuple and quotient candidates that
+/// do not participate in the quotient — plus duplicate injection for
+/// exercising each algorithm's duplicate handling.
+struct WorkloadSpec {
+  uint64_t divisor_cardinality = 25;  ///< |S|
+  uint64_t quotient_candidates = 25;  ///< distinct quotient values in R
+
+  /// Fraction of candidates receiving ALL divisor values (the quotient).
+  /// Remaining candidates get a random strict subset.
+  double candidate_completeness = 1.0;
+
+  /// Extra dividend tuples whose divisor value is outside the divisor
+  /// relation (e.g. the physics course of example 2).
+  uint64_t nonmatching_tuples = 0;
+
+  /// Extra exact duplicates injected into the dividend / divisor.
+  uint64_t dividend_duplicates = 0;
+  uint64_t divisor_duplicates = 0;
+
+  uint64_t seed = 42;
+  bool shuffle = true;  ///< random dividend order (inputs arrive unsorted)
+};
+
+/// A generated workload plus its ground truth.
+struct GeneratedWorkload {
+  Schema dividend_schema;
+  Schema divisor_schema;
+  std::vector<Tuple> dividend;
+  std::vector<Tuple> divisor;
+  std::vector<Tuple> expected_quotient;  ///< sorted by quotient_id
+};
+
+/// Generates a workload deterministically from `spec.seed`.
+GeneratedWorkload GenerateWorkload(const WorkloadSpec& spec);
+
+/// The paper's exact experimental configuration for one (|S|, |Q|) cell:
+/// R = Q × S, duplicate-free, every dividend tuple valid.
+WorkloadSpec PaperCell(uint64_t divisor_tuples, uint64_t quotient_tuples);
+
+/// Loads a generated workload into `db` as tables `<prefix>_dividend` and
+/// `<prefix>_divisor`.
+Status LoadWorkload(Database* db, const GeneratedWorkload& workload,
+                    const std::string& prefix, Relation* dividend,
+                    Relation* divisor);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_WORKLOAD_GENERATOR_H_

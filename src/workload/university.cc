@@ -1,0 +1,111 @@
+#include "workload/university.h"
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+
+namespace reldiv {
+
+namespace {
+
+Schema CoursesSchema() {
+  return Schema{Field{"course_no", ValueType::kInt64},
+                Field{"title", ValueType::kString}};
+}
+
+Schema TranscriptSchema() {
+  return Schema{Field{"student_id", ValueType::kInt64},
+                Field{"course_no", ValueType::kInt64},
+                Field{"grade", ValueType::kInt64}};
+}
+
+}  // namespace
+
+Result<UniversityTables> LoadUniversity(Database* db,
+                                        const UniversitySpec& spec) {
+  UniversityTables tables;
+  RELDIV_ASSIGN_OR_RETURN(tables.courses,
+                          db->CreateTable("courses", CoursesSchema()));
+  RELDIV_ASSIGN_OR_RETURN(tables.transcript,
+                          db->CreateTable("transcript", TranscriptSchema()));
+  Rng rng(spec.seed);
+
+  for (uint64_t c = 0; c < spec.num_courses; ++c) {
+    const bool is_db = c < spec.num_database_courses;
+    const std::string title =
+        (is_db ? "Database " : "Course ") + std::to_string(c + 1);
+    RELDIV_RETURN_NOT_OK(db->Insert(
+        "courses", Tuple{Value::Int64(static_cast<int64_t>(c)),
+                         Value::String(title)}));
+  }
+
+  auto enroll = [&](uint64_t student, uint64_t course) -> Status {
+    const int64_t grade = static_cast<int64_t>(rng.Uniform(5)) + 1;
+    return db->Insert("transcript",
+                      Tuple{Value::Int64(static_cast<int64_t>(student)),
+                            Value::Int64(static_cast<int64_t>(course)),
+                            Value::Int64(grade)});
+  };
+
+  for (uint64_t s = 0; s < spec.num_students; ++s) {
+    std::set<uint64_t> courses_taken;
+    if (s < spec.all_courses_students) {
+      for (uint64_t c = 0; c < spec.num_courses; ++c) courses_taken.insert(c);
+    } else if (s < spec.db_students) {
+      for (uint64_t c = 0; c < spec.num_database_courses; ++c) {
+        courses_taken.insert(c);
+      }
+      // Plus a few random others, but never the full set.
+      const uint64_t extra = rng.Uniform(
+          spec.num_courses - spec.num_database_courses);
+      for (uint64_t i = 0; i < extra; ++i) {
+        courses_taken.insert(spec.num_database_courses +
+                             rng.Uniform(spec.num_courses -
+                                         spec.num_database_courses));
+      }
+    } else {
+      // Random subset that misses at least one database course.
+      const uint64_t count = rng.Uniform(spec.num_courses) + 1;
+      for (uint64_t i = 0; i < count; ++i) {
+        courses_taken.insert(rng.Uniform(spec.num_courses));
+      }
+      courses_taken.erase(rng.Uniform(spec.num_database_courses));
+    }
+    for (uint64_t c : courses_taken) {
+      RELDIV_RETURN_NOT_OK(enroll(s, c));
+    }
+  }
+  return tables;
+}
+
+Result<UniversityTables> LoadFigure2Example(Database* db) {
+  UniversityTables tables;
+  RELDIV_ASSIGN_OR_RETURN(tables.courses,
+                          db->CreateTable("courses", CoursesSchema()));
+  RELDIV_ASSIGN_OR_RETURN(tables.transcript,
+                          db->CreateTable("transcript", TranscriptSchema()));
+  // Courses: Database1 (no 1), Database2 (no 2), Optics (no 3).
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "courses", Tuple{Value::Int64(1), Value::String("Database1")}));
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "courses", Tuple{Value::Int64(2), Value::String("Database2")}));
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "courses", Tuple{Value::Int64(3), Value::String("Optics")}));
+  // Transcript: Ann=100, Barb=200, in the paper's processing order.
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "transcript",
+      Tuple{Value::Int64(100), Value::Int64(1), Value::Int64(4)}));
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "transcript",
+      Tuple{Value::Int64(200), Value::Int64(2), Value::Int64(3)}));
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "transcript",
+      Tuple{Value::Int64(100), Value::Int64(2), Value::Int64(5)}));
+  RELDIV_RETURN_NOT_OK(db->Insert(
+      "transcript",
+      Tuple{Value::Int64(200), Value::Int64(3), Value::Int64(4)}));
+  return tables;
+}
+
+}  // namespace reldiv

@@ -1,0 +1,45 @@
+#ifndef RELDIV_WORKLOAD_UNIVERSITY_H_
+#define RELDIV_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "exec/database.h"
+#include "exec/relation.h"
+
+namespace reldiv {
+
+/// The paper's running example: a university database with
+///   Courses(course_no, title) and Transcript(student_id, course_no, grade).
+/// Both example queries are supported:
+///   1. students who have taken ALL courses;
+///   2. students who have taken all DATABASE courses (divisor restricted by
+///      a selection on the title).
+struct UniversityTables {
+  Relation courses;     ///< (course_no:int64, title:string)
+  Relation transcript;  ///< (student_id:int64, course_no:int64, grade:int64)
+};
+
+/// Parameters of the generated campus.
+struct UniversitySpec {
+  uint64_t num_students = 50;
+  uint64_t num_courses = 12;
+  uint64_t num_database_courses = 3;  ///< courses titled "Database ..."
+  /// Students 0..all_courses_students-1 take every course; students
+  /// all_courses_students..db_students-1 additionally take (at least) all
+  /// database courses; the rest take random subsets.
+  uint64_t all_courses_students = 2;
+  uint64_t db_students = 6;  ///< students taking all database courses
+  uint64_t seed = 7;
+};
+
+/// Creates and populates the two tables in `db`.
+Result<UniversityTables> LoadUniversity(Database* db,
+                                        const UniversitySpec& spec = {});
+
+/// The tiny four-row example of Figure 2 (Ann/Barb, Database1/Database2/
+/// Optics): quotient of "all database courses" is exactly (Ann).
+Result<UniversityTables> LoadFigure2Example(Database* db);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_WORKLOAD_UNIVERSITY_H_

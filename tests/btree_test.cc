@@ -1,0 +1,164 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key-%08d", i);
+  return buf;
+}
+
+TEST(BTreeTest, EmptyTreeLookups) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, tree.Lookup(Slice("missing")));
+  EXPECT_TRUE(rids.empty());
+  BTree::Iterator it(&tree);
+  ASSERT_OK(it.SeekToFirst());
+  EXPECT_FALSE(it.Valid());
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertAndLookupFewKeys) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(tree.Insert(Slice(Key(i)), Rid{static_cast<uint32_t>(i), 0}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, tree.Lookup(Slice(Key(i))));
+    ASSERT_EQ(rids.size(), 1u);
+    EXPECT_EQ(rids[0].page_no, static_cast<uint32_t>(i));
+  }
+  ASSERT_OK_AND_ASSIGN(bool has, tree.Contains(Slice(Key(5))));
+  EXPECT_TRUE(has);
+  ASSERT_OK_AND_ASSIGN(bool missing, tree.Contains(Slice("nope")));
+  EXPECT_FALSE(missing);
+}
+
+TEST(BTreeTest, ManyKeysForceSplitsAndStaySorted) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  const int n = 20000;
+  Rng rng(99);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(static_cast<uint64_t>(i) + 1)]);
+  }
+  for (int i : order) {
+    ASSERT_OK(tree.Insert(Slice(Key(i)),
+                          Rid{static_cast<uint32_t>(i), 0}));
+  }
+  EXPECT_GT(tree.height(), 1u);
+  EXPECT_EQ(tree.num_entries(), static_cast<uint64_t>(n));
+  ASSERT_OK(tree.CheckInvariants());
+
+  // Full iteration is sorted and complete.
+  BTree::Iterator it(&tree);
+  ASSERT_OK(it.SeekToFirst());
+  int count = 0;
+  std::string prev;
+  while (it.Valid()) {
+    if (count > 0) {
+      EXPECT_LT(Slice(prev).compare(it.key()), 0);
+    }
+    prev = it.key().ToString();
+    count++;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, n);
+
+  // Random point lookups.
+  for (int trial = 0; trial < 200; ++trial) {
+    const int i = static_cast<int>(rng.Uniform(n));
+    ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, tree.Lookup(Slice(Key(i))));
+    ASSERT_EQ(rids.size(), 1u);
+    EXPECT_EQ(rids[0].page_no, static_cast<uint32_t>(i));
+  }
+}
+
+TEST(BTreeTest, DuplicateKeysKeepInsertionOrder) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_OK(tree.Insert(Slice("dup"), Rid{i, 0}));
+    ASSERT_OK(tree.Insert(Slice(Key(static_cast<int>(i))), Rid{i, 1}));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, tree.Lookup(Slice("dup")));
+  ASSERT_EQ(rids.size(), 500u);
+  for (uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(rids[i].page_no, i);
+  }
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, SeekPositionsAtLowerBound) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  for (int i = 0; i < 1000; i += 2) {  // even keys only
+    ASSERT_OK(tree.Insert(Slice(Key(i)), Rid{static_cast<uint32_t>(i), 0}));
+  }
+  BTree::Iterator it(&tree);
+  ASSERT_OK(it.Seek(Slice(Key(501))));  // odd → lands on 502
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), Key(502));
+  ASSERT_OK(it.Seek(Slice(Key(500))));  // exact
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), Key(500));
+  ASSERT_OK(it.Seek(Slice(Key(9999))));  // past the end
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, RandomizedAgainstMultimap) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  std::multimap<std::string, uint32_t> model;
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i) {
+    const int k = static_cast<int>(rng.Uniform(700));  // forced duplicates
+    const std::string key = Key(k);
+    ASSERT_OK(tree.Insert(Slice(key), Rid{static_cast<uint32_t>(i), 0}));
+    model.emplace(key, static_cast<uint32_t>(i));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  for (int k = 0; k < 700; ++k) {
+    const std::string key = Key(k);
+    ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, tree.Lookup(Slice(key)));
+    auto [lo, hi] = model.equal_range(key);
+    std::vector<uint32_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    ASSERT_EQ(rids.size(), expected.size()) << key;
+    // Insertion order must be preserved.
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(rids[i].page_no, expected[i]);
+    }
+  }
+}
+
+TEST(BTreeTest, RejectsOversizedKey) {
+  SimDisk disk;
+  BufferManager bm(&disk, nullptr);
+  BTree tree(&disk, &bm);
+  std::string huge(2000, 'k');
+  EXPECT_TRUE(tree.Insert(Slice(huge), Rid{0, 0}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,147 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "cost/io_cost.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+/// Table 2 values are printed as whole milliseconds; allow ±1 for rounding.
+void ExpectCell(double computed, double published, const char* label) {
+  EXPECT_NEAR(computed, published, 1.0) << label;
+}
+
+TEST(CostModelTest, ReproducesPaperTable2Exactly) {
+  const std::vector<Table2Row> computed = ComputeTable2();
+  const std::vector<Table2Row>& published = PaperTable2();
+  ASSERT_EQ(computed.size(), published.size());
+  for (size_t i = 0; i < computed.size(); ++i) {
+    ASSERT_EQ(computed[i].divisor_tuples, published[i].divisor_tuples);
+    ASSERT_EQ(computed[i].quotient_tuples, published[i].quotient_tuples);
+    const std::string cell = "S=" + std::to_string(computed[i].divisor_tuples) +
+                             " Q=" +
+                             std::to_string(computed[i].quotient_tuples);
+    ExpectCell(computed[i].naive, published[i].naive, (cell + " naive").c_str());
+    ExpectCell(computed[i].sort_agg, published[i].sort_agg,
+               (cell + " sort-agg").c_str());
+    ExpectCell(computed[i].sort_agg_join, published[i].sort_agg_join,
+               (cell + " sort-agg+join").c_str());
+    ExpectCell(computed[i].hash_agg, published[i].hash_agg,
+               (cell + " hash-agg").c_str());
+    ExpectCell(computed[i].hash_agg_join, published[i].hash_agg_join,
+               (cell + " hash-agg+join").c_str());
+    ExpectCell(computed[i].hash_div, published[i].hash_div,
+               (cell + " hash-div").c_str());
+  }
+}
+
+TEST(CostModelTest, QuicksortCost) {
+  CostModel model;
+  // 2 · 25 · log2(25) · 0.03 ≈ 6.97 (the S sort at |S| = 25).
+  EXPECT_NEAR(model.QuicksortCost(25), 6.966, 0.01);
+  EXPECT_EQ(model.QuicksortCost(1), 0);
+  EXPECT_EQ(model.QuicksortCost(0), 0);
+}
+
+TEST(CostModelTest, SortPicksQuicksortWhenFitsInMemory) {
+  CostModel model;
+  AnalyticalConfig config = AnalyticalConfig::Paper(25, 25);
+  // 2.5 pages of divisor < 100 pages of memory → quicksort.
+  EXPECT_DOUBLE_EQ(model.SortCost(25, 2.5, config),
+                   model.QuicksortCost(25));
+  // 125 pages of dividend > memory → external sort.
+  EXPECT_GT(model.SortCost(625, 125, config), model.QuicksortCost(625));
+}
+
+TEST(CostModelTest, CeilingModeChargesMorePassesAt400x400) {
+  // r/m = 320 → textbook ceil gives two merge passes, the paper's numbers
+  // imply one. Only the 400×400 cell has r/m > m.
+  AnalyticalConfig paper_mode = AnalyticalConfig::Paper(400, 400);
+  AnalyticalConfig ceil_mode = paper_mode;
+  ceil_mode.merge_pass_mode = MergePassMode::kCeiling;
+  CostModel model;
+  EXPECT_GT(model.NaiveDivisionCost(ceil_mode),
+            model.NaiveDivisionCost(paper_mode));
+  // At 100×100 (r/m = 20 < m) both modes agree.
+  AnalyticalConfig small_paper = AnalyticalConfig::Paper(100, 100);
+  AnalyticalConfig small_ceil = small_paper;
+  small_ceil.merge_pass_mode = MergePassMode::kCeiling;
+  EXPECT_DOUBLE_EQ(model.NaiveDivisionCost(small_ceil),
+                   model.NaiveDivisionCost(small_paper));
+}
+
+TEST(CostModelTest, RankingMatchesPaperConclusions) {
+  // For every configuration: hash-based beats sort-based; semi-joins cost
+  // extra; hash-division within ~3.1% of hash aggregation without join (§4.6).
+  for (const Table2Row& row : ComputeTable2()) {
+    EXPECT_LT(row.hash_agg, row.sort_agg);
+    EXPECT_LT(row.hash_div, row.naive);
+    EXPECT_LT(row.sort_agg, row.naive);
+    EXPECT_LT(row.sort_agg, row.sort_agg_join);
+    EXPECT_LT(row.hash_agg, row.hash_agg_join);
+    EXPECT_LT(row.hash_div, row.hash_agg_join);
+    EXPECT_GT(row.hash_div, row.hash_agg);              // slightly slower
+    EXPECT_LT(row.hash_div / row.hash_agg, 1.035);       // but within ~3.1%
+  }
+}
+
+TEST(CostModelTest, CostGrowsMonotonicallyWithSize) {
+  CostModel model;
+  double prev = 0;
+  for (int s : {25, 100, 400}) {
+    AnalyticalConfig config = AnalyticalConfig::Paper(s, s);
+    const double cost = model.HashDivisionCost(config);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CostModelTest, PaperConfigDerivesCardinalities) {
+  AnalyticalConfig config = AnalyticalConfig::Paper(100, 400);
+  EXPECT_EQ(config.dividend_tuples, 40000);
+  EXPECT_EQ(config.dividend_pages, 8000);
+  EXPECT_EQ(config.divisor_pages, 10);
+  EXPECT_EQ(config.quotient_pages, 40);
+}
+
+TEST(IoCostTest, Table3Weights) {
+  DiskStats stats;
+  stats.seeks = 2;
+  stats.transfers = 5;
+  stats.sectors_transferred = 40;  // KB
+  // 2·20 + 5·8 + 40·0.5 + 5·2 = 40 + 40 + 20 + 10 = 110.
+  EXPECT_DOUBLE_EQ(IoCostMs(stats), 110.0);
+}
+
+TEST(IoCostTest, ZeroStatsZeroCost) {
+  EXPECT_DOUBLE_EQ(IoCostMs(DiskStats{}), 0.0);
+}
+
+TEST(IoCostTest, StatsSubtraction) {
+  DiskStats a;
+  a.transfers = 10;
+  a.seeks = 4;
+  a.sectors_transferred = 80;
+  DiskStats b;
+  b.transfers = 3;
+  b.seeks = 1;
+  b.sectors_transferred = 24;
+  DiskStats d = a - b;
+  EXPECT_EQ(d.transfers, 7u);
+  EXPECT_EQ(d.seeks, 3u);
+  EXPECT_EQ(d.sectors_transferred, 56u);
+}
+
+TEST(IoCostTest, ExperimentalCostCombinesCpuAndIo) {
+  ExperimentalCost cost;
+  cost.cpu_ms = 12.5;
+  cost.io_ms = 100;
+  EXPECT_DOUBLE_EQ(cost.total_ms(), 112.5);
+  EXPECT_FALSE(cost.ToString().empty());
+}
+
+}  // namespace
+}  // namespace reldiv

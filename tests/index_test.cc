@@ -1,0 +1,171 @@
+#include "exec/index_join.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/row_codec.h"
+#include "exec/database.h"
+#include "exec/mem_source.h"
+#include "exec/scan.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open(options));
+  }
+
+  Schema TwoCol() {
+    return Schema{Field{"k", ValueType::kInt64},
+                  Field{"v", ValueType::kInt64}};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(IndexTest, CreateIndexOverExistingRows) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  (void)rel;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(db_->Insert("t", T(i, i * 2)));
+  }
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("t_k", "t", {"k"}));
+  EXPECT_EQ(index->num_entries(), 500u);
+  ASSERT_OK_AND_ASSIGN(bool has, index->ContainsKey(T(250, 0), {0}));
+  EXPECT_TRUE(has);
+  ASSERT_OK_AND_ASSIGN(bool missing, index->ContainsKey(T(999, 0), {0}));
+  EXPECT_FALSE(missing);
+}
+
+TEST_F(IndexTest, InsertMaintainsIndex) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  (void)rel;
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("t_k", "t", {"k"}));
+  EXPECT_EQ(index->num_entries(), 0u);
+  ASSERT_OK(db_->Insert("t", T(7, 70)));
+  ASSERT_OK(db_->Insert("t", T(8, 80)));
+  EXPECT_EQ(index->num_entries(), 2u);
+  ASSERT_OK_AND_ASSIGN(bool has, index->ContainsKey(T(8, 0), {0}));
+  EXPECT_TRUE(has);
+}
+
+TEST_F(IndexTest, LookupReturnsRidsPointingAtTheRows) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db_->Insert("t", T(i % 10, i)));  // 10 rows per key
+  }
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("t_k", "t", {"k"}));
+  ASSERT_OK_AND_ASSIGN(std::vector<Rid> rids, index->LookupKey(T(3, 0), {0}));
+  EXPECT_EQ(rids.size(), 10u);
+  // Fetch one row through its rid and verify the key column.
+  auto* file = static_cast<RecordFile*>(rel.store);
+  Slice payload;
+  PageGuard guard;
+  ASSERT_OK(file->Get(rids[0], &payload, &guard));
+  RowCodec codec(rel.schema);
+  Tuple row;
+  ASSERT_OK(codec.Decode(payload, &row));
+  EXPECT_EQ(row.value(0).int64(), 3);
+}
+
+TEST_F(IndexTest, MultiColumnIndexKeys) {
+  Schema three{Field{"a", ValueType::kInt64}, Field{"b", ValueType::kInt64},
+               Field{"c", ValueType::kInt64}};
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t3", three));
+  (void)rel;
+  ASSERT_OK(db_->Insert("t3", T(1, 2, 3)));
+  ASSERT_OK(db_->Insert("t3", T(1, 3, 4)));
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("t3_ab", "t3", {"a", "b"}));
+  // Probe with a differently-shaped tuple: its columns 0 and 1 are the key.
+  ASSERT_OK_AND_ASSIGN(bool has12, index->ContainsKey(T(1, 2), {0, 1}));
+  EXPECT_TRUE(has12);
+  ASSERT_OK_AND_ASSIGN(bool has14, index->ContainsKey(T(1, 4), {0, 1}));
+  EXPECT_FALSE(has14);
+}
+
+TEST_F(IndexTest, DuplicateIndexNameAndMissingTableErrors) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  (void)rel;
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("idx", "t", {"k"}));
+  (void)index;
+  EXPECT_TRUE(db_->CreateIndex("idx", "t", {"k"}).status().IsInvalidArgument());
+  EXPECT_TRUE(db_->CreateIndex("idx2", "nope", {"k"}).status().IsNotFound());
+  EXPECT_TRUE(db_->CreateIndex("idx3", "t", {"zz"}).status().IsNotFound());
+  EXPECT_TRUE(db_->GetIndex("missing").status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(TableIndex * found, db_->GetIndex("idx"));
+  EXPECT_EQ(found, index);
+}
+
+TEST_F(IndexTest, IndexSemiJoinMatchesHashSemiJoin) {
+  // Transcript-style probe against an indexed divisor.
+  ASSERT_OK_AND_ASSIGN(Relation divisor,
+                       db_->CreateTable("divisor",
+                                        Schema{Field{"d", ValueType::kInt64}}));
+  (void)divisor;
+  for (int i = 0; i < 50; i += 2) {  // even values only
+    ASSERT_OK(db_->Insert("divisor", T(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("divisor_d", "divisor", {"d"}));
+
+  Rng rng(3);
+  std::vector<Tuple> probe_tuples;
+  std::vector<Tuple> expected;
+  for (int i = 0; i < 400; ++i) {
+    Tuple t = T(rng.UniformInt(0, 60), i);
+    if (t.value(0).int64() < 50 && t.value(0).int64() % 2 == 0) {
+      expected.push_back(t);
+    }
+    probe_tuples.push_back(std::move(t));
+  }
+  Schema probe_schema{Field{"d", ValueType::kInt64},
+                      Field{"seq", ValueType::kInt64}};
+  IndexSemiJoinOperator join(
+      db_->ctx(),
+      std::make_unique<MemSourceOperator>(probe_schema, probe_tuples), index,
+      {0});
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_EQ(Sorted(std::move(out)), Sorted(std::move(expected)));
+}
+
+TEST_F(IndexTest, IndexOrderedScanYieldsKeyOrder) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(db_->Insert("t", T(rng.UniformInt(0, 10000), i)));
+  }
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("t_k", "t", {"k"}));
+  IndexOrderedScanOperator scan(db_->ctx(),
+                                static_cast<RecordFile*>(rel.store),
+                                rel.schema, index);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&scan));
+  ASSERT_EQ(out.size(), 300u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].value(0).int64(), out[i].value(0).int64());
+  }
+}
+
+TEST_F(IndexTest, IndexOnTempTable) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTempTable("tmp", TwoCol()));
+  (void)rel;
+  ASSERT_OK(db_->Insert("tmp", T(1, 1)));
+  ASSERT_OK_AND_ASSIGN(TableIndex * index,
+                       db_->CreateIndex("tmp_k", "tmp", {"k"}));
+  ASSERT_OK(db_->Insert("tmp", T(2, 2)));
+  EXPECT_EQ(index->num_entries(), 2u);
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,177 @@
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/database.h"
+#include "exec/hash_join.h"
+#include "exec/mem_source.h"
+#include "exec/merge_join.h"
+#include "exec/sort.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open(options));
+  }
+
+  Schema LeftSchema() {
+    return Schema{Field{"lk", ValueType::kInt64},
+                  Field{"lv", ValueType::kInt64}};
+  }
+  Schema RightSchema() {
+    return Schema{Field{"rk", ValueType::kInt64},
+                  Field{"rv", ValueType::kInt64}};
+  }
+
+  std::unique_ptr<Operator> Src(Schema schema, std::vector<Tuple> tuples) {
+    return std::make_unique<MemSourceOperator>(std::move(schema),
+                                               std::move(tuples));
+  }
+
+  /// Brute-force inner join for verification.
+  std::vector<Tuple> NestedLoopJoin(const std::vector<Tuple>& left,
+                                    const std::vector<Tuple>& right) {
+    std::vector<Tuple> out;
+    for (const Tuple& l : left) {
+      for (const Tuple& r : right) {
+        if (l.value(0).Compare(r.value(0)) == 0) {
+          out.push_back(Tuple{l.value(0), l.value(1), r.value(0), r.value(1)});
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<Tuple> NestedLoopSemi(const std::vector<Tuple>& left,
+                                    const std::vector<Tuple>& right) {
+    std::vector<Tuple> out;
+    for (const Tuple& l : left) {
+      for (const Tuple& r : right) {
+        if (l.value(0).Compare(r.value(0)) == 0) {
+          out.push_back(l);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(JoinTest, MergeJoinInnerSimple) {
+  std::vector<Tuple> left = {T(1, 10), T(2, 20), T(2, 21), T(4, 40)};
+  std::vector<Tuple> right = {T(2, 200), T(2, 201), T(3, 300), T(4, 400)};
+  MergeJoinOperator join(db_->ctx(), Src(LeftSchema(), left),
+                         Src(RightSchema(), right), {0}, {0},
+                         MergeJoinMode::kInner);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_EQ(Sorted(std::move(out)), Sorted(NestedLoopJoin(left, right)));
+  EXPECT_EQ(join.output_schema().num_fields(), 4u);
+}
+
+TEST_F(JoinTest, MergeJoinSemiSimple) {
+  std::vector<Tuple> left = {T(1, 10), T(2, 20), T(2, 21), T(4, 40)};
+  std::vector<Tuple> right = {T(2, 200), T(2, 201), T(4, 400), T(9, 900)};
+  MergeJoinOperator join(db_->ctx(), Src(LeftSchema(), left),
+                         Src(RightSchema(), right), {0}, {0},
+                         MergeJoinMode::kLeftSemi);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_EQ(Sorted(std::move(out)), Sorted(NestedLoopSemi(left, right)));
+}
+
+TEST_F(JoinTest, MergeJoinEmptySides) {
+  for (bool left_empty : {true, false}) {
+    std::vector<Tuple> left = left_empty ? std::vector<Tuple>{}
+                                         : std::vector<Tuple>{T(1, 1)};
+    std::vector<Tuple> right = left_empty ? std::vector<Tuple>{T(1, 1)}
+                                          : std::vector<Tuple>{};
+    MergeJoinOperator join(db_->ctx(), Src(LeftSchema(), left),
+                           Src(RightSchema(), right), {0}, {0},
+                           MergeJoinMode::kInner);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST_F(JoinTest, MergeJoinRandomizedAgainstNestedLoops) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Tuple> left, right;
+    const size_t ln = rng.Uniform(60), rn = rng.Uniform(60);
+    for (size_t i = 0; i < ln; ++i) {
+      left.push_back(T(rng.UniformInt(0, 15), static_cast<int64_t>(i)));
+    }
+    for (size_t i = 0; i < rn; ++i) {
+      right.push_back(T(rng.UniformInt(0, 15), static_cast<int64_t>(i)));
+    }
+    // Merge join needs sorted inputs.
+    SortSpec spec;
+    spec.keys = {0};
+    auto sorted_left = std::make_unique<SortOperator>(
+        db_->ctx(), Src(LeftSchema(), left), spec);
+    auto sorted_right = std::make_unique<SortOperator>(
+        db_->ctx(), Src(RightSchema(), right), spec);
+    MergeJoinOperator join(db_->ctx(), std::move(sorted_left),
+                           std::move(sorted_right), {0}, {0},
+                           MergeJoinMode::kInner);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+    EXPECT_EQ(Sorted(std::move(out)), Sorted(NestedLoopJoin(left, right)))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(JoinTest, HashJoinInnerMatchesNestedLoops) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Tuple> left, right;
+    const size_t ln = rng.Uniform(80), rn = rng.Uniform(40);
+    for (size_t i = 0; i < ln; ++i) {
+      left.push_back(T(rng.UniformInt(0, 12), static_cast<int64_t>(i)));
+    }
+    for (size_t i = 0; i < rn; ++i) {
+      right.push_back(T(rng.UniformInt(0, 12), static_cast<int64_t>(i)));
+    }
+    HashJoinOperator join(db_->ctx(), Src(LeftSchema(), left),
+                          Src(RightSchema(), right), {0}, {0},
+                          HashJoinMode::kInner, rn);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+    EXPECT_EQ(Sorted(std::move(out)), Sorted(NestedLoopJoin(left, right)))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(JoinTest, HashJoinSemiMatchesNestedLoops) {
+  Rng rng(13);
+  std::vector<Tuple> left, right;
+  for (size_t i = 0; i < 100; ++i) {
+    left.push_back(T(rng.UniformInt(0, 30), static_cast<int64_t>(i)));
+  }
+  for (size_t i = 0; i < 20; ++i) {
+    right.push_back(T(rng.UniformInt(0, 30), static_cast<int64_t>(i)));
+  }
+  HashJoinOperator join(db_->ctx(), Src(LeftSchema(), left),
+                        Src(RightSchema(), right), {0}, {0},
+                        HashJoinMode::kLeftSemi, 20);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_EQ(Sorted(std::move(out)), Sorted(NestedLoopSemi(left, right)));
+  // Semi-join output schema is the probe schema, untouched.
+  EXPECT_EQ(join.output_schema().num_fields(), 2u);
+}
+
+TEST_F(JoinTest, HashJoinEmptyBuild) {
+  HashJoinOperator join(db_->ctx(), Src(LeftSchema(), {T(1, 1)}),
+                        Src(RightSchema(), {}), {0}, {0},
+                        HashJoinMode::kInner);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace reldiv

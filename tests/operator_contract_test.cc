@@ -1,0 +1,162 @@
+// Cross-cutting operator-contract tests: re-openability, mid-stream close,
+// error propagation, and the helper operators (Spool, OwningOperator) that
+// glue plans together.
+
+#include <memory>
+
+#include "division/count_filter.h"
+#include "division/division.h"
+#include "exec/database.h"
+#include "exec/materialize.h"
+#include "exec/mem_source.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "gtest/gtest.h"
+#include "storage/record_file.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace reldiv {
+namespace {
+
+class OperatorContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open(options));
+  }
+
+  Schema TwoCol() {
+    return Schema{Field{"a", ValueType::kInt64},
+                  Field{"b", ValueType::kInt64}};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(OperatorContractTest, ScanReopensFromTheStart) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  for (int i = 0; i < 10; ++i) ASSERT_OK(db_->Insert("t", T(i, i)));
+  ScanOperator scan(db_->ctx(), rel);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> first, CollectAll(&scan));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> second, CollectAll(&scan));
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(OperatorContractTest, SortReopensFromTheStart) {
+  std::vector<Tuple> input = {T(3, 0), T(1, 0), T(2, 0)};
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> first, CollectAll(&sorter));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> second, CollectAll(&sorter));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.front(), T(1, 0));
+}
+
+TEST_F(OperatorContractTest, DivisionPlanReopens) {
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(5, 6));
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db_.get(), workload, "re", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> plan,
+      MakeDivisionPlan(db_->ctx(), query, DivisionAlgorithm::kHashDivision));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> first, CollectAll(plan.get()));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> second, CollectAll(plan.get()));
+  EXPECT_EQ(Sorted(std::move(first)), Sorted(std::move(second)));
+}
+
+TEST_F(OperatorContractTest, CloseWithoutDrainingReleasesPins) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("t", TwoCol()));
+  for (int i = 0; i < 5000; ++i) ASSERT_OK(db_->Insert("t", T(i, i)));
+  ScanOperator scan(db_->ctx(), rel);
+  ASSERT_OK(scan.Open());
+  Tuple tuple;
+  bool has = false;
+  ASSERT_OK(scan.Next(&tuple, &has));
+  ASSERT_TRUE(has);
+  ASSERT_OK(scan.Close());  // page pinned by the scan must be released
+  ASSERT_OK(db_->buffer_manager()->FlushAll());
+  ASSERT_OK(db_->buffer_manager()->DropAll());  // fails if a pin leaked
+}
+
+TEST_F(OperatorContractTest, SpoolOperatorReopensByRespooling) {
+  std::vector<Tuple> input = {T(1, 1), T(2, 2)};
+  SpoolOperator spool(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> first, CollectAll(&spool));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> second, CollectAll(&spool));
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(OperatorContractTest, OwningOperatorKeepsStoresAlive) {
+  // Build a store, wrap a scan of it in OwningOperator, drop every other
+  // reference, and drain: the data must still be there.
+  auto store = std::make_unique<RecordFile>(db_->disk(),
+                                            db_->buffer_manager(), "owned");
+  Relation rel{TwoCol(), store.get()};
+  ASSERT_OK(AppendAll(rel, {T(9, 9)}));
+  std::vector<std::unique_ptr<RecordStore>> owned;
+  owned.push_back(std::move(store));
+  OwningOperator plan(std::make_unique<ScanOperator>(db_->ctx(), rel),
+                      std::move(owned));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&plan));
+  EXPECT_EQ(out, std::vector<Tuple>{T(9, 9)});
+}
+
+TEST_F(OperatorContractTest, GroupCountFilterRejectsNonIntCountColumn) {
+  Schema bad{Field{"g", ValueType::kInt64}, Field{"count", ValueType::kString}};
+  std::vector<Tuple> rows = {Tuple{Value::Int64(1), Value::String("x")}};
+  ASSERT_OK_AND_ASSIGN(Relation divisor,
+                       db_->CreateTable("divisor",
+                                        Schema{Field{"d", ValueType::kInt64}}));
+  GroupCountFilterOperator filter(
+      db_->ctx(), std::make_unique<MemSourceOperator>(bad, rows), divisor);
+  ASSERT_OK(filter.Open());
+  Tuple tuple;
+  bool has = false;
+  EXPECT_TRUE(filter.Next(&tuple, &has).IsInvalidArgument());
+  ASSERT_OK(filter.Close());
+}
+
+TEST_F(OperatorContractTest, MaterializeIntoVirtualDeviceAndBack) {
+  std::vector<Tuple> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(T(i, -i));
+  ASSERT_OK_AND_ASSIGN(Relation tmp, db_->CreateTempTable("vd", TwoCol()));
+  MemSourceOperator src(TwoCol(), input);
+  ASSERT_OK_AND_ASSIGN(uint64_t n, Materialize(&src, tmp.store));
+  EXPECT_EQ(n, 1000u);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, ReadAll(db_->ctx(), tmp));
+  EXPECT_EQ(out, input);
+}
+
+TEST_F(OperatorContractTest, EmptyRelationThroughEveryUnaryOperator) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("empty", TwoCol()));
+  {
+    ScanOperator scan(db_->ctx(), rel);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&scan));
+    EXPECT_TRUE(out.empty());
+  }
+  {
+    SortSpec spec;
+    spec.keys = {0};
+    SortOperator sorter(db_->ctx(),
+                        std::make_unique<ScanOperator>(db_->ctx(), rel),
+                        spec);
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&sorter));
+    EXPECT_TRUE(out.empty());
+  }
+  {
+    SpoolOperator spool(db_->ctx(),
+                        std::make_unique<ScanOperator>(db_->ctx(), rel));
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&spool));
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,290 @@
+#include "planner/physical_planner.h"
+
+#include <memory>
+
+#include "exec/database.h"
+#include "gtest/gtest.h"
+#include "planner/logical_plan.h"
+#include "planner/rewrite.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace reldiv {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open(options));
+    GeneratedWorkload workload = GenerateWorkload([] {
+      WorkloadSpec spec;
+      spec.divisor_cardinality = 8;
+      spec.quotient_candidates = 20;
+      spec.candidate_completeness = 0.5;
+      spec.nonmatching_tuples = 15;
+      spec.seed = 5;
+      return spec;
+    }());
+    expected_ = workload.expected_quotient;
+    ASSERT_OK(LoadWorkload(db_.get(), workload, "p", &dividend_, &divisor_));
+  }
+
+  LogicalNodePtr DividendNode() {
+    return std::make_unique<LogicalRelationNode>("dividend", dividend_);
+  }
+  LogicalNodePtr DivisorNode() {
+    return std::make_unique<LogicalRelationNode>("divisor", divisor_);
+  }
+
+  /// The with-semi-join aggregate formulation of the division.
+  LogicalNodePtr AggregateFormulation() {
+    auto semi = std::make_unique<LogicalSemiJoinNode>(
+        DividendNode(), DivisorNode(), std::vector<size_t>{1},
+        std::vector<size_t>{0});
+    auto counted = std::make_unique<LogicalGroupCountNode>(
+        std::move(semi), std::vector<size_t>{0});
+    return std::make_unique<LogicalCountFilterNode>(std::move(counted),
+                                                    DivisorNode());
+  }
+
+  std::unique_ptr<Database> db_;
+  Relation dividend_, divisor_;
+  std::vector<Tuple> expected_;
+};
+
+TEST_F(PlannerTest, RewriteDetectsSemiJoinPattern) {
+  RewriteResult result = RewriteForAllPattern(AggregateFormulation());
+  EXPECT_EQ(result.divisions_introduced, 1);
+  ASSERT_EQ(result.plan->kind(), LogicalNodeKind::kDivision);
+  const auto& division =
+      static_cast<const LogicalDivisionNode&>(*result.plan);
+  EXPECT_EQ(division.match_attrs(), std::vector<size_t>{1});
+  EXPECT_EQ(division.quotient_attrs(), std::vector<size_t>{0});
+  EXPECT_EQ(division.output_schema().field(0).name, "quotient_id");
+}
+
+TEST_F(PlannerTest, RewrittenPlanComputesTheQuotient) {
+  RewriteResult rewritten = RewriteForAllPattern(AggregateFormulation());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                       CompileLogicalPlan(db_->ctx(),
+                                          std::move(rewritten.plan)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  EXPECT_EQ(Sorted(std::move(quotient)), expected_);
+}
+
+TEST_F(PlannerTest, UnrewrittenAggregatePlanAlsoComputesTheQuotient) {
+  // Executing the aggregate formulation directly (semi-join + group count +
+  // count filter) must agree — the rewrite is an optimization, not a
+  // semantics change.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                       CompileLogicalPlan(db_->ctx(),
+                                          AggregateFormulation()));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  EXPECT_EQ(Sorted(std::move(quotient)), expected_);
+}
+
+TEST_F(PlannerTest, BareCountingPatternNeedsIntegrityAssumption) {
+  auto make_plan = [this] {
+    auto counted = std::make_unique<LogicalGroupCountNode>(
+        DividendNode(), std::vector<size_t>{0});
+    return std::make_unique<LogicalCountFilterNode>(std::move(counted),
+                                                    DivisorNode());
+  };
+  // Without the flag: no rewrite (the dividend has foreign tuples, counting
+  // them would be wrong — §2.2).
+  RewriteResult conservative = RewriteForAllPattern(make_plan());
+  EXPECT_EQ(conservative.divisions_introduced, 0);
+  EXPECT_EQ(conservative.plan->kind(), LogicalNodeKind::kCountFilter);
+
+  RewriteOptions options;
+  options.assume_referential_integrity = true;
+  RewriteResult aggressive = RewriteForAllPattern(make_plan(), options);
+  EXPECT_EQ(aggressive.divisions_introduced, 1);
+  EXPECT_EQ(aggressive.plan->kind(), LogicalNodeKind::kDivision);
+}
+
+TEST_F(PlannerTest, RewriteRejectsPartialSemiJoinKeys) {
+  // Group ∪ join keys must cover the dividend; here column 1 is neither
+  // grouped nor joined, so the pattern is not a division.
+  Schema wide{Field{"a", ValueType::kInt64}, Field{"b", ValueType::kInt64},
+              Field{"c", ValueType::kInt64}};
+  auto wide_rel_result = db_->CreateTable("wide", wide);
+  ASSERT_TRUE(wide_rel_result.ok());
+  auto dividend = std::make_unique<LogicalRelationNode>("wide",
+                                                        *wide_rel_result);
+  auto semi = std::make_unique<LogicalSemiJoinNode>(
+      std::move(dividend), DivisorNode(), std::vector<size_t>{2},
+      std::vector<size_t>{0});
+  auto counted = std::make_unique<LogicalGroupCountNode>(
+      std::move(semi), std::vector<size_t>{0});
+  auto filter = std::make_unique<LogicalCountFilterNode>(std::move(counted),
+                                                         DivisorNode());
+  RewriteResult result = RewriteForAllPattern(std::move(filter));
+  EXPECT_EQ(result.divisions_introduced, 0);
+}
+
+TEST_F(PlannerTest, RewriteRejectsDifferentDivisorSources) {
+  // Semi-join against divisor A, count compared against divisor B: not a
+  // division.
+  auto other = db_->CreateTable("other_divisor", divisor_.schema);
+  ASSERT_TRUE(other.ok());
+  auto semi = std::make_unique<LogicalSemiJoinNode>(
+      DividendNode(),
+      std::make_unique<LogicalRelationNode>("other", *other),
+      std::vector<size_t>{1}, std::vector<size_t>{0});
+  auto counted = std::make_unique<LogicalGroupCountNode>(
+      std::move(semi), std::vector<size_t>{0});
+  auto filter = std::make_unique<LogicalCountFilterNode>(std::move(counted),
+                                                         DivisorNode());
+  RewriteResult result = RewriteForAllPattern(std::move(filter));
+  EXPECT_EQ(result.divisions_introduced, 0);
+}
+
+TEST_F(PlannerTest, EquivalentSourcesRules) {
+  auto a = DivisorNode();
+  auto b = DivisorNode();
+  EXPECT_TRUE(EquivalentSources(*a, *b));
+  auto projected_a = std::make_unique<LogicalProjectNode>(
+      DivisorNode(), std::vector<size_t>{0});
+  auto projected_b = std::make_unique<LogicalProjectNode>(
+      DivisorNode(), std::vector<size_t>{0});
+  EXPECT_TRUE(EquivalentSources(*projected_a, *projected_b));
+  // Selects are opaque: never assumed equal.
+  auto select_a = std::make_unique<LogicalSelectNode>(
+      DivisorNode(), [](const Tuple&) { return true; });
+  auto select_b = std::make_unique<LogicalSelectNode>(
+      DivisorNode(), [](const Tuple&) { return true; });
+  EXPECT_FALSE(EquivalentSources(*select_a, *select_b));
+}
+
+TEST_F(PlannerTest, GroupColumnOrderIsRestored) {
+  // Group on the SECOND quotient column first: the rewrite must project the
+  // division output back into group order.
+  Schema three{Field{"q1", ValueType::kInt64}, Field{"q2", ValueType::kInt64},
+               Field{"d", ValueType::kInt64}};
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("three", three));
+  ASSERT_OK(db_->Insert("three", T(1, 2, 0)));
+  auto dividend = std::make_unique<LogicalRelationNode>("three", rel);
+  auto semi = std::make_unique<LogicalSemiJoinNode>(
+      std::move(dividend), DivisorNode(), std::vector<size_t>{2},
+      std::vector<size_t>{0});
+  auto counted = std::make_unique<LogicalGroupCountNode>(
+      std::move(semi), std::vector<size_t>{1, 0});  // q2 before q1
+  auto filter = std::make_unique<LogicalCountFilterNode>(std::move(counted),
+                                                         DivisorNode());
+  const Schema aggregate_schema = filter->output_schema();
+  RewriteResult result = RewriteForAllPattern(std::move(filter));
+  EXPECT_EQ(result.divisions_introduced, 1);
+  EXPECT_EQ(result.plan->output_schema(), aggregate_schema);
+  EXPECT_EQ(result.plan->output_schema().field(0).name, "q2");
+}
+
+TEST_F(PlannerTest, ChooserPrefersHashDivisionWithRestrictedDivisor) {
+  DivisionStats stats;
+  stats.dividend_tuples = 100000;
+  stats.dividend_pages = 250;
+  stats.divisor_tuples = 100;
+  stats.divisor_pages = 1;
+  stats.quotient_estimate = 1000;
+  stats.memory_pages = 100;
+  stats.divisor_restricted = true;
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  EXPECT_EQ(choice.algorithm, DivisionAlgorithm::kHashDivision);
+  EXPECT_FALSE(choice.needs_partitioning);
+  EXPECT_GT(choice.predicted_ms.at(DivisionAlgorithm::kNaive),
+            choice.predicted_ms.at(DivisionAlgorithm::kHashDivision));
+}
+
+TEST_F(PlannerTest, ChooserMayPreferHashAggregationWithoutJoin) {
+  // Clean inputs (no restriction, no duplicates): hash aggregation without
+  // join is the paper's slightly-faster baseline and the model knows it.
+  // Page counts follow the §4.6 geometry (5 dividend tuples per page), where
+  // sequential I/O dominates and the two algorithms are within ~10%.
+  DivisionStats stats;
+  stats.dividend_tuples = 100000;
+  stats.dividend_pages = 20000;
+  stats.divisor_tuples = 100;
+  stats.divisor_pages = 10;
+  stats.quotient_estimate = 1000;
+  stats.memory_pages = 100;
+  stats.divisor_restricted = false;
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  EXPECT_EQ(choice.algorithm, DivisionAlgorithm::kHashAggregate);
+  const double ha = choice.predicted_ms.at(DivisionAlgorithm::kHashAggregate);
+  const double hd = choice.predicted_ms.at(DivisionAlgorithm::kHashDivision);
+  EXPECT_LT(ha, hd);
+  EXPECT_LT(hd / ha, 1.1);  // "only about 10% slower" territory
+}
+
+TEST_F(PlannerTest, ChooserSurchargesDuplicates) {
+  DivisionStats stats;
+  stats.dividend_tuples = 100000;
+  stats.dividend_pages = 250;
+  stats.divisor_tuples = 100;
+  stats.divisor_pages = 1;
+  stats.quotient_estimate = 1000;
+  stats.memory_pages = 100;
+  stats.divisor_restricted = false;
+  stats.may_contain_duplicates = true;
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  // Duplicate elimination makes the aggregation strategies pay two sorts;
+  // hash-division (immune) wins.
+  EXPECT_EQ(choice.algorithm, DivisionAlgorithm::kHashDivision);
+}
+
+TEST_F(PlannerTest, ChooserPredictsOverflowPartitioning) {
+  DivisionStats stats;
+  stats.dividend_tuples = 10000000;
+  stats.dividend_pages = 25000;
+  stats.divisor_tuples = 1000;
+  stats.divisor_pages = 3;
+  stats.quotient_estimate = 10000;  // ~ (10000+1000)*96 + bitmaps >> memory
+  stats.memory_pages = 32;          // 256 KB
+  stats.divisor_restricted = true;
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  EXPECT_TRUE(choice.needs_partitioning);
+  EXPECT_TRUE(choice.predicted_ms.count(
+      DivisionAlgorithm::kHashDivisionPartitioned) > 0);
+}
+
+TEST_F(PlannerTest, PlanDivisionEndToEnd) {
+  DivisionQuery query{dividend_, divisor_, {"divisor_id"}};
+  AlgorithmChoice choice;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                       PlanDivision(db_->ctx(), query, DivisionOptions{},
+                                    &choice));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  EXPECT_EQ(Sorted(std::move(quotient)), expected_);
+  EXPECT_FALSE(choice.predicted_ms.empty());
+}
+
+TEST_F(PlannerTest, LogicalPlanToStringRendersTree) {
+  std::string rendered = AggregateFormulation()->ToString();
+  EXPECT_NE(rendered.find("CountFilter"), std::string::npos);
+  EXPECT_NE(rendered.find("GroupCount"), std::string::npos);
+  EXPECT_NE(rendered.find("SemiJoin"), std::string::npos);
+  EXPECT_NE(rendered.find("Relation dividend"), std::string::npos);
+}
+
+TEST_F(PlannerTest, CompileSelectProjectDistinct) {
+  // DISTINCT π(divisor_id)(σ(divisor_id < 4)(dividend)).
+  auto select = std::make_unique<LogicalSelectNode>(
+      DividendNode(),
+      [](const Tuple& t) { return t.value(1).int64() < 4; });
+  auto project = std::make_unique<LogicalProjectNode>(
+      std::move(select), std::vector<size_t>{1}, /*distinct=*/true);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                       CompileLogicalPlan(db_->ctx(), std::move(project)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(plan.get()));
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].value(0).int64(), out[i].value(0).int64());
+  }
+  for (const Tuple& t : out) {
+    EXPECT_LT(t.value(0).int64(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace reldiv

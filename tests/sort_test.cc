@@ -1,0 +1,248 @@
+#include "exec/sort.h"
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/database.h"
+#include "exec/mem_source.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+class SortTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.pool_bytes = 0;
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open(options));
+  }
+
+  Schema TwoCol() {
+    return Schema{Field{"a", ValueType::kInt64},
+                  Field{"b", ValueType::kInt64}};
+  }
+
+  std::vector<Tuple> RandomTuples(size_t n, uint64_t seed,
+                                  int64_t key_range = 1000000) {
+    Rng rng(seed);
+    std::vector<Tuple> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(T(rng.UniformInt(0, key_range),
+                      static_cast<int64_t>(i)));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SortTest, InMemorySortNoIo) {
+  std::vector<Tuple> input = RandomTuples(100, 1);
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  ASSERT_EQ(output.size(), 100u);
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LE(output[i - 1].value(0).int64(), output[i].value(0).int64());
+  }
+  EXPECT_EQ(sorter.initial_runs(), 0u);
+  EXPECT_EQ(db_->disk()->stats().transfers, 0u);  // fits in sort space
+}
+
+TEST_F(SortTest, ExternalSortSpillsRunsAndMerges) {
+  // Shrink the sort space so a modest input goes external.
+  db_->ctx()->set_sort_space_bytes(4 * 1024);
+  std::vector<Tuple> input = RandomTuples(5000, 2);
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  ASSERT_EQ(output.size(), 5000u);
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LE(output[i - 1].value(0).int64(), output[i].value(0).int64());
+  }
+  EXPECT_GT(sorter.initial_runs(), 1u);
+  EXPECT_GT(db_->disk()->stats().transfers, 0u);
+  // 1 KB transfers for sort runs (§5.1).
+  EXPECT_EQ(db_->disk()->stats().sectors_transferred,
+            db_->disk()->stats().transfers);
+}
+
+TEST_F(SortTest, ExternalSortWithIntermediateMergePasses) {
+  // Sort space so small that the fan-in (space / 1 KB blocks) forces
+  // intermediate merges before the final on-demand merge.
+  db_->ctx()->set_sort_space_bytes(3 * 1024);  // fan-in 3
+  std::vector<Tuple> input = RandomTuples(4000, 3);
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  ASSERT_EQ(output.size(), 4000u);
+  EXPECT_GT(sorter.intermediate_merges(), 0u);
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LE(output[i - 1].value(0).int64(), output[i].value(0).int64());
+  }
+}
+
+TEST_F(SortTest, StableEnoughDuplicateKeysAllSurvivePlainSort) {
+  std::vector<Tuple> input = {T(5, 0), T(5, 1), T(1, 2), T(5, 3), T(1, 4)};
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_EQ(output.size(), 5u);
+}
+
+TEST_F(SortTest, DuplicateEliminationInMemory) {
+  std::vector<Tuple> input = {T(3, 3), T(1, 1), T(3, 3), T(2, 2), T(1, 1)};
+  SortSpec spec;
+  spec.keys = {0, 1};
+  spec.collapse_equal_keys = true;
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_EQ(output, (std::vector<Tuple>{T(1, 1), T(2, 2), T(3, 3)}));
+}
+
+TEST_F(SortTest, DuplicateEliminationExternalNoRunContainsDuplicates) {
+  db_->ctx()->set_sort_space_bytes(4 * 1024);
+  // Many duplicates over a small key domain.
+  Rng rng(4);
+  std::vector<Tuple> input;
+  for (int i = 0; i < 6000; ++i) {
+    const int64_t k = rng.UniformInt(0, 99);
+    input.push_back(T(k, k));
+  }
+  SortSpec spec;
+  spec.keys = {0, 1};
+  spec.collapse_equal_keys = true;
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_EQ(output.size(), 100u);
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LT(output[i - 1].value(0).int64(), output[i].value(0).int64());
+  }
+}
+
+TEST_F(SortTest, AggregationDuringSortingCountsGroups) {
+  // Lift (a, b) → (a, 1), sum counts on equal a: aggregation during sorting.
+  Rng rng(5);
+  std::vector<Tuple> input;
+  std::map<int64_t, int64_t> expected;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t k = rng.UniformInt(0, 49);
+    input.push_back(T(k, static_cast<int64_t>(i)));
+    expected[k]++;
+  }
+  db_->ctx()->set_sort_space_bytes(4 * 1024);  // force external path
+  SortSpec spec;
+  spec.keys = {0};
+  spec.collapse_equal_keys = true;
+  spec.lift = [](const Tuple& t) {
+    return Tuple{t.value(0), Value::Int64(1)};
+  };
+  spec.lifted_schema = Schema{Field{"a", ValueType::kInt64},
+                              Field{"count", ValueType::kInt64}};
+  spec.merge = [](Tuple* acc, const Tuple& next) {
+    acc->value(1) =
+        Value::Int64(acc->value(1).int64() + next.value(1).int64());
+  };
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  ASSERT_EQ(output.size(), expected.size());
+  for (const Tuple& t : output) {
+    EXPECT_EQ(t.value(1).int64(), expected[t.value(0).int64()]);
+  }
+}
+
+TEST_F(SortTest, EmptyInput) {
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(
+      db_->ctx(), std::make_unique<MemSourceOperator>(TwoCol(),
+                                                      std::vector<Tuple>{}),
+      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_TRUE(output.empty());
+}
+
+TEST_F(SortTest, SingleTuple) {
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(
+                          TwoCol(), std::vector<Tuple>{T(9, 9)}),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_EQ(output, std::vector<Tuple>{T(9, 9)});
+}
+
+TEST_F(SortTest, MultiKeyMajorMinorOrder) {
+  std::vector<Tuple> input = {T(2, 1), T(1, 2), T(2, 0), T(1, 1)};
+  SortSpec spec;
+  spec.keys = {0, 1};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  EXPECT_EQ(output,
+            (std::vector<Tuple>{T(1, 1), T(1, 2), T(2, 0), T(2, 1)}));
+}
+
+TEST_F(SortTest, ComparisonsAreCounted) {
+  std::vector<Tuple> input = RandomTuples(256, 6);
+  db_->ResetStats();
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(TwoCol(), input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  (void)output;
+  // Quicksort of 256 tuples: at least n log2 n / 2 comparisons.
+  EXPECT_GT(db_->counters()->comparisons, 256u * 8 / 2);
+}
+
+TEST_F(SortTest, ExternalSortOfStringsRoundTrips) {
+  db_->ctx()->set_sort_space_bytes(2 * 1024);
+  Schema schema{Field{"s", ValueType::kString}};
+  Rng rng(7);
+  std::vector<Tuple> input;
+  for (int i = 0; i < 800; ++i) {
+    std::string s(1 + rng.Uniform(20), 'a');
+    for (char& c : s) c = static_cast<char>('a' + rng.Uniform(26));
+    input.push_back(Tuple{Value::String(s)});
+  }
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(),
+                      std::make_unique<MemSourceOperator>(schema, input),
+                      spec);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> output, CollectAll(&sorter));
+  ASSERT_EQ(output.size(), input.size());
+  for (size_t i = 1; i < output.size(); ++i) {
+    EXPECT_LE(output[i - 1].value(0).string_value(),
+              output[i].value(0).string_value());
+  }
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,128 @@
+// Large randomized end-to-end runs exercising the full stack under a
+// constrained memory budget: external sorts spill, the buffer pool evicts,
+// hash tables share the pool with frames, and every algorithm still has to
+// agree with brute force.
+
+#include <memory>
+
+#include "common/rng.h"
+#include "division/division.h"
+#include "exec/database.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace reldiv {
+namespace {
+
+struct StressCase {
+  uint64_t divisor;
+  uint64_t candidates;
+  double completeness;
+  uint64_t foreign;
+  uint64_t dups;
+  size_t pool_kb;  ///< 0 = unbounded
+  uint64_t seed;
+};
+
+class StressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressTest, AllAlgorithmsAgreeUnderMemoryPressure) {
+  const StressCase& c = GetParam();
+  WorkloadSpec spec;
+  spec.divisor_cardinality = c.divisor;
+  spec.quotient_candidates = c.candidates;
+  spec.candidate_completeness = c.completeness;
+  spec.nonmatching_tuples = c.foreign;
+  spec.dividend_duplicates = c.dups;
+  spec.divisor_duplicates = c.dups / 10;
+  spec.seed = c.seed;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+
+  DatabaseOptions options;
+  options.pool_bytes = c.pool_kb * 1024;
+  options.sort_space_bytes = 24 * 1024;  // force external sorts
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db.get(), workload, "stress", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+
+  for (DivisionAlgorithm algorithm :
+       {DivisionAlgorithm::kNaive, DivisionAlgorithm::kSortAggregateWithJoin,
+        DivisionAlgorithm::kHashAggregateWithJoin,
+        DivisionAlgorithm::kHashDivisionPartitioned}) {
+    DivisionOptions div_options;
+    div_options.eliminate_duplicates =
+        algorithm == DivisionAlgorithm::kSortAggregateWithJoin ||
+        algorithm == DivisionAlgorithm::kHashAggregateWithJoin;
+    div_options.num_partitions = 16;
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient,
+                         Divide(db->ctx(), query, algorithm, div_options));
+    EXPECT_EQ(Sorted(std::move(quotient)), workload.expected_quotient)
+        << DivisionAlgorithmName(algorithm);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StressTest,
+    ::testing::Values(
+        StressCase{60, 1500, 0.5, 20000, 5000, 0, 201},
+        StressCase{200, 500, 0.3, 50000, 0, 0, 202},
+        StressCase{30, 3000, 0.7, 0, 10000, 512, 203},
+        StressCase{500, 100, 0.5, 30000, 2000, 512, 204}),
+    [](const ::testing::TestParamInfo<StressCase>& param_info) {
+      const StressCase& c = param_info.param;
+      return "S" + std::to_string(c.divisor) + "_C" +
+             std::to_string(c.candidates) + "_f" + std::to_string(c.foreign) +
+             "_d" + std::to_string(c.dups) + "_m" +
+             std::to_string(c.pool_kb);
+    });
+
+TEST(StressSingle, FileBackedDiskEndToEnd) {
+  // Same pipeline on a Unix-file-backed simulated disk (§5.1 supports both
+  // backings).
+  DatabaseOptions options;
+  options.pool_bytes = 256 * 1024;
+  options.file_backed_disk = true;
+  options.disk_path = "/tmp/reldiv-stress-disk.bin";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(50, 200));
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db.get(), workload, "file", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+  for (DivisionAlgorithm algorithm :
+       {DivisionAlgorithm::kNaive, DivisionAlgorithm::kHashDivision}) {
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient,
+                         Divide(db->ctx(), query, algorithm));
+    EXPECT_EQ(Sorted(std::move(quotient)), workload.expected_quotient)
+        << DivisionAlgorithmName(algorithm);
+  }
+}
+
+TEST(StressSingle, RepeatedQueriesReuseTheSameDatabase) {
+  // Plans must not leak pins or pool memory: run many divisions back to
+  // back on one instance with a finite budget and verify the pool drains.
+  DatabaseOptions options;
+  options.pool_bytes = 512 * 1024;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(40, 100));
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db.get(), workload, "loop", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+  for (int round = 0; round < 20; ++round) {
+    const DivisionAlgorithm algorithm =
+        round % 2 == 0 ? DivisionAlgorithm::kHashDivision
+                       : DivisionAlgorithm::kHashAggregateWithJoin;
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient,
+                         Divide(db->ctx(), query, algorithm));
+    ASSERT_EQ(quotient.size(), workload.expected_quotient.size())
+        << "round " << round;
+  }
+  // After draining the buffer pool, only frame memory may remain reserved.
+  ASSERT_OK(db->buffer_manager()->FlushAll());
+  ASSERT_OK(db->buffer_manager()->DropAll());
+  EXPECT_EQ(db->pool()->used(), 0u);
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,31 @@
+#include "tests/test_util.h"
+
+#include <map>
+
+namespace reldiv {
+
+std::vector<Tuple> ReferenceDivision(
+    const std::vector<Tuple>& dividend, const std::vector<Tuple>& divisor,
+    const std::vector<size_t>& match_attrs,
+    const std::vector<size_t>& quotient_attrs) {
+  // Distinct divisor tuples.
+  std::set<Tuple> divisor_set(divisor.begin(), divisor.end());
+  if (divisor_set.empty()) return {};
+
+  // For each distinct quotient value, the set of matched divisor tuples.
+  std::map<Tuple, std::set<Tuple>> matched;
+  for (const Tuple& t : dividend) {
+    Tuple key = t.Project(quotient_attrs);
+    Tuple divisor_part = t.Project(match_attrs);
+    if (divisor_set.count(divisor_part) != 0) {
+      matched[std::move(key)].insert(std::move(divisor_part));
+    }
+  }
+  std::vector<Tuple> quotient;
+  for (const auto& [key, seen] : matched) {
+    if (seen.size() == divisor_set.size()) quotient.push_back(key);
+  }
+  return quotient;  // std::map iteration → already sorted
+}
+
+}  // namespace reldiv

@@ -1,0 +1,133 @@
+#include "workload/generator.h"
+
+#include <map>
+#include <set>
+
+#include "exec/materialize.h"
+#include "exec/scan.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "workload/university.h"
+
+namespace reldiv {
+namespace {
+
+TEST(GeneratorTest, PaperCellIsExactCartesianProduct) {
+  GeneratedWorkload w = GenerateWorkload(PaperCell(25, 100));
+  EXPECT_EQ(w.divisor.size(), 25u);
+  EXPECT_EQ(w.dividend.size(), 2500u);  // R = Q × S
+  EXPECT_EQ(w.expected_quotient.size(), 100u);
+  // No duplicates in the exact case.
+  std::set<Tuple> dividend_set(w.dividend.begin(), w.dividend.end());
+  EXPECT_EQ(dividend_set.size(), w.dividend.size());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 7;
+  spec.quotient_candidates = 11;
+  spec.candidate_completeness = 0.5;
+  spec.nonmatching_tuples = 5;
+  spec.seed = 99;
+  GeneratedWorkload a = GenerateWorkload(spec);
+  GeneratedWorkload b = GenerateWorkload(spec);
+  EXPECT_EQ(a.dividend, b.dividend);
+  EXPECT_EQ(a.divisor, b.divisor);
+  spec.seed = 100;
+  GeneratedWorkload c = GenerateWorkload(spec);
+  EXPECT_NE(a.dividend, c.dividend);
+}
+
+TEST(GeneratorTest, CompletenessControlsQuotientSize) {
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 10;
+  spec.quotient_candidates = 100;
+  spec.candidate_completeness = 0.3;
+  GeneratedWorkload w = GenerateWorkload(spec);
+  EXPECT_EQ(w.expected_quotient.size(), 30u);
+}
+
+TEST(GeneratorTest, GroundTruthMatchesBruteForce) {
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 9;
+  spec.quotient_candidates = 40;
+  spec.candidate_completeness = 0.25;
+  spec.nonmatching_tuples = 30;
+  spec.dividend_duplicates = 12;
+  spec.divisor_duplicates = 3;
+  GeneratedWorkload w = GenerateWorkload(spec);
+  EXPECT_EQ(ReferenceDivision(w.dividend, w.divisor, {1}, {0}),
+            w.expected_quotient);
+}
+
+TEST(GeneratorTest, NonMatchingTuplesAreOutsideDivisorDomain) {
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 6;
+  spec.quotient_candidates = 4;
+  spec.nonmatching_tuples = 25;
+  GeneratedWorkload w = GenerateWorkload(spec);
+  size_t foreign = 0;
+  for (const Tuple& t : w.dividend) {
+    if (t.value(1).int64() >= 6) foreign++;
+  }
+  EXPECT_EQ(foreign, 25u);
+}
+
+TEST(GeneratorTest, LoadWorkloadCreatesTables) {
+  DatabaseOptions options;
+  options.pool_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  GeneratedWorkload w = GenerateWorkload(PaperCell(5, 5));
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db.get(), w, "x", &dividend, &divisor));
+  EXPECT_EQ(dividend.store->num_records(), 25u);
+  EXPECT_EQ(divisor.store->num_records(), 5u);
+  ASSERT_OK_AND_ASSIGN(Relation found, db->GetTable("x_dividend"));
+  EXPECT_EQ(found.store, dividend.store);
+}
+
+TEST(UniversityTest, Figure2DataMatchesPaper) {
+  DatabaseOptions options;
+  options.pool_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  ASSERT_OK_AND_ASSIGN(UniversityTables tables, LoadFigure2Example(db.get()));
+  EXPECT_EQ(tables.courses.store->num_records(), 3u);
+  EXPECT_EQ(tables.transcript.store->num_records(), 4u);
+}
+
+TEST(UniversityTest, GeneratedCampusHasPromisedStructure) {
+  DatabaseOptions options;
+  options.pool_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(options));
+  UniversitySpec spec;
+  ASSERT_OK_AND_ASSIGN(UniversityTables tables,
+                       LoadUniversity(db.get(), spec));
+  EXPECT_EQ(tables.courses.store->num_records(), spec.num_courses);
+
+  // Students 0..all_courses_students-1 have every course; students up to
+  // db_students have all database courses; others miss one.
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> transcript,
+                       ReadAll(db->ctx(), tables.transcript));
+  std::map<int64_t, std::set<int64_t>> by_student;
+  for (const Tuple& t : transcript) {
+    by_student[t.value(0).int64()].insert(t.value(1).int64());
+  }
+  for (uint64_t s = 0; s < spec.num_students; ++s) {
+    const auto& taken = by_student[static_cast<int64_t>(s)];
+    size_t db_taken = 0;
+    for (uint64_t c = 0; c < spec.num_database_courses; ++c) {
+      db_taken += taken.count(static_cast<int64_t>(c));
+    }
+    if (s < spec.all_courses_students) {
+      EXPECT_EQ(taken.size(), spec.num_courses) << "student " << s;
+    } else if (s < spec.db_students) {
+      EXPECT_EQ(db_taken, spec.num_database_courses) << "student " << s;
+      EXPECT_LT(taken.size(), spec.num_courses) << "student " << s;
+    } else {
+      EXPECT_LT(db_taken, spec.num_database_courses) << "student " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reldiv
