@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_choice.dir/algorithm_choice.cc.o"
+  "CMakeFiles/algorithm_choice.dir/algorithm_choice.cc.o.d"
+  "algorithm_choice"
+  "algorithm_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

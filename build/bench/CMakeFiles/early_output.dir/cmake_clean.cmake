@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_output.dir/early_output.cc.o"
+  "CMakeFiles/early_output.dir/early_output.cc.o.d"
+  "early_output"
+  "early_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

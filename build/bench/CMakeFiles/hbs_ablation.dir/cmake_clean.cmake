@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbs_ablation.dir/hbs_ablation.cc.o"
+  "CMakeFiles/hbs_ablation.dir/hbs_ablation.cc.o.d"
+  "hbs_ablation"
+  "hbs_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbs_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbs_ablation.
+# This may be replaced when dependencies are built.

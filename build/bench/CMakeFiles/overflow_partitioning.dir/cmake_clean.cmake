@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_partitioning.dir/overflow_partitioning.cc.o"
+  "CMakeFiles/overflow_partitioning.dir/overflow_partitioning.cc.o.d"
+  "overflow_partitioning"
+  "overflow_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scaleup.dir/parallel_scaleup.cc.o"
+  "CMakeFiles/parallel_scaleup.dir/parallel_scaleup.cc.o.d"
+  "parallel_scaleup"
+  "parallel_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

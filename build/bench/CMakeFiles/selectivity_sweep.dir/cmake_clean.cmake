@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_sweep.dir/selectivity_sweep.cc.o"
+  "CMakeFiles/selectivity_sweep.dir/selectivity_sweep.cc.o.d"
+  "selectivity_sweep"
+  "selectivity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_analytical.dir/table2_analytical.cc.o"
+  "CMakeFiles/table2_analytical.dir/table2_analytical.cc.o.d"
+  "table2_analytical"
+  "table2_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_experimental.dir/table4_experimental.cc.o"
+  "CMakeFiles/table4_experimental.dir/table4_experimental.cc.o.d"
+  "table4_experimental"
+  "table4_experimental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_experimental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_audit.dir/course_audit.cpp.o"
+  "CMakeFiles/course_audit.dir/course_audit.cpp.o.d"
+  "course_audit"
+  "course_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

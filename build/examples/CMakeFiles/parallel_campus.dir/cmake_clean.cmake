@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_campus.dir/parallel_campus.cpp.o"
+  "CMakeFiles/parallel_campus.dir/parallel_campus.cpp.o.d"
+  "parallel_campus"
+  "parallel_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplier_parts.dir/supplier_parts.cpp.o"
+  "CMakeFiles/supplier_parts.dir/supplier_parts.cpp.o.d"
+  "supplier_parts"
+  "supplier_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplier_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitmap.cc" "src/CMakeFiles/reldiv.dir/common/bitmap.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/bitmap.cc.o.d"
+  "/root/repo/src/common/counters.cc" "src/CMakeFiles/reldiv.dir/common/counters.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/counters.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/reldiv.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/ordered_key.cc" "src/CMakeFiles/reldiv.dir/common/ordered_key.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/ordered_key.cc.o.d"
+  "/root/repo/src/common/row_codec.cc" "src/CMakeFiles/reldiv.dir/common/row_codec.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/row_codec.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/reldiv.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/reldiv.dir/common/status.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/status.cc.o.d"
+  "/root/repo/src/common/tuple.cc" "src/CMakeFiles/reldiv.dir/common/tuple.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/tuple.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/reldiv.dir/common/value.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/common/value.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/reldiv.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/io_cost.cc" "src/CMakeFiles/reldiv.dir/cost/io_cost.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/cost/io_cost.cc.o.d"
+  "/root/repo/src/division/count_filter.cc" "src/CMakeFiles/reldiv.dir/division/count_filter.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/count_filter.cc.o.d"
+  "/root/repo/src/division/division.cc" "src/CMakeFiles/reldiv.dir/division/division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/division.cc.o.d"
+  "/root/repo/src/division/hash_agg_division.cc" "src/CMakeFiles/reldiv.dir/division/hash_agg_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/hash_agg_division.cc.o.d"
+  "/root/repo/src/division/hash_division.cc" "src/CMakeFiles/reldiv.dir/division/hash_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/hash_division.cc.o.d"
+  "/root/repo/src/division/naive_division.cc" "src/CMakeFiles/reldiv.dir/division/naive_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/naive_division.cc.o.d"
+  "/root/repo/src/division/partitioned_hash_division.cc" "src/CMakeFiles/reldiv.dir/division/partitioned_hash_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/partitioned_hash_division.cc.o.d"
+  "/root/repo/src/division/sort_agg_division.cc" "src/CMakeFiles/reldiv.dir/division/sort_agg_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/division/sort_agg_division.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/reldiv.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/database.cc" "src/CMakeFiles/reldiv.dir/exec/database.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/database.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/reldiv.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/reldiv.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/reldiv.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/reldiv.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/CMakeFiles/reldiv.dir/exec/hash_table.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/hash_table.cc.o.d"
+  "/root/repo/src/exec/index_join.cc" "src/CMakeFiles/reldiv.dir/exec/index_join.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/index_join.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/CMakeFiles/reldiv.dir/exec/materialize.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/materialize.cc.o.d"
+  "/root/repo/src/exec/mem_source.cc" "src/CMakeFiles/reldiv.dir/exec/mem_source.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/mem_source.cc.o.d"
+  "/root/repo/src/exec/merge_join.cc" "src/CMakeFiles/reldiv.dir/exec/merge_join.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/merge_join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/reldiv.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/reldiv.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/scalar_aggregate.cc" "src/CMakeFiles/reldiv.dir/exec/scalar_aggregate.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/scalar_aggregate.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/reldiv.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/reldiv.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/sort.cc.o.d"
+  "/root/repo/src/exec/sort_aggregate.cc" "src/CMakeFiles/reldiv.dir/exec/sort_aggregate.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/exec/sort_aggregate.cc.o.d"
+  "/root/repo/src/parallel/bit_vector_filter.cc" "src/CMakeFiles/reldiv.dir/parallel/bit_vector_filter.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/parallel/bit_vector_filter.cc.o.d"
+  "/root/repo/src/parallel/network.cc" "src/CMakeFiles/reldiv.dir/parallel/network.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/parallel/network.cc.o.d"
+  "/root/repo/src/parallel/node.cc" "src/CMakeFiles/reldiv.dir/parallel/node.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/parallel/node.cc.o.d"
+  "/root/repo/src/parallel/parallel_hash_division.cc" "src/CMakeFiles/reldiv.dir/parallel/parallel_hash_division.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/parallel/parallel_hash_division.cc.o.d"
+  "/root/repo/src/parallel/partitioner.cc" "src/CMakeFiles/reldiv.dir/parallel/partitioner.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/parallel/partitioner.cc.o.d"
+  "/root/repo/src/planner/logical_plan.cc" "src/CMakeFiles/reldiv.dir/planner/logical_plan.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/planner/logical_plan.cc.o.d"
+  "/root/repo/src/planner/physical_planner.cc" "src/CMakeFiles/reldiv.dir/planner/physical_planner.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/planner/physical_planner.cc.o.d"
+  "/root/repo/src/planner/rewrite.cc" "src/CMakeFiles/reldiv.dir/planner/rewrite.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/planner/rewrite.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/reldiv.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_manager.cc" "src/CMakeFiles/reldiv.dir/storage/buffer_manager.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/buffer_manager.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/reldiv.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/extent_file.cc" "src/CMakeFiles/reldiv.dir/storage/extent_file.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/extent_file.cc.o.d"
+  "/root/repo/src/storage/memory_manager.cc" "src/CMakeFiles/reldiv.dir/storage/memory_manager.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/memory_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/reldiv.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/record_file.cc" "src/CMakeFiles/reldiv.dir/storage/record_file.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/record_file.cc.o.d"
+  "/root/repo/src/storage/virtual_device.cc" "src/CMakeFiles/reldiv.dir/storage/virtual_device.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/storage/virtual_device.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/reldiv.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/university.cc" "src/CMakeFiles/reldiv.dir/workload/university.cc.o" "gcc" "src/CMakeFiles/reldiv.dir/workload/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/division_property_test.dir/division_property_test.cc.o"
+  "CMakeFiles/division_property_test.dir/division_property_test.cc.o.d"
+  "division_property_test"
+  "division_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/division_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

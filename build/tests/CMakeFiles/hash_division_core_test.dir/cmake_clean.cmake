@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_division_core_test.dir/hash_division_core_test.cc.o"
+  "CMakeFiles/hash_division_core_test.dir/hash_division_core_test.cc.o.d"
+  "hash_division_core_test"
+  "hash_division_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_division_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

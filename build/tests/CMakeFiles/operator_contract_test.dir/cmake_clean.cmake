@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_contract_test.dir/operator_contract_test.cc.o"
+  "CMakeFiles/operator_contract_test.dir/operator_contract_test.cc.o.d"
+  "operator_contract_test"
+  "operator_contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_division_test.dir/partitioned_division_test.cc.o"
+  "CMakeFiles/partitioned_division_test.dir/partitioned_division_test.cc.o.d"
+  "partitioned_division_test"
+  "partitioned_division_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

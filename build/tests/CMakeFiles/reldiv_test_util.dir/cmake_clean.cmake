@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reldiv_test_util.dir/test_util.cc.o"
+  "CMakeFiles/reldiv_test_util.dir/test_util.cc.o.d"
+  "libreldiv_test_util.a"
+  "libreldiv_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reldiv_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

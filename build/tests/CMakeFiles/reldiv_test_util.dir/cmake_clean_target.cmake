@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreldiv_test_util.a"
+)
