@@ -9,30 +9,9 @@ Bitmap::Bitmap(size_t num_bits)
   words_ = owned_.data();
 }
 
-Bitmap Bitmap::MapOnto(uint64_t* words, size_t num_bits) {
-  Bitmap bm;
-  bm.words_ = words;
-  bm.num_bits_ = num_bits;
-  return bm;
-}
-
 void Bitmap::ClearAll() {
   const size_t words = WordsForBits(num_bits_);
   for (size_t i = 0; i < words; ++i) words_[i] = 0;
-}
-
-bool Bitmap::Set(size_t i) {
-  assert(i < num_bits_);
-  const uint64_t mask = uint64_t{1} << (i & 63);
-  uint64_t& word = words_[i >> 6];
-  const bool was_clear = (word & mask) == 0;
-  word |= mask;
-  return was_clear;
-}
-
-bool Bitmap::Test(size_t i) const {
-  assert(i < num_bits_);
-  return (words_[i >> 6] & (uint64_t{1} << (i & 63))) != 0;
 }
 
 bool Bitmap::AllSet() const {

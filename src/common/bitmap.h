@@ -1,6 +1,7 @@
 #ifndef RELDIV_COMMON_BITMAP_H_
 #define RELDIV_COMMON_BITMAP_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -33,8 +34,14 @@ class Bitmap {
 
   /// Non-owning bitmap over `words` (caller keeps the storage alive and
   /// zero-initialized via ClearAll()). Used for arena-allocated bit maps in
-  /// the quotient table.
-  static Bitmap MapOnto(uint64_t* words, size_t num_bits);
+  /// the quotient table. Inline along with Set/Test: hash-division touches
+  /// one bit per dividend tuple.
+  static Bitmap MapOnto(uint64_t* words, size_t num_bits) {
+    Bitmap bm;
+    bm.words_ = words;
+    bm.num_bits_ = num_bits;
+    return bm;
+  }
 
   size_t num_bits() const { return num_bits_; }
 
@@ -43,9 +50,19 @@ class Bitmap {
 
   /// Sets bit `i`. Returns true if the bit was previously clear (needed by
   /// the early-output variant's counter update, paper §3.3 point 2).
-  bool Set(size_t i);
+  bool Set(size_t i) {
+    assert(i < num_bits_);
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t& word = words_[i >> 6];
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
 
-  bool Test(size_t i) const;
+  bool Test(size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] & (uint64_t{1} << (i & 63))) != 0;
+  }
 
   /// True iff every one of the `num_bits` bits is set. Scans whole words;
   /// the trailing partial word is masked.

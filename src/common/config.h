@@ -30,6 +30,10 @@ inline constexpr size_t kDefaultSortSpaceBytes = 100 * 1024;
 /// Pages in an allocation extent for extent-based files.
 inline constexpr uint32_t kExtentPages = 8;
 
+/// Default tuple-slot count of a TupleBatch; the unit of work of the
+/// vectorized operator protocol (exec/batch.h).
+inline constexpr size_t kDefaultBatchCapacity = 1024;
+
 /// Invalid page / record markers.
 inline constexpr uint32_t kInvalidPageNo = 0xffffffffu;
 

@@ -31,6 +31,16 @@ bool GetU64(Slice payload, size_t* pos, uint64_t* v) {
   return true;
 }
 
+// Unchecked little-endian load; the byte loop compiles to a single load on
+// little-endian targets and stays correct elsewhere.
+uint64_t LoadLE64(const char* p) {
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return out;
+}
+
 bool GetU32(Slice payload, size_t* pos, uint32_t* v) {
   if (*pos + 4 > payload.size()) return false;
   uint32_t out = 0;
@@ -88,10 +98,31 @@ Result<std::string> RowCodec::EncodeToString(const Tuple& tuple) const {
 }
 
 Status RowCodec::Decode(Slice payload, Tuple* tuple) const {
+  if (fixed_width_) {
+    // All columns are 8-byte numerics: one bounds check for the whole row,
+    // values overwritten in place so a reused tuple costs no allocation.
+    const size_t n = schema_.num_fields();
+    if (payload.size() != n * 8) {
+      return Status::Corruption("fixed-width record size mismatch");
+    }
+    tuple->Resize(n);
+    const char* p = payload.data();
+    for (size_t i = 0; i < n; ++i, p += 8) {
+      const uint64_t bits = LoadLE64(p);
+      if (types_[i] == ValueType::kInt64) {
+        tuple->value(i).SetInt64(static_cast<int64_t>(bits));
+      } else {
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        tuple->value(i).SetDouble(d);
+      }
+    }
+    return Status::OK();
+  }
   tuple->Clear();
   size_t pos = 0;
   for (size_t i = 0; i < schema_.num_fields(); ++i) {
-    switch (schema_.field(i).type) {
+    switch (types_[i]) {
       case ValueType::kInt64: {
         uint64_t v;
         if (!GetU64(payload, &pos, &v)) {

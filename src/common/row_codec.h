@@ -2,6 +2,7 @@
 #define RELDIV_COMMON_ROW_CODEC_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/schema.h"
@@ -17,7 +18,14 @@ namespace reldiv {
 /// otherwise.
 class RowCodec {
  public:
-  explicit RowCodec(Schema schema) : schema_(std::move(schema)) {}
+  explicit RowCodec(Schema schema) : schema_(std::move(schema)) {
+    fixed_width_ = true;
+    types_.reserve(schema_.num_fields());
+    for (size_t i = 0; i < schema_.num_fields(); ++i) {
+      types_.push_back(schema_.field(i).type);
+      if (schema_.field(i).type == ValueType::kString) fixed_width_ = false;
+    }
+  }
 
   const Schema& schema() const { return schema_; }
 
@@ -36,6 +44,8 @@ class RowCodec {
 
  private:
   Schema schema_;
+  std::vector<ValueType> types_;  ///< densely packed field types (hot loop)
+  bool fixed_width_ = false;      ///< no string fields: 8 bytes per column
 };
 
 }  // namespace reldiv

@@ -44,30 +44,9 @@ int Tuple::CompareAtAgainstWhole(const std::vector<size_t>& indices,
   return 0;
 }
 
-int Tuple::CompareProjected(const std::vector<size_t>& my_indices,
-                            const Tuple& other,
-                            const std::vector<size_t>& other_indices) const {
-  const size_t n = my_indices.size() < other_indices.size()
-                       ? my_indices.size()
-                       : other_indices.size();
-  for (size_t i = 0; i < n; ++i) {
-    int c = values_[my_indices[i]].Compare(other.value(other_indices[i]));
-    if (c != 0) return c;
-  }
-  if (my_indices.size() < other_indices.size()) return -1;
-  if (my_indices.size() > other_indices.size()) return 1;
-  return 0;
-}
-
 uint64_t Tuple::Hash() const {
   uint64_t h = 0x51ed270b153a4d2full;
   for (const Value& v : values_) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-uint64_t Tuple::HashAt(const std::vector<size_t>& indices) const {
-  uint64_t h = 0x51ed270b153a4d2full;
-  for (size_t idx : indices) h = HashCombine(h, values_[idx].Hash());
   return h;
 }
 

@@ -27,6 +27,14 @@ class Tuple {
   void Append(Value v) { values_.push_back(std::move(v)); }
   void Clear() { values_.clear(); }
 
+  /// Resizes to `n` values; existing values below `n` are kept as-is for
+  /// in-place overwriting (decode hot path).
+  void Resize(size_t n) { values_.resize(n); }
+
+  /// Buffer-preserving exchange: one vector swap instead of the three moves
+  /// of std::swap. Batch compaction does this once per rejected tuple.
+  void Swap(Tuple& other) noexcept { values_.swap(other.values_); }
+
   /// New tuple with the values at `indices`, in that order.
   Tuple Project(const std::vector<size_t>& indices) const;
 
@@ -43,15 +51,32 @@ class Tuple {
 
   /// Compares this tuple's `my_indices` columns against `other`'s
   /// `other_indices` columns pairwise (key comparison across two schemas).
+  /// Inline: innermost loop of every hash-table probe.
   int CompareProjected(const std::vector<size_t>& my_indices,
                        const Tuple& other,
-                       const std::vector<size_t>& other_indices) const;
+                       const std::vector<size_t>& other_indices) const {
+    const size_t n = my_indices.size() < other_indices.size()
+                         ? my_indices.size()
+                         : other_indices.size();
+    for (size_t i = 0; i < n; ++i) {
+      int c = values_[my_indices[i]].Compare(other.value(other_indices[i]));
+      if (c != 0) return c;
+    }
+    if (my_indices.size() < other_indices.size()) return -1;
+    if (my_indices.size() > other_indices.size()) return 1;
+    return 0;
+  }
 
   /// Hash over all values.
   uint64_t Hash() const;
 
-  /// Hash restricted to the values at `indices`.
-  uint64_t HashAt(const std::vector<size_t>& indices) const;
+  /// Hash restricted to the values at `indices`. Inline: feeds every
+  /// hash-table probe.
+  uint64_t HashAt(const std::vector<size_t>& indices) const {
+    uint64_t h = 0x51ed270b153a4d2full;
+    for (size_t idx : indices) h = HashCombine(h, values_[idx].Hash());
+    return h;
+  }
 
   /// "(v1, v2, ...)" for diagnostics.
   std::string ToString() const;

@@ -18,44 +18,6 @@ const char* ValueTypeName(ValueType type) {
   return "unknown";
 }
 
-int Value::Compare(const Value& other) const {
-  if (type_ != other.type_) {
-    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
-  }
-  switch (type_) {
-    case ValueType::kInt64:
-      if (int64_ < other.int64_) return -1;
-      if (int64_ > other.int64_) return 1;
-      return 0;
-    case ValueType::kDouble:
-      if (double_ < other.double_) return -1;
-      if (double_ > other.double_) return 1;
-      return 0;
-    case ValueType::kString:
-      return string_.compare(other.string_) < 0
-                 ? -1
-                 : (string_ == other.string_ ? 0 : 1);
-  }
-  return 0;
-}
-
-uint64_t Value::Hash() const {
-  const uint64_t tag = static_cast<uint64_t>(type_) + 1;
-  switch (type_) {
-    case ValueType::kInt64:
-      return HashCombine(tag, Hash64(static_cast<uint64_t>(int64_)));
-    case ValueType::kDouble: {
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(double_));
-      __builtin_memcpy(&bits, &double_, sizeof(bits));
-      return HashCombine(tag, Hash64(bits));
-    }
-    case ValueType::kString:
-      return HashCombine(tag, HashBytes(string_.data(), string_.size()));
-  }
-  return 0;
-}
-
 std::string Value::ToString() const {
   switch (type_) {
     case ValueType::kInt64:

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "common/hash.h"
+
 namespace reldiv {
 
 /// Column data types supported by the engine. The paper's experiments use
@@ -36,11 +38,59 @@ class Value {
   double double_value() const { return double_; }
   const std::string& string_value() const { return string_; }
 
-  /// Three-way comparison; types compare by tag first, then by value.
-  int Compare(const Value& other) const;
+  /// Overwrites the value in place without reallocating (decode hot path).
+  void SetInt64(int64_t v) {
+    if (!string_.empty()) string_.clear();
+    type_ = ValueType::kInt64;
+    int64_ = v;
+  }
+  void SetDouble(double v) {
+    if (!string_.empty()) string_.clear();
+    type_ = ValueType::kDouble;
+    double_ = v;
+  }
 
-  /// 64-bit hash of the value (type-tag mixed in).
-  uint64_t Hash() const;
+  /// Three-way comparison; types compare by tag first, then by value.
+  /// Inline: this sits on the innermost loop of every hash probe and sort.
+  int Compare(const Value& other) const {
+    if (type_ != other.type_) {
+      return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+    }
+    switch (type_) {
+      case ValueType::kInt64:
+        if (int64_ < other.int64_) return -1;
+        if (int64_ > other.int64_) return 1;
+        return 0;
+      case ValueType::kDouble:
+        if (double_ < other.double_) return -1;
+        if (double_ > other.double_) return 1;
+        return 0;
+      case ValueType::kString:
+        return string_.compare(other.string_) < 0
+                   ? -1
+                   : (string_ == other.string_ ? 0 : 1);
+    }
+    return 0;
+  }
+
+  /// 64-bit hash of the value (type-tag mixed in). Inline for the same
+  /// reason as Compare.
+  uint64_t Hash() const {
+    const uint64_t tag = static_cast<uint64_t>(type_) + 1;
+    switch (type_) {
+      case ValueType::kInt64:
+        return HashCombine(tag, Hash64(static_cast<uint64_t>(int64_)));
+      case ValueType::kDouble: {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(double));
+        __builtin_memcpy(&bits, &double_, sizeof(bits));
+        return HashCombine(tag, Hash64(bits));
+      }
+      case ValueType::kString:
+        return HashCombine(tag, HashBytes(string_.data(), string_.size()));
+    }
+    return 0;
+  }
 
   /// Renders the value for diagnostics ("42", "3.5", "abc").
   std::string ToString() const;

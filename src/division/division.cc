@@ -85,7 +85,9 @@ Result<std::unique_ptr<RecordStore>> MaterializeDistinct(
                       std::move(spec));
   auto store = std::make_unique<RecordFile>(ctx->disk(),
                                             ctx->buffer_manager(), label);
-  RELDIV_ASSIGN_OR_RETURN(uint64_t written, Materialize(&sorter, store.get()));
+  RELDIV_ASSIGN_OR_RETURN(
+      uint64_t written,
+      Materialize(&sorter, store.get(), ctx->batch_capacity()));
   (void)written;
   return std::unique_ptr<RecordStore>(std::move(store));
 }
@@ -209,7 +211,7 @@ Result<std::vector<Tuple>> Divide(ExecContext* ctx,
                                   const DivisionOptions& options) {
   RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> plan,
                           MakeDivisionPlan(ctx, query, algorithm, options));
-  return CollectAll(plan.get());
+  return CollectAll(plan.get(), ctx->batch_capacity());
 }
 
 }  // namespace reldiv

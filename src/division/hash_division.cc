@@ -48,20 +48,21 @@ Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
     return Status::OK();
   };
 
-  while (true) {
-    Tuple tuple;
-    bool has = false;
-    RELDIV_RETURN_NOT_OK(divisor->Next(&tuple, &has));
-    if (!has) break;
-    if (!table_ready) {
-      if (hint != 0) {
-        make_table(hint, tuple.size());
-      } else {
-        pending.push_back(std::move(tuple));
-        continue;
+  TupleBatch batch(ctx_->batch_capacity());
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(divisor->NextBatch(&batch, &has_more));
+    for (Tuple& tuple : batch) {
+      if (!table_ready) {
+        if (hint != 0) {
+          make_table(hint, tuple.size());
+        } else {
+          pending.push_back(std::move(tuple));
+          continue;
+        }
       }
+      RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
     }
-    RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
   }
   RELDIV_RETURN_NOT_OK(divisor->Close());
   if (!table_ready) {
@@ -106,25 +107,34 @@ Status HashDivisionCore::ResetQuotientTable(uint64_t expected_cardinality) {
   return Status::OK();
 }
 
-Status HashDivisionCore::Consume(const Tuple& dividend,
-                                 std::vector<Tuple>* early_out) {
-  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
-    return Status::Internal("hash-division tables not initialized");
-  }
+Status HashDivisionCore::ConsumeOne(const Tuple& dividend,
+                                    std::vector<Tuple>* early_out,
+                                    PendingCounts* pending) {
   // Figure 1, step 2: probe the divisor table on the divisor attributes.
   TupleHashTable::Entry* divisor_entry =
       divisor_table_->Find(dividend, match_attrs_);
   if (divisor_entry == nullptr) {
     return Status::OK();  // immediate discard — no matching divisor tuple
   }
-  const uint64_t divisor_number = divisor_entry->num;
+  return ProbeQuotient(dividend, divisor_entry->num,
+                       quotient_table_->ProbeHash(dividend, quotient_attrs_),
+                       early_out, pending);
+}
 
-  // Probe / extend the quotient table on the quotient attributes.
+Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
+                                       uint64_t divisor_number,
+                                       uint64_t quotient_hash,
+                                       std::vector<Tuple>* early_out,
+                                       PendingCounts* pending) {
+  // Probe / extend the quotient table on the quotient attributes; the
+  // candidate tuple is materialized only when the probe misses, so repeat
+  // candidates cost no projection.
   bool inserted = false;
   RELDIV_ASSIGN_OR_RETURN(
       TupleHashTable::Entry * quotient_entry,
-      quotient_table_->FindOrInsert(dividend.Project(quotient_attrs_),
-                                    &inserted));
+      quotient_table_->FindOrInsertPrehashed(
+          dividend, quotient_attrs_, quotient_hash,
+          [&] { return dividend.Project(quotient_attrs_); }, &inserted));
   if (use_bitmaps()) {
     if (inserted) {
       // Create and clear the candidate's bit map (a word at a time).
@@ -138,15 +148,15 @@ Status HashDivisionCore::Consume(const Tuple& dividend,
       quotient_entry->extra = storage;
       Bitmap bitmap = Bitmap::MapOnto(storage, divisor_count_);
       bitmap.ClearAll();
-      ctx_->CountBitOps(words);
+      pending->bit_ops += words;
       quotient_entry->num = 0;  // early-output counter (§3.3)
     }
     Bitmap bitmap = Bitmap::MapOnto(quotient_entry->extra, divisor_count_);
-    ctx_->CountBitOps(1);
+    pending->bit_ops += 1;
     const bool was_clear = bitmap.Set(divisor_number);
     if (options_.early_output && was_clear) {
       quotient_entry->num++;
-      ctx_->CountComparisons(1);
+      pending->comparisons += 1;
       if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
         early_out->push_back(*quotient_entry->tuple);
       }
@@ -157,7 +167,7 @@ Status HashDivisionCore::Consume(const Tuple& dividend,
     if (inserted) quotient_entry->num = 0;
     quotient_entry->num++;
     if (options_.early_output) {
-      ctx_->CountComparisons(1);
+      pending->comparisons += 1;
       if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
         early_out->push_back(*quotient_entry->tuple);
       }
@@ -166,22 +176,83 @@ Status HashDivisionCore::Consume(const Tuple& dividend,
   return Status::OK();
 }
 
+void HashDivisionCore::FlushCounts(const PendingCounts& pending) {
+  if (pending.bit_ops != 0) ctx_->CountBitOps(pending.bit_ops);
+  if (pending.comparisons != 0) ctx_->CountComparisons(pending.comparisons);
+}
+
+Status HashDivisionCore::Consume(const Tuple& dividend,
+                                 std::vector<Tuple>* early_out) {
+  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
+    return Status::Internal("hash-division tables not initialized");
+  }
+  PendingCounts pending;
+  Status status = ConsumeOne(dividend, early_out, &pending);
+  FlushCounts(pending);
+  return status;
+}
+
+Status HashDivisionCore::ConsumeBatch(const TupleBatch& batch,
+                                      std::vector<Tuple>* early_out) {
+  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
+    return Status::Internal("hash-division tables not initialized");
+  }
+  // The vectorized step-2 loop, staged across the batch. Pass 1 probes the
+  // (small, cache-resident) divisor table and computes + counts the quotient
+  // key hash for every match, issuing a bucket prefetch; pass 2 prefetches
+  // the chain heads; pass 3 walks the chains and extends the bit maps, in
+  // batch order, against the live table. The counted work per tuple is
+  // exactly that of Consume() — pass order only overlaps the memory stalls
+  // of independent probes, which a tuple-at-a-time loop cannot do. (On an
+  // error mid-batch the interleaving of counted work differs from the
+  // tuple path, but the whole query fails then.)
+  PendingCounts pending;
+  staged_.clear();
+  for (const Tuple& dividend : batch) {
+    TupleHashTable::Entry* divisor_entry =
+        divisor_table_->Find(dividend, match_attrs_);
+    if (divisor_entry == nullptr) {
+      continue;  // immediate discard — no matching divisor tuple
+    }
+    const uint64_t quotient_hash =
+        quotient_table_->ProbeHash(dividend, quotient_attrs_);
+    quotient_table_->PrefetchBucket(quotient_hash);
+    staged_.push_back({&dividend, divisor_entry->num, quotient_hash});
+  }
+  for (const StagedProbe& staged : staged_) {
+    TupleHashTable::Prefetch(quotient_table_->BucketHead(staged.quotient_hash));
+  }
+  for (const StagedProbe& staged : staged_) {
+    Status status = ProbeQuotient(*staged.dividend, staged.divisor_number,
+                                  staged.quotient_hash, early_out, &pending);
+    if (!status.ok()) {
+      FlushCounts(pending);
+      return status;
+    }
+  }
+  FlushCounts(pending);
+  return Status::OK();
+}
+
 Status HashDivisionCore::EmitComplete(std::vector<Tuple>* out) {
   if (options_.early_output) return Status::OK();
   if (quotient_table_ == nullptr) return Status::OK();
-  // Figure 1, step 3: scan all buckets for bit maps with no zero bit.
+  // Figure 1, step 3: scan all buckets for bit maps with no zero bit. The
+  // counter bumps for the whole scan are flushed as one batch.
   Status status;
+  PendingCounts pending;
   quotient_table_->ForEach([&](TupleHashTable::Entry* entry) {
     if (use_bitmaps()) {
       Bitmap bitmap = Bitmap::MapOnto(entry->extra, divisor_count_);
-      ctx_->CountBitOps(Bitmap::WordsForBits(divisor_count_));
+      pending.bit_ops += Bitmap::WordsForBits(divisor_count_);
       if (bitmap.AllSet()) out->push_back(*entry->tuple);
     } else {
-      ctx_->CountComparisons(1);
+      pending.comparisons += 1;
       if (entry->num == divisor_count_) out->push_back(*entry->tuple);
     }
     return true;
   });
+  FlushCounts(pending);
   return status;
 }
 
@@ -209,15 +280,17 @@ Status HashDivisionOperator::Open() {
   RELDIV_RETURN_NOT_OK(core_->BuildDivisorTable(divisor_.get()));
   RELDIV_RETURN_NOT_OK(core_->ResetQuotientTable());
   RELDIV_RETURN_NOT_OK(dividend_->Open());
+  if (input_batch_.capacity() != ctx_->batch_capacity()) {
+    input_batch_.ResetCapacity(ctx_->batch_capacity(), ctx_->pool());
+  }
 
   if (!options_.early_output) {
-    // Stop-and-go: consume the dividend now; step 3 happens lazily below.
-    while (true) {
-      Tuple tuple;
-      bool has = false;
-      RELDIV_RETURN_NOT_OK(dividend_->Next(&tuple, &has));
-      if (!has) break;
-      RELDIV_RETURN_NOT_OK(core_->Consume(tuple, nullptr));
+    // Stop-and-go: consume the dividend now, a batch at a time; step 3
+    // happens lazily below.
+    bool has_more = true;
+    while (has_more) {
+      RELDIV_RETURN_NOT_OK(dividend_->NextBatch(&input_batch_, &has_more));
+      RELDIV_RETURN_NOT_OK(core_->ConsumeBatch(input_batch_, nullptr));
     }
     RELDIV_RETURN_NOT_OK(dividend_->Close());
     dividend_done_ = true;
@@ -250,6 +323,36 @@ Status HashDivisionOperator::Next(Tuple* tuple, bool* has_next) {
       continue;
     }
     RELDIV_RETURN_NOT_OK(core_->Consume(in, &results_));
+  }
+}
+
+Status HashDivisionOperator::NextBatch(TupleBatch* batch, bool* has_more) {
+  batch->Clear();
+  while (true) {
+    while (!batch->full() && emit_pos_ < results_.size()) {
+      batch->PushBack(std::move(results_[emit_pos_++]));
+    }
+    if (batch->full() && (emit_pos_ < results_.size() || !dividend_done_)) {
+      // A full batch with input pending may be followed by an empty final
+      // one — the contract allows that.
+      *has_more = true;
+      return Status::OK();
+    }
+    if (dividend_done_) {
+      *has_more = false;
+      return Status::OK();
+    }
+    // Early-output mode: consume dividend batches until some candidate
+    // completes or the input ends.
+    results_.clear();
+    emit_pos_ = 0;
+    bool input_more = false;
+    RELDIV_RETURN_NOT_OK(dividend_->NextBatch(&input_batch_, &input_more));
+    RELDIV_RETURN_NOT_OK(core_->ConsumeBatch(input_batch_, &results_));
+    if (!input_more) {
+      RELDIV_RETURN_NOT_OK(dividend_->Close());
+      dividend_done_ = true;
+    }
   }
 }
 

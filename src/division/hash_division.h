@@ -48,6 +48,12 @@ class HashDivisionCore {
   /// otherwise `early_out` may be nullptr.
   Status Consume(const Tuple& dividend, std::vector<Tuple>* early_out);
 
+  /// Step 2, one dividend batch: the vectorized probe/extend loop. Performs
+  /// exactly the per-tuple work of Consume() for each tuple in order, but
+  /// bumps the ExecContext cost counters once per batch with the accumulated
+  /// totals, so Table 1–4 accounting is bit-identical to the tuple path.
+  Status ConsumeBatch(const TupleBatch& batch, std::vector<Tuple>* early_out);
+
   /// Step 3: scans the quotient table and appends every tuple whose bit map
   /// contains no zero (or whose counter reached the divisor count). A no-op
   /// when early output is enabled — those tuples were produced eagerly.
@@ -65,6 +71,30 @@ class HashDivisionCore {
 
  private:
   bool use_bitmaps() const { return !options_.counters_instead_of_bitmaps; }
+
+  /// Cost-counter bumps accumulated across a batch and flushed once.
+  struct PendingCounts {
+    uint64_t comparisons = 0;
+    uint64_t bit_ops = 0;
+  };
+
+  Status ConsumeOne(const Tuple& dividend, std::vector<Tuple>* early_out,
+                    PendingCounts* pending);
+  /// The quotient-table half of ConsumeOne, with the (already counted)
+  /// quotient key hash supplied by the caller.
+  Status ProbeQuotient(const Tuple& dividend, uint64_t divisor_number,
+                       uint64_t quotient_hash, std::vector<Tuple>* early_out,
+                       PendingCounts* pending);
+  void FlushCounts(const PendingCounts& pending);
+
+  /// Scratch for ConsumeBatch's staged probe: dividend tuples that matched a
+  /// divisor tuple, awaiting their quotient-table chain walk.
+  struct StagedProbe {
+    const Tuple* dividend;
+    uint64_t divisor_number;
+    uint64_t quotient_hash;
+  };
+  std::vector<StagedProbe> staged_;
 
   ExecContext* ctx_;
   std::vector<size_t> match_attrs_;
@@ -102,6 +132,12 @@ class HashDivisionOperator : public Operator {
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
   Status Next(Tuple* tuple, bool* has_next) override;
+  Status NextBatch(TupleBatch* batch, bool* has_more) override;
+  /// Batch-native when both inputs are: the dividend is consumed through
+  /// ConsumeBatch and the quotient is emitted batch-wise.
+  bool IsBatchNative() const override {
+    return dividend_->IsBatchNative() && divisor_->IsBatchNative();
+  }
   Status Close() override;
 
  private:
@@ -115,6 +151,7 @@ class HashDivisionOperator : public Operator {
 
   std::unique_ptr<HashDivisionCore> core_;
   std::vector<Tuple> results_;  ///< stop-and-go output / early-output buffer
+  TupleBatch input_batch_{1};   ///< early-output dividend pull buffer
   size_t emit_pos_ = 0;
   bool dividend_done_ = false;
 };

@@ -68,15 +68,16 @@ Result<std::vector<int64_t>> ComputeRangeSplits(ExecContext* ctx,
   bool any = false;
   ScanOperator scan(ctx, input);
   RELDIV_RETURN_NOT_OK(scan.Open());
-  while (true) {
-    Tuple tuple;
-    bool has = false;
-    RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
-    if (!has) break;
-    const int64_t v = tuple.value(attr).int64();
-    if (!any || v < min_v) min_v = v;
-    if (!any || v > max_v) max_v = v;
-    any = true;
+  TupleBatch batch(ctx->batch_capacity());
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(scan.NextBatch(&batch, &has_more));
+    for (const Tuple& tuple : batch) {
+      const int64_t v = tuple.value(attr).int64();
+      if (!any || v < min_v) min_v = v;
+      if (!any || v > max_v) max_v = v;
+      any = true;
+    }
   }
   RELDIV_RETURN_NOT_OK(scan.Close());
   std::vector<int64_t> splits;
@@ -106,19 +107,35 @@ Result<std::vector<std::unique_ptr<RecordFile>>> PartitionRelation(
   ScanOperator scan(ctx, input);
   RELDIV_RETURN_NOT_OK(scan.Open());
   std::string buffer;
-  while (true) {
-    Tuple tuple;
-    bool has = false;
-    RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
-    if (!has) break;
-    const size_t p = assigner(ctx, tuple);
-    buffer.clear();
-    RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
-    RELDIV_ASSIGN_OR_RETURN(Rid rid, clusters[p]->Append(Slice(buffer)));
-    (void)rid;
+  TupleBatch batch(ctx->batch_capacity());
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(scan.NextBatch(&batch, &has_more));
+    for (const Tuple& tuple : batch) {
+      const size_t p = assigner(ctx, tuple);
+      buffer.clear();
+      RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+      RELDIV_ASSIGN_OR_RETURN(Rid rid, clusters[p]->Append(Slice(buffer)));
+      (void)rid;
+    }
   }
   RELDIV_RETURN_NOT_OK(scan.Close());
   return clusters;
+}
+
+/// Scans `input` and feeds every tuple through `core` (step 2), one batch of
+/// ExecContext::batch_capacity() tuples at a time.
+Status ConsumeScan(ExecContext* ctx, HashDivisionCore* core,
+                   const Relation& input) {
+  ScanOperator scan(ctx, input);
+  RELDIV_RETURN_NOT_OK(scan.Open());
+  TupleBatch batch(ctx->batch_capacity());
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(scan.NextBatch(&batch, &has_more));
+    RELDIV_RETURN_NOT_OK(core->ConsumeBatch(batch, nullptr));
+  }
+  return scan.Close();
 }
 
 }  // namespace
@@ -166,16 +183,7 @@ Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
   for (auto& cluster : clusters) {
     RELDIV_RETURN_NOT_OK(core.ResetQuotientTable(quotient_hint));
     Relation cluster_rel{resolved_.dividend.schema, cluster.get()};
-    ScanOperator scan(ctx_, cluster_rel);
-    RELDIV_RETURN_NOT_OK(scan.Open());
-    while (true) {
-      Tuple tuple;
-      bool has = false;
-      RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
-      if (!has) break;
-      RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
-    }
-    RELDIV_RETURN_NOT_OK(scan.Close());
+    RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, cluster_rel));
     // The quotient of the whole division is the concatenation of the
     // per-phase quotient clusters.
     RELDIV_RETURN_NOT_OK(core.EmitComplete(&results_));
@@ -245,16 +253,7 @@ Status PartitionedHashDivisionOperator::RunDivisorPartitioned() {
 
     Relation dividend_rel{resolved_.dividend.schema,
                           dividend_clusters[p].get()};
-    ScanOperator dividend_scan(ctx_, dividend_rel);
-    RELDIV_RETURN_NOT_OK(dividend_scan.Open());
-    while (true) {
-      Tuple tuple;
-      bool has = false;
-      RELDIV_RETURN_NOT_OK(dividend_scan.Next(&tuple, &has));
-      if (!has) break;
-      RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
-    }
-    RELDIV_RETURN_NOT_OK(dividend_scan.Close());
+    RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, dividend_rel));
 
     std::vector<Tuple> phase_quotient;
     RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
@@ -296,16 +295,7 @@ Status PartitionedHashDivisionOperator::RunDivisorPartitioned() {
   RELDIV_RETURN_NOT_OK(collector.ResetQuotientTable());
 
   Relation tagged_rel{tagged_schema, &tagged_store};
-  ScanOperator tagged_scan(ctx_, tagged_rel);
-  RELDIV_RETURN_NOT_OK(tagged_scan.Open());
-  while (true) {
-    Tuple tuple;
-    bool has = false;
-    RELDIV_RETURN_NOT_OK(tagged_scan.Next(&tuple, &has));
-    if (!has) break;
-    RELDIV_RETURN_NOT_OK(collector.Consume(tuple, nullptr));
-  }
-  RELDIV_RETURN_NOT_OK(tagged_scan.Close());
+  RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &collector, tagged_rel));
   RELDIV_RETURN_NOT_OK(collector.EmitComplete(&results_));
   return Status::OK();
 }
@@ -371,16 +361,7 @@ Status PartitionedHashDivisionOperator::RunCombined() {
     for (auto& sub : sub_clusters) {
       RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
       Relation sub_rel{resolved_.dividend.schema, sub.get()};
-      ScanOperator scan(ctx_, sub_rel);
-      RELDIV_RETURN_NOT_OK(scan.Open());
-      while (true) {
-        Tuple tuple;
-        bool has = false;
-        RELDIV_RETURN_NOT_OK(scan.Next(&tuple, &has));
-        if (!has) break;
-        RELDIV_RETURN_NOT_OK(core.Consume(tuple, nullptr));
-      }
-      RELDIV_RETURN_NOT_OK(scan.Close());
+      RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, sub_rel));
       RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
       phases_run_++;
     }
@@ -412,16 +393,7 @@ Status PartitionedHashDivisionOperator::RunCombined() {
       numbered, participating.size()));
   RELDIV_RETURN_NOT_OK(collector.ResetQuotientTable());
   Relation tagged_rel{tagged_schema, &tagged_store};
-  ScanOperator tagged_scan(ctx_, tagged_rel);
-  RELDIV_RETURN_NOT_OK(tagged_scan.Open());
-  while (true) {
-    Tuple tuple;
-    bool has = false;
-    RELDIV_RETURN_NOT_OK(tagged_scan.Next(&tuple, &has));
-    if (!has) break;
-    RELDIV_RETURN_NOT_OK(collector.Consume(tuple, nullptr));
-  }
-  RELDIV_RETURN_NOT_OK(tagged_scan.Close());
+  RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &collector, tagged_rel));
   return collector.EmitComplete(&results_);
 }
 
@@ -447,6 +419,16 @@ Status PartitionedHashDivisionOperator::Next(Tuple* tuple, bool* has_next) {
   }
   *tuple = std::move(results_[emit_pos_++]);
   *has_next = true;
+  return Status::OK();
+}
+
+Status PartitionedHashDivisionOperator::NextBatch(TupleBatch* batch,
+                                                  bool* has_more) {
+  batch->Clear();
+  while (!batch->full() && emit_pos_ < results_.size()) {
+    batch->PushBack(std::move(results_[emit_pos_++]));
+  }
+  *has_more = emit_pos_ < results_.size();
   return Status::OK();
 }
 

@@ -1,0 +1,57 @@
+#include "exec/batch.h"
+
+namespace reldiv {
+
+TupleBatch::TupleBatch(size_t capacity, MemoryPool* pool) {
+  ResetCapacity(capacity == 0 ? 1 : capacity, pool);
+}
+
+TupleBatch::~TupleBatch() { ReleaseReservation(); }
+
+TupleBatch::TupleBatch(TupleBatch&& other) noexcept
+    : slots_(std::move(other.slots_)),
+      size_(other.size_),
+      pool_(other.pool_),
+      reserved_bytes_(other.reserved_bytes_) {
+  other.slots_.clear();
+  other.size_ = 0;
+  other.pool_ = nullptr;
+  other.reserved_bytes_ = 0;
+}
+
+TupleBatch& TupleBatch::operator=(TupleBatch&& other) noexcept {
+  if (this != &other) {
+    ReleaseReservation();
+    slots_ = std::move(other.slots_);
+    size_ = other.size_;
+    pool_ = other.pool_;
+    reserved_bytes_ = other.reserved_bytes_;
+    other.slots_.clear();
+    other.size_ = 0;
+    other.pool_ = nullptr;
+    other.reserved_bytes_ = 0;
+  }
+  return *this;
+}
+
+void TupleBatch::ResetCapacity(size_t capacity, MemoryPool* pool) {
+  ReleaseReservation();
+  if (capacity == 0) capacity = 1;
+  slots_.clear();
+  slots_.resize(capacity);
+  size_ = 0;
+  pool_ = pool;
+  if (pool_ != nullptr) {
+    const size_t bytes = capacity * sizeof(Tuple);
+    if (pool_->Reserve(bytes)) reserved_bytes_ = bytes;
+  }
+}
+
+void TupleBatch::ReleaseReservation() {
+  if (pool_ != nullptr && reserved_bytes_ != 0) {
+    pool_->Release(reserved_bytes_);
+  }
+  reserved_bytes_ = 0;
+}
+
+}  // namespace reldiv

@@ -40,6 +40,15 @@ class ExecContext {
   size_t hash_memory_bytes() const { return hash_memory_bytes_; }
   void set_hash_memory_bytes(size_t bytes) { hash_memory_bytes_ = bytes; }
 
+  /// Tuple-slot count of the TupleBatches used by this plan's internal
+  /// drains (hash-division input consumption, spools, partition passes).
+  /// 1 degenerates every pipeline to tuple-at-a-time; the default is
+  /// kDefaultBatchCapacity.
+  size_t batch_capacity() const { return batch_capacity_; }
+  void set_batch_capacity(size_t capacity) {
+    batch_capacity_ = capacity == 0 ? 1 : capacity;
+  }
+
   // Cost-unit bumpers (Table 1: Comp / Hash / Move / Bit).
   void CountComparisons(uint64_t n) const { counters_->comparisons += n; }
   void CountHashes(uint64_t n) const { counters_->hashes += n; }
@@ -52,6 +61,11 @@ class ExecContext {
     move_accumulator_ %= kPageSize;
   }
 
+  /// Drops the sub-page Move remainder. Measurement harnesses call this
+  /// before a counted run so two identical runs report identical Move
+  /// deltas regardless of what executed earlier on this context.
+  void ResetMoveAccumulator() const { move_accumulator_ = 0; }
+
  private:
   SimDisk* disk_;
   BufferManager* buffer_manager_;
@@ -59,6 +73,7 @@ class ExecContext {
   CpuCounters* counters_;
   size_t sort_space_bytes_ = kDefaultSortSpaceBytes;
   size_t hash_memory_bytes_ = 0;
+  size_t batch_capacity_ = kDefaultBatchCapacity;
   mutable uint64_t move_accumulator_ = 0;
 };
 

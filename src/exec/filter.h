@@ -10,6 +10,10 @@
 namespace reldiv {
 
 /// Selection: passes through tuples for which `predicate` returns true.
+///
+/// Batch-native when its child is: NextBatch() pulls a child batch into the
+/// caller's buffer and compacts it in place (stable), retrying until at
+/// least one tuple survives or the child ends.
 class FilterOperator : public Operator {
  public:
   using Predicate = std::function<bool(const Tuple&)>;
@@ -37,6 +41,24 @@ class FilterOperator : public Operator {
       }
     }
   }
+
+  Status NextBatch(TupleBatch* batch, bool* has_more) override {
+    while (true) {
+      bool child_more = false;
+      RELDIV_RETURN_NOT_OK(child_->NextBatch(batch, &child_more));
+      batch->Retain(predicate_);
+      if (!child_more) {
+        *has_more = false;
+        return Status::OK();
+      }
+      if (!batch->empty()) {
+        *has_more = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  bool IsBatchNative() const override { return child_->IsBatchNative(); }
 
   Status Close() override { return child_->Close(); }
 

@@ -16,12 +16,6 @@ size_t TupleHashTable::BucketsFor(uint64_t expected_entries) {
   return buckets;
 }
 
-uint64_t TupleHashTable::HashKey(const Tuple& tuple,
-                                 const std::vector<size_t>& indices) const {
-  ctx_->CountHashes(1);
-  return tuple.HashAt(indices);
-}
-
 namespace {
 
 size_t ApproxTupleBytes(const Tuple& tuple) {
@@ -37,7 +31,7 @@ size_t ApproxTupleBytes(const Tuple& tuple) {
 }  // namespace
 
 Result<TupleHashTable::Entry*> TupleHashTable::InsertIntoBucket(
-    Tuple tuple, size_t bucket) {
+    Tuple tuple, uint64_t hash) {
   // Charge the chain element and an estimate of the tuple bytes to the
   // arena; tuple storage itself lives in the deque (strings need real
   // destructors), but the accounting must hit the shared pool.
@@ -49,8 +43,10 @@ Result<TupleHashTable::Entry*> TupleHashTable::InsertIntoBucket(
     return Status::ResourceExhausted("hash table: memory pool exhausted");
   }
   tuples_.push_back(std::move(tuple));
+  const size_t bucket = hash % buckets_.size();
   Entry* entry = new (element_mem) Entry();
   entry->tuple = &tuples_.back();
+  entry->hash = hash;
   entry->next = buckets_[bucket];
   buckets_[bucket] = entry;
   size_++;
@@ -58,34 +54,24 @@ Result<TupleHashTable::Entry*> TupleHashTable::InsertIntoBucket(
 }
 
 Result<TupleHashTable::Entry*> TupleHashTable::Insert(Tuple tuple) {
-  const size_t bucket = HashKey(tuple, key_indices_) % buckets_.size();
-  return InsertIntoBucket(std::move(tuple), bucket);
+  const uint64_t hash = HashKey(tuple, key_indices_);
+  return InsertIntoBucket(std::move(tuple), hash);
 }
 
 Result<TupleHashTable::Entry*> TupleHashTable::FindOrInsert(Tuple tuple,
                                                             bool* inserted) {
-  const size_t bucket = HashKey(tuple, key_indices_) % buckets_.size();
-  for (Entry* e = buckets_[bucket]; e != nullptr; e = e->next) {
+  const uint64_t hash = HashKey(tuple, key_indices_);
+  for (Entry* e = buckets_[hash % buckets_.size()]; e != nullptr;
+       e = e->next) {
     ctx_->CountComparisons(1);
-    if (tuple.CompareProjected(key_indices_, *e->tuple, key_indices_) == 0) {
+    if (e->hash == hash &&
+        tuple.CompareProjected(key_indices_, *e->tuple, key_indices_) == 0) {
       *inserted = false;
       return e;
     }
   }
   *inserted = true;
-  return InsertIntoBucket(std::move(tuple), bucket);
-}
-
-TupleHashTable::Entry* TupleHashTable::Find(
-    const Tuple& probe, const std::vector<size_t>& probe_indices) const {
-  const size_t bucket = HashKey(probe, probe_indices) % buckets_.size();
-  for (Entry* e = buckets_[bucket]; e != nullptr; e = e->next) {
-    ctx_->CountComparisons(1);
-    if (probe.CompareProjected(probe_indices, *e->tuple, key_indices_) == 0) {
-      return e;
-    }
-  }
-  return nullptr;
+  return InsertIntoBucket(std::move(tuple), hash);
 }
 
 }  // namespace reldiv

@@ -32,6 +32,8 @@ class TupleHashTable {
   struct Entry {
     Entry* next = nullptr;
     const Tuple* tuple = nullptr;
+    uint64_t hash = 0;  ///< memoized key hash: chain walks skip the tuple
+                        ///< dereference unless the hashes collide
     uint64_t num = 0;
     uint64_t* extra = nullptr;
   };
@@ -55,8 +57,95 @@ class TupleHashTable {
 
   /// Probes with `probe`'s `probe_indices` columns against stored keys.
   /// Returns nullptr if absent. Counts one Hash plus one Comp per chain
+  /// element inspected. Inline: one probe per dividend tuple.
+  Entry* Find(const Tuple& probe,
+              const std::vector<size_t>& probe_indices) const {
+    const uint64_t hash = HashKey(probe, probe_indices);
+    for (Entry* e = buckets_[hash % buckets_.size()]; e != nullptr;
+         e = e->next) {
+      // One counted Comp per chain element inspected, exactly as in the
+      // paper's model; the memoized hash only short-circuits the physical
+      // tuple comparison.
+      ctx_->CountComparisons(1);
+      if (e->hash == hash && KeysEqualUncounted(probe, probe_indices, *e->tuple)) {
+        return e;
+      }
+    }
+    return nullptr;
+  }
+
+  /// FindOrInsert without materializing the stored tuple on the hit path:
+  /// probes with `probe`'s `probe_indices` columns and calls `make()` to
+  /// produce the tuple to store only on a miss. `make()` must return a tuple
+  /// whose `key_indices` columns equal the probe columns (same values, same
+  /// order), so the probe hash and the stored key hash coincide. Cost
+  /// accounting is identical to FindOrInsert: one Hash, one Comp per chain
   /// element inspected.
-  Entry* Find(const Tuple& probe, const std::vector<size_t>& probe_indices) const;
+  template <typename MakeTuple>
+  Result<Entry*> FindOrInsertWith(const Tuple& probe,
+                                  const std::vector<size_t>& probe_indices,
+                                  MakeTuple make, bool* inserted) {
+    return FindOrInsertPrehashed(probe, probe_indices,
+                                 HashKey(probe, probe_indices), make,
+                                 inserted);
+  }
+
+  // --- Staged (vectorized) probe support -----------------------------------
+  //
+  // A batch-native caller splits a probe into stages across the whole batch:
+  // compute all key hashes (ProbeHash, which does the Hash accounting), issue
+  // bucket prefetches, then walk the chains (FindOrInsertPrehashed). The
+  // counted work per probe is exactly that of FindOrInsertWith — only the
+  // memory stalls overlap.
+
+  /// Counted probe-hash computation: bumps the Hash counter exactly as
+  /// Find/FindOrInsert would before their chain walk.
+  uint64_t ProbeHash(const Tuple& probe,
+                     const std::vector<size_t>& probe_indices) const {
+    return HashKey(probe, probe_indices);
+  }
+
+  /// Prefetch hint for the bucket-head slot of `hash`. No cost accounting:
+  /// prefetches do no comparisons or hash computations.
+  void PrefetchBucket(uint64_t hash) const {
+    Prefetch(&buckets_[hash % buckets_.size()]);
+  }
+
+  /// Current head of `hash`'s chain (possibly nullptr) — a prefetch hint for
+  /// the second stage of a staged probe. The value may go stale if the table
+  /// is mutated afterwards; correctness must come from the final
+  /// FindOrInsertPrehashed, which re-reads the bucket.
+  Entry* BucketHead(uint64_t hash) const {
+    return buckets_[hash % buckets_.size()];
+  }
+
+  static void Prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
+  }
+
+  /// FindOrInsertWith with the key hash computed (and counted) earlier via
+  /// ProbeHash. `hash` MUST be ProbeHash(probe, probe_indices) — it selects
+  /// the bucket and is memoized in a newly inserted entry.
+  template <typename MakeTuple>
+  Result<Entry*> FindOrInsertPrehashed(const Tuple& probe,
+                                       const std::vector<size_t>& probe_indices,
+                                       uint64_t hash, MakeTuple make,
+                                       bool* inserted) {
+    for (Entry* e = buckets_[hash % buckets_.size()]; e != nullptr;
+         e = e->next) {
+      ctx_->CountComparisons(1);
+      if (e->hash == hash && KeysEqualUncounted(probe, probe_indices, *e->tuple)) {
+        *inserted = false;
+        return e;
+      }
+    }
+    *inserted = true;
+    return InsertIntoBucket(make(), hash);
+  }
 
   /// Visits every entry (bucket order). `fn` returning false stops early.
   template <typename Fn>
@@ -77,8 +166,25 @@ class TupleHashTable {
 
  private:
   uint64_t HashKey(const Tuple& tuple,
-                   const std::vector<size_t>& indices) const;
-  Result<Entry*> InsertIntoBucket(Tuple tuple, size_t bucket);
+                   const std::vector<size_t>& indices) const {
+    ctx_->CountHashes(1);
+    return tuple.HashAt(indices);
+  }
+
+  /// Physical key equality of `probe`'s probe columns against a stored
+  /// tuple's key columns; the caller does the Comp accounting. The
+  /// single-column case — every division probe in the paper's workloads —
+  /// skips the general projected-compare loop.
+  bool KeysEqualUncounted(const Tuple& probe,
+                          const std::vector<size_t>& probe_indices,
+                          const Tuple& stored) const {
+    if (probe_indices.size() == 1 && key_indices_.size() == 1) {
+      return probe.value(probe_indices[0])
+                 .Compare(stored.value(key_indices_[0])) == 0;
+    }
+    return probe.CompareProjected(probe_indices, stored, key_indices_) == 0;
+  }
+  Result<Entry*> InsertIntoBucket(Tuple tuple, uint64_t hash);
 
   ExecContext* ctx_;
   Arena* arena_;

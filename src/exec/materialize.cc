@@ -5,21 +5,23 @@
 
 namespace reldiv {
 
-Result<uint64_t> Materialize(Operator* input, RecordStore* store) {
+Result<uint64_t> Materialize(Operator* input, RecordStore* store,
+                             size_t batch_capacity) {
   RowCodec codec(input->output_schema());
   uint64_t written = 0;
   RELDIV_RETURN_NOT_OK(input->Open());
+  TupleBatch batch(batch_capacity);
   std::string buffer;
-  while (true) {
-    Tuple tuple;
-    bool has_next = false;
-    RELDIV_RETURN_NOT_OK(input->Next(&tuple, &has_next));
-    if (!has_next) break;
-    buffer.clear();
-    RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
-    RELDIV_ASSIGN_OR_RETURN(Rid rid, store->Append(Slice(buffer)));
-    (void)rid;
-    written++;
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(input->NextBatch(&batch, &has_more));
+    for (const Tuple& tuple : batch) {
+      buffer.clear();
+      RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
+      RELDIV_ASSIGN_OR_RETURN(Rid rid, store->Append(Slice(buffer)));
+      (void)rid;
+      written++;
+    }
   }
   RELDIV_RETURN_NOT_OK(input->Close());
   return written;
@@ -28,7 +30,7 @@ Result<uint64_t> Materialize(Operator* input, RecordStore* store) {
 Result<std::vector<Tuple>> ReadAll(ExecContext* ctx,
                                    const Relation& relation) {
   ScanOperator scan(ctx, relation);
-  return CollectAll(&scan);
+  return CollectAll(&scan, ctx->batch_capacity());
 }
 
 Status AppendAll(const Relation& relation, const std::vector<Tuple>& tuples) {
@@ -53,7 +55,8 @@ Status SpoolOperator::Open() {
   spool_ = std::make_unique<RecordFile>(ctx_->disk(), ctx_->buffer_manager(),
                                         "spool");
   RELDIV_ASSIGN_OR_RETURN(uint64_t written,
-                          Materialize(child_.get(), spool_.get()));
+                          Materialize(child_.get(), spool_.get(),
+                                      ctx_->batch_capacity()));
   (void)written;
   Relation spooled{child_->output_schema(), spool_.get()};
   reader_ = std::make_unique<ScanOperator>(ctx_, spooled);
@@ -62,6 +65,10 @@ Status SpoolOperator::Open() {
 
 Status SpoolOperator::Next(Tuple* tuple, bool* has_next) {
   return reader_->Next(tuple, has_next);
+}
+
+Status SpoolOperator::NextBatch(TupleBatch* batch, bool* has_more) {
+  return reader_->NextBatch(batch, has_more);
 }
 
 Status SpoolOperator::Close() {

@@ -9,8 +9,13 @@
 namespace reldiv {
 
 /// Drains `input` into `store`, encoding tuples with the operator's output
-/// schema. Returns the number of records written.
-Result<uint64_t> Materialize(Operator* input, RecordStore* store);
+/// schema. Returns the number of records written. Drains through the batch
+/// protocol (batch-native inputs run fully vectorized; others through the
+/// base adapter); `batch_capacity` sets the unit of work — plan-internal
+/// callers pass ExecContext::batch_capacity().
+Result<uint64_t> Materialize(Operator* input, RecordStore* store,
+                             size_t batch_capacity =
+                                 TupleBatch::kDefaultCapacity);
 
 /// Reads an entire stored relation into memory (test/example helper).
 Result<std::vector<Tuple>> ReadAll(ExecContext* ctx, const Relation& relation);
@@ -34,6 +39,10 @@ class OwningOperator : public Operator {
   Status Next(Tuple* tuple, bool* has_next) override {
     return plan_->Next(tuple, has_next);
   }
+  Status NextBatch(TupleBatch* batch, bool* has_more) override {
+    return plan_->NextBatch(batch, has_more);
+  }
+  bool IsBatchNative() const override { return plan_->IsBatchNative(); }
   Status Close() override { return plan_->Close(); }
 
  private:
@@ -55,6 +64,10 @@ class SpoolOperator : public Operator {
   }
   Status Open() override;
   Status Next(Tuple* tuple, bool* has_next) override;
+  Status NextBatch(TupleBatch* batch, bool* has_more) override;
+  /// The output side is a scan of the spool file, which is batch-native
+  /// regardless of the child (the child is drained internally at Open()).
+  bool IsBatchNative() const override { return true; }
   Status Close() override;
 
  private:

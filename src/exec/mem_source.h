@@ -1,6 +1,7 @@
 #ifndef RELDIV_EXEC_MEM_SOURCE_H_
 #define RELDIV_EXEC_MEM_SOURCE_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,8 @@ namespace reldiv {
 
 /// Operator yielding an in-memory tuple vector; used by tests and to feed
 /// already-materialized intermediate results back into a plan.
+///
+/// Batch-native: both protocols share the cursor, so either may drain it.
 class MemSourceOperator : public Operator {
  public:
   MemSourceOperator(Schema schema, std::vector<Tuple> tuples)
@@ -31,6 +34,18 @@ class MemSourceOperator : public Operator {
     *has_next = true;
     return Status::OK();
   }
+
+  Status NextBatch(TupleBatch* batch, bool* has_more) override {
+    batch->Clear();
+    const size_t n =
+        std::min(batch->capacity(), tuples_.size() - next_);
+    for (size_t i = 0; i < n; ++i) batch->PushBack(tuples_[next_ + i]);
+    next_ += n;
+    *has_more = next_ < tuples_.size();
+    return Status::OK();
+  }
+
+  bool IsBatchNative() const override { return true; }
 
   Status Close() override { return Status::OK(); }
 

@@ -2,7 +2,38 @@
 
 namespace reldiv {
 
-Result<std::vector<Tuple>> CollectAll(Operator* op) {
+Status Operator::NextBatch(TupleBatch* batch, bool* has_more) {
+  batch->Clear();
+  while (!batch->full()) {
+    Tuple* slot = batch->AddSlot();
+    bool has_next = false;
+    RELDIV_RETURN_NOT_OK(Next(slot, &has_next));
+    if (!has_next) {
+      // Give the unused slot back; the stream ended inside this batch, so
+      // per the contract this batch is the last one.
+      batch->PopBack();
+      *has_more = false;
+      return Status::OK();
+    }
+  }
+  *has_more = true;
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> CollectAll(Operator* op, size_t batch_capacity) {
+  std::vector<Tuple> out;
+  RELDIV_RETURN_NOT_OK(op->Open());
+  TupleBatch batch(batch_capacity);
+  bool has_more = true;
+  while (has_more) {
+    RELDIV_RETURN_NOT_OK(op->NextBatch(&batch, &has_more));
+    for (Tuple& tuple : batch) out.push_back(std::move(tuple));
+  }
+  RELDIV_RETURN_NOT_OK(op->Close());
+  return out;
+}
+
+Result<std::vector<Tuple>> CollectAllTupleAtATime(Operator* op) {
   std::vector<Tuple> out;
   RELDIV_RETURN_NOT_OK(op->Open());
   while (true) {

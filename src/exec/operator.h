@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "common/schema.h"
 #include "common/tuple.h"
+#include "exec/batch.h"
 
 namespace reldiv {
 
@@ -14,9 +15,35 @@ namespace reldiv {
 /// operator (§5.1: "all relational algebra operators are implemented as
 /// iterators, i.e., they support a simple open-next-close protocol").
 ///
-/// Contract: Open() before any Next(); Next() sets `*has_next=false` exactly
-/// once at end of stream after which it must not be called again; Close()
-/// releases resources and may be called at most once after Open().
+/// The protocol exists at two granularities that may be mixed freely within
+/// one plan:
+///
+///  - Tuple at a time: `Next(tuple, has_next)`.
+///  - Batch at a time: `NextBatch(batch, has_more)` moves up to
+///    `batch->capacity()` tuples per call, amortizing virtual dispatch and
+///    reusing the batch's tuple slots.
+///
+/// Every operator supports both. Tuple-at-a-time operators inherit the base
+/// NextBatch() adapter, which loops Next(); batch-native operators
+/// (IsBatchNative() == true) implement NextBatch() directly and serve Next()
+/// through a thin adapter over their own batches (TupleAdapter below), so
+/// the two entry points always observe the same stream and bump the same
+/// cost counters.
+///
+/// Contract — end-of-stream rules are defined HERE and nowhere else:
+///
+///  - Open() before any Next()/NextBatch(); Close() releases resources and
+///    may be called at most once after Open(); a closed operator may be
+///    re-Opened and then replays its stream from the start.
+///  - Next() sets `*has_next = false` exactly once, at end of stream.
+///    Next() must NOT be called again after it has reported end-of-stream.
+///  - NextBatch() clears `*batch`, fills at most `batch->capacity()` tuples,
+///    and sets `*has_more = false` when the stream is exhausted. The final
+///    batch may be partially filled or empty; once `*has_more` is false,
+///    NextBatch() must NOT be called again. A true `*has_more` makes no
+///    promise that the next call yields tuples, only that calling is legal.
+///  - Within one Open()/Close() cycle a plan must be drained through ONE of
+///    the two entry points, not both interleaved.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -24,11 +51,75 @@ class Operator {
   virtual const Schema& output_schema() const = 0;
   virtual Status Open() = 0;
   virtual Status Next(Tuple* tuple, bool* has_next) = 0;
+
+  /// Batch-at-a-time pull. The base implementation adapts Next(); batch-
+  /// native operators override it. See the class comment for the contract.
+  virtual Status NextBatch(TupleBatch* batch, bool* has_more);
+
+  /// True when this operator and its entire input pipeline produce batches
+  /// natively, i.e. no tuple-at-a-time adapter runs anywhere underneath.
+  /// The physical planner and the drain helpers use this to report/select
+  /// fully vectorized pipelines; correctness never depends on it.
+  virtual bool IsBatchNative() const { return false; }
+
   virtual Status Close() = 0;
 };
 
-/// Drains `op` (Open/Next*/Close) into a vector. Test and example helper.
-Result<std::vector<Tuple>> CollectAll(Operator* op);
+/// Turns a batch-native operator's NextBatch() stream back into the
+/// single-tuple protocol. Owning operators embed one, call Reset() from
+/// Open(), and implement Next() as `adapter_.Next(this, tuple, has_next)`.
+class TupleAdapter {
+ public:
+  explicit TupleAdapter(size_t capacity = TupleBatch::kDefaultCapacity)
+      : batch_(capacity) {}
+
+  void Reset() {
+    batch_.Clear();
+    pos_ = 0;
+    done_ = false;
+  }
+
+  /// Reset() re-dimensioning the internal batch, so owners can honor the
+  /// session's ExecContext::batch_capacity() at Open() time. The adapter's
+  /// batch size is observable through the storage layer (how far a scan
+  /// reads ahead of its consumer), so it must follow the session knob.
+  void Reset(size_t capacity) {
+    if (capacity != batch_.capacity()) batch_.ResetCapacity(capacity);
+    Reset();
+  }
+
+  Status Next(Operator* op, Tuple* tuple, bool* has_next) {
+    while (pos_ >= batch_.size()) {
+      if (done_) {
+        *has_next = false;
+        return Status::OK();
+      }
+      bool has_more = false;
+      RELDIV_RETURN_NOT_OK(op->NextBatch(&batch_, &has_more));
+      done_ = !has_more;
+      pos_ = 0;
+    }
+    *tuple = std::move(batch_.tuple(pos_++));
+    *has_next = true;
+    return Status::OK();
+  }
+
+ private:
+  TupleBatch batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+/// Drains `op` (Open/NextBatch*/Close) into a vector. Routes through the
+/// batch protocol so every drain exercises the batch path — native batches
+/// for vectorized operators, the base adapter for tuple-at-a-time ones.
+/// `batch_capacity` sets the drain's unit of work.
+Result<std::vector<Tuple>> CollectAll(
+    Operator* op, size_t batch_capacity = TupleBatch::kDefaultCapacity);
+
+/// Tuple-at-a-time drain (Open/Next*/Close); kept for contract tests that
+/// compare the two protocols against each other.
+Result<std::vector<Tuple>> CollectAllTupleAtATime(Operator* op);
 
 }  // namespace reldiv
 

@@ -12,6 +12,9 @@ namespace reldiv {
 /// Projection to a column subset (no duplicate elimination; combine with
 /// SortOperator{collapse} or hash aggregation when set semantics are
 /// needed — duplicate handling is a first-class topic of the paper).
+///
+/// Batch-native when its child is: NextBatch() pulls a child batch into an
+/// internal scratch buffer and projects into the caller's reused slots.
 class ProjectOperator : public Operator {
  public:
   ProjectOperator(std::unique_ptr<Operator> child,
@@ -37,12 +40,30 @@ class ProjectOperator : public Operator {
     return Status::OK();
   }
 
+  Status NextBatch(TupleBatch* batch, bool* has_more) override {
+    if (scratch_.capacity() != batch->capacity()) {
+      scratch_.ResetCapacity(batch->capacity());
+    }
+    bool child_more = false;
+    RELDIV_RETURN_NOT_OK(child_->NextBatch(&scratch_, &child_more));
+    batch->Clear();
+    for (const Tuple& in : scratch_) {
+      Tuple* slot = batch->AddSlot();
+      for (size_t idx : indices_) slot->Append(in.value(idx));
+    }
+    *has_more = child_more;
+    return Status::OK();
+  }
+
+  bool IsBatchNative() const override { return child_->IsBatchNative(); }
+
   Status Close() override { return child_->Close(); }
 
  private:
   std::unique_ptr<Operator> child_;
   std::vector<size_t> indices_;
   Schema schema_;
+  TupleBatch scratch_;
 };
 
 }  // namespace reldiv

@@ -13,6 +13,9 @@ namespace reldiv {
 /// Sequential file scan decoding stored records into tuples. The underlying
 /// RecordScan keeps the current page fixed; decoding copies values out so the
 /// produced Tuple is independent of the pin.
+///
+/// Batch-native: NextBatch() decodes straight into the batch's reused tuple
+/// slots; Next() is a thin adapter over the operator's own batches.
 class ScanOperator : public Operator {
  public:
   ScanOperator(ExecContext* ctx, Relation relation)
@@ -22,6 +25,8 @@ class ScanOperator : public Operator {
 
   Status Open() override;
   Status Next(Tuple* tuple, bool* has_next) override;
+  Status NextBatch(TupleBatch* batch, bool* has_more) override;
+  bool IsBatchNative() const override { return true; }
   Status Close() override;
 
  private:
@@ -29,6 +34,8 @@ class ScanOperator : public Operator {
   Relation relation_;
   RowCodec codec_;
   std::unique_ptr<RecordScan> scan_;
+  std::vector<RecordRef> refs_;  ///< scratch for RecordScan::NextBatch
+  TupleAdapter adapter_;
 };
 
 }  // namespace reldiv

@@ -47,9 +47,17 @@ Status LocalDivision(WorkerNode* node, const Schema& dividend_schema,
   MemSourceOperator divisor_source(divisor_schema, std::move(divisor));
   RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_source));
   RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
-  for (const Tuple& tuple : dividend) {
-    RELDIV_RETURN_NOT_OK(core.Consume(tuple, quotient));
-  }
+  // The node's dividend stream is consumed a batch at a time; the fragment
+  // is owned here, so tuples are moved into the batch rather than copied.
+  TupleBatch batch(node->ctx()->batch_capacity());
+  size_t pos = 0;
+  do {
+    batch.Clear();
+    while (!batch.full() && pos < dividend.size()) {
+      batch.PushBack(std::move(dividend[pos++]));
+    }
+    RELDIV_RETURN_NOT_OK(core.ConsumeBatch(batch, quotient));
+  } while (pos < dividend.size());
   RELDIV_RETURN_NOT_OK(core.EmitComplete(quotient));
   *elapsed_ms = MsSince(start);
   CpuCounters delta = *node->counters();

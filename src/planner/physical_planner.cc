@@ -179,7 +179,9 @@ Result<Relation> CompileToRelation(const LogicalNode& node,
   auto store = std::make_unique<RecordFile>(
       state->ctx->disk(), state->ctx->buffer_manager(),
       "planner-temp-" + std::to_string(state->temp_counter++));
-  RELDIV_ASSIGN_OR_RETURN(uint64_t n, Materialize(plan.get(), store.get()));
+  RELDIV_ASSIGN_OR_RETURN(
+      uint64_t n,
+      Materialize(plan.get(), store.get(), state->ctx->batch_capacity()));
   (void)n;
   Relation relation{plan->output_schema(), store.get()};
   state->owned->push_back(std::move(store));

@@ -4,22 +4,10 @@
 
 namespace reldiv {
 
-uint16_t SlottedPage::LoadU16(size_t offset) const {
-  uint16_t v;
-  std::memcpy(&v, frame_ + offset, sizeof(v));
-  return v;
-}
-
-void SlottedPage::StoreU16(size_t offset, uint16_t v) {
-  std::memcpy(frame_ + offset, &v, sizeof(v));
-}
-
 void SlottedPage::Init() {
   StoreU16(0, 0);                                   // slot count
   StoreU16(2, static_cast<uint16_t>(kHeaderSize));  // free-space offset
 }
-
-uint16_t SlottedPage::num_slots() const { return LoadU16(0); }
 
 size_t SlottedPage::FreeSpace() const {
   const size_t slots = num_slots();
@@ -49,23 +37,6 @@ Result<uint16_t> SlottedPage::AddRecord(Slice record) {
   return slot;
 }
 
-Result<Slice> SlottedPage::GetRecord(uint16_t slot) const {
-  if (slot >= num_slots()) {
-    return Status::InvalidArgument("slot " + std::to_string(slot) +
-                                   " out of range");
-  }
-  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
-  const uint16_t offset = LoadU16(dir_entry);
-  const uint16_t len = LoadU16(dir_entry + 2);
-  if (len == kTombstoneLen) {
-    return Status::NotFound("record deleted");
-  }
-  if (offset + len > kPageSize) {
-    return Status::Corruption("slot entry points beyond page end");
-  }
-  return Slice(frame_ + offset, len);
-}
-
 Status SlottedPage::DeleteRecord(uint16_t slot) {
   if (slot >= num_slots()) {
     return Status::InvalidArgument("slot " + std::to_string(slot) +
@@ -74,12 +45,6 @@ Status SlottedPage::DeleteRecord(uint16_t slot) {
   const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
   StoreU16(dir_entry + 2, kTombstoneLen);
   return Status::OK();
-}
-
-bool SlottedPage::IsLive(uint16_t slot) const {
-  if (slot >= num_slots()) return false;
-  const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
-  return LoadU16(dir_entry + 2) != kTombstoneLen;
 }
 
 }  // namespace reldiv

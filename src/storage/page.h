@@ -2,6 +2,8 @@
 #define RELDIV_STORAGE_PAGE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 
 #include "common/config.h"
 #include "common/result.h"
@@ -27,7 +29,9 @@ class SlottedPage {
   /// Formats an empty page.
   void Init();
 
-  uint16_t num_slots() const;
+  // num_slots/IsLive/GetRecord are inline: a sequential scan calls all
+  // three once per record.
+  uint16_t num_slots() const { return LoadU16(0); }
 
   /// Bytes available for one more record (including its slot entry).
   size_t FreeSpace() const;
@@ -41,14 +45,45 @@ class SlottedPage {
 
   /// Payload of the record in `slot`; InvalidArgument for a bad slot,
   /// NotFound for a deleted one. The Slice points into the frame.
-  Result<Slice> GetRecord(uint16_t slot) const;
+  Result<Slice> GetRecord(uint16_t slot) const {
+    if (slot >= num_slots()) {
+      return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                     " out of range");
+    }
+    const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+    const uint16_t offset = LoadU16(dir_entry);
+    const uint16_t len = LoadU16(dir_entry + 2);
+    if (len == kTombstoneLen) {
+      return Status::NotFound("record deleted");
+    }
+    if (offset + len > kPageSize) {
+      return Status::Corruption("slot entry points beyond page end");
+    }
+    return Slice(frame_ + offset, len);
+  }
 
   /// Tombstones the record in `slot` (space is not reclaimed; scans skip
   /// it). Idempotent.
   Status DeleteRecord(uint16_t slot);
 
+  /// Single-pass accessor for sequential scans: reads the slot directory
+  /// entry once, returning false for a tombstone and the payload otherwise.
+  /// Precondition: `slot < num_slots()` (the scan loop already bounds it).
+  bool GetIfLive(uint16_t slot, Slice* payload) const {
+    const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+    const uint16_t offset = LoadU16(dir_entry);
+    const uint16_t len = LoadU16(dir_entry + 2);
+    if (len == kTombstoneLen) return false;
+    *payload = Slice(frame_ + offset, len);
+    return true;
+  }
+
   /// True if `slot` holds a live record.
-  bool IsLive(uint16_t slot) const;
+  bool IsLive(uint16_t slot) const {
+    if (slot >= num_slots()) return false;
+    const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
+    return LoadU16(dir_entry + 2) != kTombstoneLen;
+  }
 
   static constexpr size_t kHeaderSize = 4;
   static constexpr size_t kSlotEntrySize = 4;
@@ -59,8 +94,14 @@ class SlottedPage {
       kPageSize - kHeaderSize - kSlotEntrySize;
 
  private:
-  uint16_t LoadU16(size_t offset) const;
-  void StoreU16(size_t offset, uint16_t v);
+  uint16_t LoadU16(size_t offset) const {
+    uint16_t v;
+    std::memcpy(&v, frame_ + offset, sizeof(v));
+    return v;
+  }
+  void StoreU16(size_t offset, uint16_t v) {
+    std::memcpy(frame_ + offset, &v, sizeof(v));
+  }
 
   char* frame_;
 };

@@ -123,6 +123,59 @@ class RecordFile::FileScan : public RecordScan {
     }
   }
 
+  // Page-native batch scan: delivers the current page's live records in one
+  // tight loop, one virtual call per page instead of per record. A call
+  // never crosses a page boundary, and an exhausted page stays fixed until
+  // the NEXT call so that the delivered payload slices remain valid.
+  Status NextBatch(RecordRef* refs, size_t capacity, size_t* count,
+                   bool* has_more) override {
+    size_t n = 0;
+    while (true) {
+      if (page_fixed_) {
+        SlottedPage page(frame_);
+        const uint16_t slots = page.num_slots();
+        if (next_slot_ >= slots) {
+          RELDIV_RETURN_NOT_OK(
+              file_->buffer_manager_->Unfix(global_page_, /*dirty=*/false));
+          page_fixed_ = false;
+        } else {
+          while (n < capacity && next_slot_ < slots) {
+            Slice payload;
+            if (page.GetIfLive(next_slot_, &payload)) {
+              refs[n].rid =
+                  Rid{static_cast<uint32_t>(local_page_), next_slot_};
+              refs[n].payload = payload;
+              n++;
+            }
+            next_slot_++;
+          }
+          if (n > 0) {
+            // Batch full or page drained; either way stop here (the page
+            // stays fixed, keeping the slices alive).
+            *count = n;
+            *has_more = true;
+            return Status::OK();
+          }
+          continue;
+        }
+      }
+      if (next_page_ >= file_->file_.num_pages()) {
+        *count = n;
+        *has_more = false;
+        return Status::OK();
+      }
+      RELDIV_ASSIGN_OR_RETURN(uint64_t global,
+                              file_->file_.GlobalPage(next_page_));
+      RELDIV_ASSIGN_OR_RETURN(
+          frame_, file_->buffer_manager_->Fix(global, /*create=*/false));
+      global_page_ = global;
+      local_page_ = next_page_;
+      next_page_++;
+      next_slot_ = 0;
+      page_fixed_ = true;
+    }
+  }
+
   Status Close() override {
     if (page_fixed_) {
       page_fixed_ = false;

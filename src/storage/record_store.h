@@ -27,6 +27,33 @@ class RecordScan {
   /// Fetches the next record. `*has_next` false at end of store.
   virtual Status Next(RecordRef* ref, bool* has_next) = 0;
 
+  /// Fetches up to `capacity` records into `refs`, setting `*count` to the
+  /// number delivered. All delivered payloads are valid until the next
+  /// NextBatch()/Next()/Close() call, so implementations must not cross a
+  /// pin boundary within one call (a page-at-a-time store stops at the page
+  /// edge and returns a short count with `*has_more` still true).
+  /// `*has_more` false means the store is exhausted; like the operator
+  /// batch contract, the final call may deliver zero records. The default
+  /// implementation loops Next(); page-oriented stores override it to
+  /// amortize the per-record virtual call across a whole page.
+  virtual Status NextBatch(RecordRef* refs, size_t capacity, size_t* count,
+                           bool* has_more) {
+    size_t n = 0;
+    while (n < capacity) {
+      bool has_next = false;
+      RELDIV_RETURN_NOT_OK(Next(&refs[n], &has_next));
+      if (!has_next) {
+        *count = n;
+        *has_more = false;
+        return Status::OK();
+      }
+      n++;
+    }
+    *count = n;
+    *has_more = true;
+    return Status::OK();
+  }
+
   /// Releases pinned pages; called implicitly by the destructor.
   virtual Status Close() = 0;
 };

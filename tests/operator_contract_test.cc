@@ -7,8 +7,10 @@
 #include "division/count_filter.h"
 #include "division/division.h"
 #include "exec/database.h"
+#include "exec/filter.h"
 #include "exec/materialize.h"
 #include "exec/mem_source.h"
+#include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "gtest/gtest.h"
@@ -156,6 +158,174 @@ TEST_F(OperatorContractTest, EmptyRelationThroughEveryUnaryOperator) {
     ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&spool));
     EXPECT_TRUE(out.empty());
   }
+}
+
+TEST_F(OperatorContractTest, TupleBatchSlotReuseAndRetain) {
+  TupleBatch batch(4);
+  EXPECT_EQ(batch.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) batch.PushBack(T(i, i));
+  EXPECT_TRUE(batch.full());
+  batch.Retain([](const Tuple& t) { return t.value(0).int64() % 2 == 0; });
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.tuple(0), T(0, 0));
+  EXPECT_EQ(batch.tuple(1), T(2, 2));
+  batch.PopBack();
+  EXPECT_EQ(batch.size(), 1u);
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  // AddSlot hands back a cleared, reusable slot.
+  Tuple* slot = batch.AddSlot();
+  EXPECT_EQ(slot->size(), 0u);
+  slot->Append(Value::Int64(7));
+  EXPECT_EQ(batch.tuple(0), T(7));
+}
+
+TEST_F(OperatorContractTest, BatchNativePipelineDetection) {
+  ASSERT_OK_AND_ASSIGN(Relation rel, db_->CreateTable("bn", TwoCol()));
+  auto even = [](const Tuple& t) { return t.value(0).int64() % 2 == 0; };
+  // scan → filter → project is batch-native end to end.
+  auto chain = std::make_unique<ProjectOperator>(
+      std::make_unique<FilterOperator>(
+          std::make_unique<ScanOperator>(db_->ctx(), rel), even),
+      std::vector<size_t>{0});
+  EXPECT_TRUE(chain->IsBatchNative());
+  // A sort in the chain falls back to the tuple adapter.
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(), std::move(chain), spec);
+  EXPECT_FALSE(sorter.IsBatchNative());
+}
+
+/// Satellite property test: for every division algorithm and a set of
+/// randomized workloads, the tuple-at-a-time lane and the batch lane (at
+/// several capacities) must produce identical quotients and identical
+/// Table 1 cost-counter deltas.
+TEST_F(OperatorContractTest, BatchAndTupleLanesAgreeOnEveryAlgorithm) {
+  const DivisionAlgorithm kAlgorithms[] = {
+      DivisionAlgorithm::kNaive,
+      DivisionAlgorithm::kSortAggregate,
+      DivisionAlgorithm::kSortAggregateWithJoin,
+      DivisionAlgorithm::kHashAggregate,
+      DivisionAlgorithm::kHashAggregateWithJoin,
+      DivisionAlgorithm::kHashDivision,
+      DivisionAlgorithm::kHashDivisionPartitioned,
+  };
+
+  std::vector<WorkloadSpec> specs;
+  specs.push_back(PaperCell(5, 8));
+  {
+    WorkloadSpec spec;  // §4.6 speculation: misses and incomplete candidates
+    spec.divisor_cardinality = 9;
+    spec.quotient_candidates = 14;
+    spec.candidate_completeness = 0.5;
+    spec.nonmatching_tuples = 23;
+    spec.seed = 11;
+    specs.push_back(spec);
+  }
+  {
+    WorkloadSpec spec;  // duplicate-laden inputs
+    spec.divisor_cardinality = 6;
+    spec.quotient_candidates = 10;
+    spec.candidate_completeness = 0.7;
+    spec.dividend_duplicates = 17;
+    spec.divisor_duplicates = 5;
+    spec.seed = 23;
+    specs.push_back(spec);
+  }
+
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const WorkloadSpec& spec = specs[s];
+    GeneratedWorkload workload = GenerateWorkload(spec);
+    Relation dividend, divisor;
+    ASSERT_OK(LoadWorkload(db_.get(), workload, "eq" + std::to_string(s),
+                           &dividend, &divisor));
+    DivisionQuery query{dividend, divisor, {"divisor_id"}};
+    const bool has_duplicates =
+        spec.dividend_duplicates + spec.divisor_duplicates > 0;
+
+    for (DivisionAlgorithm algorithm : kAlgorithms) {
+      SCOPED_TRACE(std::string(DivisionAlgorithmName(algorithm)) + " spec " +
+                   std::to_string(s));
+      DivisionOptions options;
+      options.eliminate_duplicates = has_duplicates;
+
+      // Each lane starts from identical state: cold buffers, zeroed Move
+      // remainder, and a counter snapshot taken just before the run.
+      auto run_lane = [&](bool tuple_at_a_time, size_t capacity,
+                          std::vector<Tuple>* quotient, CpuCounters* delta) {
+        db_->ctx()->set_batch_capacity(capacity);
+        ASSERT_OK(db_->buffer_manager()->FlushAll());
+        ASSERT_OK(db_->buffer_manager()->DropAll());
+        db_->ctx()->ResetMoveAccumulator();
+        const CpuCounters before = *db_->ctx()->counters();
+        ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                             MakeDivisionPlan(db_->ctx(), query, algorithm,
+                                              options));
+        if (tuple_at_a_time) {
+          ASSERT_OK_AND_ASSIGN(*quotient, CollectAllTupleAtATime(plan.get()));
+        } else {
+          ASSERT_OK_AND_ASSIGN(*quotient, CollectAll(plan.get(), capacity));
+        }
+        const CpuCounters& after = *db_->ctx()->counters();
+        delta->comparisons = after.comparisons - before.comparisons;
+        delta->hashes = after.hashes - before.hashes;
+        delta->moves = after.moves - before.moves;
+        delta->bit_ops = after.bit_ops - before.bit_ops;
+      };
+
+      std::vector<Tuple> reference;
+      CpuCounters reference_delta;
+      run_lane(/*tuple_at_a_time=*/true, /*capacity=*/1, &reference,
+               &reference_delta);
+      ASSERT_FALSE(HasFatalFailure());
+      // The no-join aggregation variants require every dividend tuple to
+      // match some divisor tuple (§2.2); on workloads violating that they
+      // still must be lane-consistent, just not ground-truth correct.
+      const bool no_join_aggregation =
+          algorithm == DivisionAlgorithm::kSortAggregate ||
+          algorithm == DivisionAlgorithm::kHashAggregate;
+      if (!(no_join_aggregation && spec.nonmatching_tuples > 0)) {
+        EXPECT_EQ(Sorted(reference), workload.expected_quotient);
+      }
+
+      for (size_t capacity : {size_t{1}, size_t{7}, size_t{1024}}) {
+        SCOPED_TRACE("batch capacity " + std::to_string(capacity));
+        std::vector<Tuple> batched;
+        CpuCounters batched_delta;
+        run_lane(/*tuple_at_a_time=*/false, capacity, &batched,
+                 &batched_delta);
+        ASSERT_FALSE(HasFatalFailure());
+        EXPECT_EQ(Sorted(batched), Sorted(reference));
+        EXPECT_EQ(batched_delta.comparisons, reference_delta.comparisons);
+        EXPECT_EQ(batched_delta.hashes, reference_delta.hashes);
+        EXPECT_EQ(batched_delta.moves, reference_delta.moves);
+        EXPECT_EQ(batched_delta.bit_ops, reference_delta.bit_ops);
+      }
+    }
+    db_->ctx()->set_batch_capacity(kDefaultBatchCapacity);
+  }
+}
+
+TEST_F(OperatorContractTest, EarlyOutputHashDivisionAgreesAcrossLanes) {
+  WorkloadSpec spec = PaperCell(7, 12);
+  spec.seed = 5;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db_.get(), workload, "eo", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+  DivisionOptions options;
+  options.early_output = true;
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                       MakeDivisionPlan(db_->ctx(), query,
+                                        DivisionAlgorithm::kHashDivision,
+                                        options));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuple_lane,
+                       CollectAllTupleAtATime(plan.get()));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> batch_lane,
+                       CollectAll(plan.get(), 3));
+  EXPECT_EQ(Sorted(tuple_lane), workload.expected_quotient);
+  EXPECT_EQ(Sorted(batch_lane), workload.expected_quotient);
 }
 
 }  // namespace
