@@ -1,7 +1,5 @@
 #include "common/bitmap.h"
 
-#include <cassert>
-
 namespace reldiv {
 
 Bitmap::Bitmap(size_t num_bits)
@@ -38,7 +36,10 @@ size_t Bitmap::CountSet() const {
 }
 
 void Bitmap::IntersectWith(const Bitmap& other) {
-  assert(num_bits_ == other.num_bits_);
+  // Width agreement is the §3.4 collection-phase invariant: both maps were
+  // built against the same divisor cardinality. Cold path, so always on.
+  RELDIV_CHECK_EQ(num_bits_, other.num_bits_)
+      << "intersecting bit maps of different divisor cardinalities";
   const size_t words = WordsForBits(num_bits_);
   for (size_t i = 0; i < words; ++i) words_[i] &= other.words_[i];
 }

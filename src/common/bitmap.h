@@ -1,11 +1,12 @@
 #ifndef RELDIV_COMMON_BITMAP_H_
 #define RELDIV_COMMON_BITMAP_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/check.h"
 
 namespace reldiv {
 
@@ -51,7 +52,7 @@ class Bitmap {
   /// Sets bit `i`. Returns true if the bit was previously clear (needed by
   /// the early-output variant's counter update, paper §3.3 point 2).
   bool Set(size_t i) {
-    assert(i < num_bits_);
+    RELDIV_DCHECK_LT(i, num_bits_) << "bit index beyond the bit map width";
     const uint64_t mask = uint64_t{1} << (i & 63);
     uint64_t& word = words_[i >> 6];
     const bool was_clear = (word & mask) == 0;
@@ -60,7 +61,7 @@ class Bitmap {
   }
 
   bool Test(size_t i) const {
-    assert(i < num_bits_);
+    RELDIV_DCHECK_LT(i, num_bits_) << "bit index beyond the bit map width";
     return (words_[i >> 6] & (uint64_t{1} << (i & 63))) != 0;
   }
 

@@ -1,0 +1,59 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace reldiv {
+
+namespace {
+
+void AbortingCheckFailure(const char* file, int line,
+                          const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Handler storage is atomic: parallel worker threads hit DCHECKs while a
+/// test on the main thread may have swapped the handler in at setup.
+std::atomic<CheckFailureHandler> g_handler{&AbortingCheckFailure};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &AbortingCheckFailure;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+namespace check_internal {
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       const char* head)
+    : file_(file), line_(line) {
+  stream_ << head;
+}
+
+CheckFailureStream::CheckFailureStream(const char* file, int line,
+                                       std::string head)
+    : file_(file), line_(line) {
+  stream_ << head;
+}
+
+CheckFailureStream::~CheckFailureStream() noexcept(false) {
+  g_handler.load(std::memory_order_acquire)(file_, line_, stream_.str());
+}
+
+std::string MakeCheckOpMessage(const char* expr, const std::string& lhs,
+                               const std::string& rhs) {
+  std::string out(expr);
+  out += " (";
+  out += lhs;
+  out += " vs. ";
+  out += rhs;
+  out += ")";
+  return out;
+}
+
+}  // namespace check_internal
+}  // namespace reldiv

@@ -1,17 +1,17 @@
 #ifndef RELDIV_COMMON_RESULT_H_
 #define RELDIV_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace reldiv {
 
 /// A value-or-error carrier: either holds a `T` or a non-OK Status.
 /// Mirrors arrow::Result. Constructing from an OK status is a programming
-/// error (asserted in debug builds, degraded to Internal otherwise).
+/// error (DCHECKed in debug builds, degraded to Internal otherwise).
 template <typename T>
 class Result {
  public:
@@ -19,7 +19,7 @@ class Result {
       : value_(std::move(value)) {}
   /* implicit */ Result(Status status)  // NOLINT(google-explicit-constructor)
       : status_(std::move(status)) {
-    assert(!status_.ok());
+    RELDIV_DCHECK(!status_.ok()) << "Result constructed from an OK status";
     if (status_.ok()) status_ = Status::Internal("Result built from OK");
   }
 
@@ -27,15 +27,18 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    RELDIV_DCHECK(ok()) << "value() on an error Result: "
+                        << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    RELDIV_DCHECK(ok()) << "value() on an error Result: "
+                        << status_.ToString();
     return *value_;
   }
   T&& MoveValue() {
-    assert(ok());
+    RELDIV_DCHECK(ok()) << "MoveValue() on an error Result: "
+                        << status_.ToString();
     return std::move(*value_);
   }
 

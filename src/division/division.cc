@@ -5,6 +5,7 @@
 #include "division/naive_division.h"
 #include "division/partitioned_hash_division.h"
 #include "division/sort_agg_division.h"
+#include "exec/contract_check.h"
 #include "exec/materialize.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
@@ -202,7 +203,10 @@ Result<std::unique_ptr<Operator>> MakeDivisionPlan(
     plan = std::make_unique<OwningOperator>(std::move(plan),
                                             std::move(owned));
   }
-  return plan;
+  // Debug builds of a plan can run under runtime protocol validation; the
+  // wrapper is a no-op pass-through unless ctx->contract_checks() is set.
+  return MaybeContractCheck(ctx, std::move(plan),
+                            DivisionAlgorithmName(algorithm));
 }
 
 Result<std::vector<Tuple>> Divide(ExecContext* ctx,

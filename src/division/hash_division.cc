@@ -1,6 +1,7 @@
 #include "division/hash_division.h"
 
 #include "common/bitmap.h"
+#include "common/check.h"
 
 namespace reldiv {
 
@@ -71,6 +72,11 @@ Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
       RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
     }
   }
+  // Dense divisor numbering (Figure 1, step 1): every distinct divisor tuple
+  // received exactly one number in [0, divisor_count_), so the table size
+  // and the counter must agree — the quotient bit maps are sized from it.
+  RELDIV_CHECK_EQ(divisor_count_, divisor_table_->size())
+      << "divisor numbering is not dense";
   return Status::OK();
 }
 
@@ -86,6 +92,10 @@ Status HashDivisionCore::BuildDivisorTableFromNumbered(
       ctx_, &divisor_arena_, all_cols,
       TupleHashTable::BucketsFor(numbered.empty() ? 16 : numbered.size()));
   for (const auto& [tuple, number] : numbered) {
+    // The caller supplies the numbering, but density still binds it: every
+    // number must index into bit maps of `divisor_count` bits.
+    RELDIV_CHECK_LT(number, divisor_count)
+        << "divisor number beyond the declared cardinality";
     RELDIV_ASSIGN_OR_RETURN(TupleHashTable::Entry * entry,
                             divisor_table_->Insert(tuple));
     entry->num = number;
@@ -151,11 +161,19 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
       pending->bit_ops += words;
       quotient_entry->num = 0;  // early-output counter (§3.3)
     }
+    // The bit map is exactly divisor_count_ bits wide, so a dense divisor
+    // number is also a valid bit index (§3.3, points 1 and 4).
+    RELDIV_DCHECK_LT(divisor_number, divisor_count_)
+        << "divisor number beyond the quotient bit map width";
     Bitmap bitmap = Bitmap::MapOnto(quotient_entry->extra, divisor_count_);
     pending->bit_ops += 1;
     const bool was_clear = bitmap.Set(divisor_number);
     if (options_.early_output && was_clear) {
       quotient_entry->num++;
+      // The counter counts distinct bits, so it can never pass the divisor
+      // cardinality — equality is the early-output trigger (§3.3, point 2).
+      RELDIV_DCHECK_LE(quotient_entry->num, divisor_count_)
+          << "early-output counter overran the divisor cardinality";
       pending->comparisons += 1;
       if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
         early_out->push_back(*quotient_entry->tuple);

@@ -1,5 +1,6 @@
 #include "division/partitioned_hash_division.h"
 
+#include "common/check.h"
 #include "common/row_codec.h"
 #include "division/hash_division.h"
 #include "exec/mem_source.h"
@@ -113,6 +114,10 @@ Result<std::vector<std::unique_ptr<RecordFile>>> PartitionRelation(
     RELDIV_RETURN_NOT_OK(scan.NextBatch(&batch, &has_more));
     for (const Tuple& tuple : batch) {
       const size_t p = assigner(ctx, tuple);
+      // §3.4: the partitioning function must map every tuple into one of
+      // the declared clusters, or the overflow pass would drop tuples.
+      RELDIV_DCHECK_LT(p, num_partitions)
+          << "cluster assigner produced an out-of-range partition";
       buffer.clear();
       RELDIV_RETURN_NOT_OK(codec.Encode(tuple, &buffer));
       RELDIV_ASSIGN_OR_RETURN(Rid rid, clusters[p]->Append(Slice(buffer)));

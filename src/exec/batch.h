@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/config.h"
 #include "common/tuple.h"
 #include "storage/memory_manager.h"
@@ -52,6 +53,7 @@ class TupleBatch {
   /// Claims the next slot and returns it cleared, ready for in-place
   /// decoding/assembly. Precondition: !full().
   Tuple* AddSlot() {
+    RELDIV_DCHECK(!full()) << "AddSlot on a full batch";
     Tuple* slot = &slots_[size_++];
     slot->Clear();
     return slot;
@@ -61,16 +63,31 @@ class TupleBatch {
   /// overwrite the whole tuple (e.g. schema-driven decode): the stale values
   /// keep their buffers, so a steady-state refill does no per-value
   /// construction at all. Precondition: !full().
-  Tuple* AddSlotForOverwrite() { return &slots_[size_++]; }
+  Tuple* AddSlotForOverwrite() {
+    RELDIV_DCHECK(!full()) << "AddSlotForOverwrite on a full batch";
+    return &slots_[size_++];
+  }
 
   /// Moves `tuple` into the next slot. Precondition: !full().
-  void PushBack(Tuple tuple) { slots_[size_++] = std::move(tuple); }
+  void PushBack(Tuple tuple) {
+    RELDIV_DCHECK(!full()) << "PushBack on a full batch";
+    slots_[size_++] = std::move(tuple);
+  }
 
   /// Gives the most recently added slot back. Precondition: !empty().
-  void PopBack() { size_--; }
+  void PopBack() {
+    RELDIV_DCHECK(!empty()) << "PopBack on an empty batch";
+    size_--;
+  }
 
-  const Tuple& tuple(size_t i) const { return slots_[i]; }
-  Tuple& tuple(size_t i) { return slots_[i]; }
+  const Tuple& tuple(size_t i) const {
+    RELDIV_DCHECK_LT(i, size_) << "tuple index beyond the live prefix";
+    return slots_[i];
+  }
+  Tuple& tuple(size_t i) {
+    RELDIV_DCHECK_LT(i, size_) << "tuple index beyond the live prefix";
+    return slots_[i];
+  }
 
   /// Iteration over the live prefix.
   Tuple* begin() { return slots_.data(); }

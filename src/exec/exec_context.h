@@ -49,6 +49,14 @@ class ExecContext {
     batch_capacity_ = capacity == 0 ? 1 : capacity;
   }
 
+  /// Debug switch: when on, plan builders wrap the operators they hand out
+  /// in a ContractCheckOperator (exec/contract_check.h) that validates the
+  /// open-next-close protocol at runtime and fails the query with an
+  /// Internal status on the first violation. Off by default — the wrapper
+  /// costs a schema walk per emitted tuple.
+  bool contract_checks() const { return contract_checks_; }
+  void set_contract_checks(bool enabled) { contract_checks_ = enabled; }
+
   // Cost-unit bumpers (Table 1: Comp / Hash / Move / Bit).
   void CountComparisons(uint64_t n) const { counters_->comparisons += n; }
   void CountHashes(uint64_t n) const { counters_->hashes += n; }
@@ -74,6 +82,7 @@ class ExecContext {
   size_t sort_space_bytes_ = kDefaultSortSpaceBytes;
   size_t hash_memory_bytes_ = 0;
   size_t batch_capacity_ = kDefaultBatchCapacity;
+  bool contract_checks_ = false;
   mutable uint64_t move_accumulator_ = 0;
 };
 

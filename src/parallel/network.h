@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
+
 namespace reldiv {
 
 /// Interconnection-network accounting for the shared-nothing simulation
@@ -19,6 +21,8 @@ class Interconnect {
 
   /// Records a shipment of `bytes` payload from node `from` to node `to`.
   void Ship(size_t from, size_t to, uint64_t bytes) {
+    RELDIV_DCHECK_LT(from, num_nodes_) << "shipment from an unknown node";
+    RELDIV_DCHECK_LT(to, num_nodes_) << "shipment to an unknown node";
     if (from == to) return;
     messages_++;
     bytes_ += bytes;

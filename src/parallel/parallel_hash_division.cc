@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/check.h"
 #include "common/row_codec.h"
 #include "cost/cost_model.h"
 #include "division/hash_division.h"
@@ -185,9 +186,19 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
     }
     for (std::thread& t : threads) t.join();
   }
+  // Quotient partitioning (§6): the clusters are disjoint by construction,
+  // so the quotient of the whole division is their plain concatenation.
+  // Executable form: every local quotient tuple must hash back to the node
+  // that produced it under the redistribution function (the projected
+  // quotient columns hash identically to the dividend's quotient columns).
+  std::vector<size_t> projected_attrs(quotient_attrs.size());
+  for (size_t i = 0; i < projected_attrs.size(); ++i) projected_attrs[i] = i;
   for (size_t i = 0; i < n; ++i) {
     RELDIV_RETURN_NOT_OK(local_status[i]);
-    // Quotient of the whole division = concatenation of the clusters.
+    for ([[maybe_unused]] const Tuple& q : local_quotients[i]) {
+      RELDIV_DCHECK_EQ(HashPartitionOf(q, projected_attrs, n), i)
+          << "quotient tuple emitted by a node outside its hash cluster";
+    }
     result.quotient.insert(result.quotient.end(), local_quotients[i].begin(),
                            local_quotients[i].end());
     result.max_node_ms = std::max(result.max_node_ms, local_ms[i]);

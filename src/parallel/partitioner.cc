@@ -1,9 +1,12 @@
 #include "parallel/partitioner.h"
 
+#include "common/check.h"
+
 namespace reldiv {
 
 size_t HashPartitionOf(const Tuple& tuple, const std::vector<size_t>& attrs,
                        size_t num_partitions) {
+  RELDIV_DCHECK_GT(num_partitions, 0u) << "partitioning into zero clusters";
   return static_cast<size_t>(tuple.HashAt(attrs) % num_partitions);
 }
 
@@ -20,6 +23,10 @@ std::vector<std::vector<Tuple>> HashPartition(
 std::vector<std::vector<Tuple>> RangePartition(
     const std::vector<Tuple>& tuples, size_t attr,
     const std::vector<int64_t>& splits) {
+  for (size_t i = 1; i < splits.size(); ++i) {
+    RELDIV_DCHECK_LE(splits[i - 1], splits[i])
+        << "range partition split points must be ascending";
+  }
   std::vector<std::vector<Tuple>> out(splits.size() + 1);
   for (const Tuple& tuple : tuples) {
     const int64_t v = tuple.value(attr).int64();

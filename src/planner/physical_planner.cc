@@ -4,6 +4,7 @@
 
 #include "common/config.h"
 #include "division/count_filter.h"
+#include "exec/contract_check.h"
 #include "exec/filter.h"
 #include "exec/hash_aggregate.h"
 #include "exec/hash_join.h"
@@ -315,7 +316,10 @@ Result<std::unique_ptr<Operator>> CompileLogicalPlan(
     compiled = std::make_unique<OwningOperator>(std::move(compiled),
                                                 std::move(*owned));
   }
-  return compiled;
+  // Division sub-plans are already wrapped by MakeDivisionPlan; wrapping the
+  // compiled root as well validates the glue operators (scans, sorts,
+  // joins, projections) the planner added around them.
+  return MaybeContractCheck(ctx, std::move(compiled), "compiled-plan");
 }
 
 }  // namespace reldiv

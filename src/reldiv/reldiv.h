@@ -1,5 +1,5 @@
-#ifndef RELDIV_RELDIV_H_
-#define RELDIV_RELDIV_H_
+#ifndef RELDIV_RELDIV_RELDIV_H_
+#define RELDIV_RELDIV_RELDIV_H_
 
 /// Umbrella header for the reldiv library: relational division — four
 /// algorithms and their performance (Graefe, 1989) — on a WiSS/GAMMA-style
@@ -41,4 +41,4 @@
 #include "workload/generator.h"
 #include "workload/university.h"
 
-#endif  // RELDIV_RELDIV_H_
+#endif  // RELDIV_RELDIV_RELDIV_H_

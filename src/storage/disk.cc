@@ -23,6 +23,7 @@ Result<std::unique_ptr<SimDisk>> SimDisk::OpenFileBacked(
   if (f == nullptr) {
     return Status::IOError("cannot open disk backing file '" + path + "'");
   }
+  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
   return std::unique_ptr<SimDisk>(new SimDisk(f, path));
 }
 

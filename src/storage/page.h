@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/check.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "common/slice.h"
@@ -70,10 +71,13 @@ class SlottedPage {
   /// entry once, returning false for a tombstone and the payload otherwise.
   /// Precondition: `slot < num_slots()` (the scan loop already bounds it).
   bool GetIfLive(uint16_t slot, Slice* payload) const {
+    RELDIV_DCHECK_LT(slot, num_slots()) << "slot beyond the page directory";
     const size_t dir_entry = kPageSize - (slot + 1) * kSlotEntrySize;
     const uint16_t offset = LoadU16(dir_entry);
     const uint16_t len = LoadU16(dir_entry + 2);
     if (len == kTombstoneLen) return false;
+    RELDIV_DCHECK_LE(static_cast<size_t>(offset) + len, kPageSize)
+        << "slot entry points beyond the page end";
     *payload = Slice(frame_ + offset, len);
     return true;
   }

@@ -52,6 +52,7 @@ class VirtualDevice::DeviceScan : public RecordScan {
 };
 
 Result<std::unique_ptr<RecordScan>> VirtualDevice::OpenScan() {
+  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
   return std::unique_ptr<RecordScan>(new DeviceScan(this));
 }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# One-command verification matrix for the reldiv tree:
+#
+#   release build + ctest      (the tier-1 gate)
+#   asan build + ctest         (address + UB sanitizers, DCHECKs forced on)
+#   tsan build + ctest         (data races in the shared-nothing layer)
+#   tools/lint.py              (repo-specific static lints)
+#   clang-tidy                 (when installed; skipped with a notice
+#                               otherwise so the matrix stays runnable on
+#                               minimal containers)
+#
+# Exits nonzero if ANY stage fails, so it can gate CI directly.
+#
+# Usage: tools/check_all.sh [--quick]
+#   --quick   release + lint only (inner-loop use)
+
+set -u
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+FAILURES=()
+note()  { printf '\n==== %s ====\n' "$*"; }
+stage() {
+  local name="$1"; shift
+  note "$name"
+  if "$@"; then
+    printf '%s: OK\n' "$name"
+  else
+    printf '%s: FAILED\n' "$name"
+    FAILURES+=("$name")
+  fi
+}
+
+build_and_test() {
+  local preset="$1"
+  cmake --preset "$preset" >/dev/null || return 1
+  cmake --build --preset "$preset" -j "$(nproc)" || return 1
+  ctest --preset "$preset" || return 1
+}
+
+stage "lint" python3 tools/lint.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_tidy() {
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || return 1
+    # shellcheck disable=SC2046
+    clang-tidy -p build --quiet $(find src -name '*.cc' | sort)
+  }
+  stage "clang-tidy" run_tidy
+else
+  note "clang-tidy"
+  echo "clang-tidy: not installed, skipping (config: .clang-tidy)"
+fi
+
+stage "release build+ctest" build_and_test release
+
+if [[ "$QUICK" == "0" ]]; then
+  stage "asan build+ctest" build_and_test asan
+  stage "tsan build+ctest" build_and_test tsan
+fi
+
+note "summary"
+if [[ "${#FAILURES[@]}" -gt 0 ]]; then
+  echo "FAILED stages: ${FAILURES[*]}"
+  exit 1
+fi
+echo "all stages passed"
