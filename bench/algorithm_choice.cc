@@ -21,14 +21,15 @@
 namespace reldiv {
 namespace {
 
-Status RunRewriteEffect() {
+Status RunRewriteEffect(bench::BenchReporter* report) {
   std::printf("--- 1. Executing the aggregate formulation vs rewriting it "
               "to a division ---\n\n");
+  const uint64_t shrink = bench::SmokeMode() ? 5 : 1;
   WorkloadSpec spec;
   spec.divisor_cardinality = 100;
-  spec.quotient_candidates = 400;
+  spec.quotient_candidates = 400 / shrink;
   spec.candidate_completeness = 0.5;
-  spec.nonmatching_tuples = 20000;
+  spec.nonmatching_tuples = 20000 / shrink;
   spec.seed = 88;
   GeneratedWorkload workload = GenerateWorkload(spec);
 
@@ -70,9 +71,16 @@ Status RunRewriteEffect() {
     cpu.moves -= cpu_before.moves;
     cpu.bit_ops -= cpu_before.bit_ops;
     const double cpu_ms = CpuCostMs(cpu);
-    const double io_ms = IoCostMs(db->disk()->stats() - io_before);
+    const DiskStats io = db->disk()->stats() - io_before;
+    const double io_ms = IoCostMs(io);
     std::printf("  %-44s %10.0f ms (cpu %.0f + io %.0f)\n", label,
                 cpu_ms + io_ms, cpu_ms, io_ms);
+    bench::BenchRow* row = report->AddRow(std::string("rewrite: ") + label);
+    row->counters = cpu;
+    row->io = io;
+    row->AddValue("cpu_ms", cpu_ms);
+    row->AddValue("io_ms", io_ms);
+    row->AddValue("total_ms", cpu_ms + io_ms);
     return Status::OK();
   };
 
@@ -105,7 +113,7 @@ Status RunRewriteEffect() {
   return Status::OK();
 }
 
-Status RunChoiceQuality() {
+Status RunChoiceQuality(bench::BenchReporter* report) {
   std::printf("--- 2. Predicted vs measured winner across workload shapes "
               "---\n\n");
   struct Shape {
@@ -119,24 +127,25 @@ Status RunChoiceQuality() {
     WorkloadSpec s = PaperCell(100, 100);
     shapes.push_back({"clean R = Q x S (100x100)", s, false, false});
   }
-  {
+  if (!bench::SmokeMode()) {
     WorkloadSpec s = PaperCell(400, 400);
     shapes.push_back({"clean R = Q x S (400x400)", s, false, false});
   }
+  const uint64_t shrink = bench::SmokeMode() ? 5 : 1;
   {
     WorkloadSpec s;
     s.divisor_cardinality = 100;
-    s.quotient_candidates = 200;
+    s.quotient_candidates = 200 / shrink;
     s.candidate_completeness = 0.5;
-    s.nonmatching_tuples = 30000;
+    s.nonmatching_tuples = 30000 / shrink;
     s.seed = 90;
     shapes.push_back({"restricted divisor, many foreign", s, true, false});
   }
   {
     WorkloadSpec s;
     s.divisor_cardinality = 50;
-    s.quotient_candidates = 200;
-    s.dividend_duplicates = 20000;
+    s.quotient_candidates = 200 / shrink;
+    s.dividend_duplicates = 20000 / shrink;
     s.divisor_duplicates = 50;
     s.seed = 91;
     shapes.push_back({"duplicate-laden inputs", s, false, true});
@@ -180,6 +189,11 @@ Status RunChoiceQuality() {
         best = algorithm;
       }
       if (algorithm == choice.algorithm) chosen_ms = cost.total_ms();
+      bench::BenchRow* row = report->AddCostRow(
+          std::string(shape.label) + " " + DivisionAlgorithmName(algorithm),
+          cost);
+      row->AddValue("predicted_ms", predicted);
+      row->AddValue("chosen", algorithm == choice.algorithm ? 1 : 0);
     }
     const bool agree =
         best == choice.algorithm || chosen_ms <= best_ms * 1.15;
@@ -201,11 +215,13 @@ Status RunChoiceQuality() {
 int main() {
   using namespace reldiv;
   std::printf("=== Experiment E7: query optimizer effects (§5.2/§7) ===\n\n");
-  Status status = RunRewriteEffect();
-  if (status.ok()) status = RunChoiceQuality();
+  bench::BenchReporter report("algorithm_choice");
+  report.AddParam("smoke", bench::SmokeMode() ? 1 : 0);
+  Status status = RunRewriteEffect(&report);
+  if (status.ok()) status = RunChoiceQuality(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

@@ -30,26 +30,28 @@ namespace reldiv {
 namespace {
 
 constexpr size_t kBatchSizes[] = {1, 64, 256, 1024, 4096};
-constexpr int kRepetitions = 5;
 
 struct Measurement {
   size_t batch_size = 0;
   bool tuple_lane = false;
   double wall_ms = 0;
   double cpu_ms = 0;
+  std::vector<double> wall_samples_ms;
   CpuCounters counters;
   uint64_t quotient_tuples = 0;
   std::vector<Tuple> quotient;
 };
 
-Status Run() {
+Status Run(bench::BenchReporter* report) {
+  const int kRepetitions = bench::SmokeMode() ? 2 : 5;
   // Dividend: 100k matching tuples (2000 candidates × 50 divisor tuples)
   // plus 500k foreign ones the filter removes (selectivity ~17%).
+  // Smoke mode shrinks both sides ~25x.
   WorkloadSpec spec;
   spec.divisor_cardinality = 50;
-  spec.quotient_candidates = 2000;
+  spec.quotient_candidates = bench::SmokeMode() ? 80 : 2000;
   spec.candidate_completeness = 1.0;
-  spec.nonmatching_tuples = 500000;
+  spec.nonmatching_tuples = bench::SmokeMode() ? 20000 : 500000;
   spec.seed = 77;
   GeneratedWorkload workload = GenerateWorkload(spec);
   const uint64_t dividend_tuples = workload.dividend.size();
@@ -145,6 +147,7 @@ Status Run() {
         return Status::Internal("cost counters drifted between repetitions");
       }
       m.wall_ms = std::min(m.wall_ms, wall_ms);
+      m.wall_samples_ms.push_back(wall_ms);
     }
     measurements.push_back(std::move(m));
   }
@@ -199,6 +202,18 @@ Status Run() {
         static_cast<unsigned long long>(dividend_tuples),
         static_cast<unsigned long long>(m.quotient_tuples), tuples_per_sec,
         base.wall_ms / m.wall_ms);
+    bench::BenchRow* row = report->AddRow(
+        (m.tuple_lane ? std::string("tuple-lane batch=")
+                      : std::string("batch-lane batch=")) +
+        std::to_string(m.batch_size));
+    row->wall_ns.reserve(m.wall_samples_ms.size());
+    for (double sample : m.wall_samples_ms) row->AddWallMs(sample);
+    row->counters = m.counters;
+    row->AddValue("best_wall_ms", m.wall_ms);
+    row->AddValue("cpu_ms", m.cpu_ms);
+    row->AddValue("tuples_per_sec", tuples_per_sec);
+    row->AddValue("speedup_vs_batch_1", base.wall_ms / m.wall_ms);
+    row->AddValue("quotient_tuples", static_cast<double>(m.quotient_tuples));
   }
   return Status::OK();
 }
@@ -207,11 +222,13 @@ Status Run() {
 }  // namespace reldiv
 
 int main() {
-  const reldiv::Status status = reldiv::Run();
+  reldiv::bench::BenchReporter report("batch_vs_tuple");
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  const reldiv::Status status = reldiv::Run(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "batch_vs_tuple failed: %s\n",
                  status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

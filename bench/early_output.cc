@@ -41,24 +41,25 @@ class CountingOperator : public Operator {
   uint64_t consumed_ = 0;
 };
 
-Status RunOne(const char* label, const GeneratedWorkload& workload);
+Status RunOne(const char* label, const GeneratedWorkload& workload,
+              bench::BenchReporter* report);
 
-Status Run() {
+Status Run(bench::BenchReporter* report) {
   std::printf("=== Experiment E6: early output (§3.3, dataflow producer) "
               "===\n\n");
   WorkloadSpec spec;
   spec.divisor_cardinality = 50;
-  spec.quotient_candidates = 1000;
+  spec.quotient_candidates = bench::SmokeMode() ? 200 : 1000;
   spec.candidate_completeness = 0.5;
-  spec.nonmatching_tuples = 5000;
+  spec.nonmatching_tuples = bench::SmokeMode() ? 1000 : 5000;
   spec.seed = 44;
   GeneratedWorkload shuffled = GenerateWorkload(spec);
-  RELDIV_RETURN_NOT_OK(RunOne("random dividend order", shuffled));
+  RELDIV_RETURN_NOT_OK(RunOne("random dividend order", shuffled, report));
 
   spec.shuffle = false;  // dividend arrives clustered by quotient value
   GeneratedWorkload clustered = GenerateWorkload(spec);
-  RELDIV_RETURN_NOT_OK(
-      RunOne("dividend clustered on the quotient attribute", clustered));
+  RELDIV_RETURN_NOT_OK(RunOne("dividend clustered on the quotient attribute",
+                              clustered, report));
 
   std::printf(
       "The blocking form consumes 100%% of the dividend before the first\n"
@@ -71,7 +72,8 @@ Status Run() {
   return Status::OK();
 }
 
-Status RunOne(const char* label, const GeneratedWorkload& workload) {
+Status RunOne(const char* label, const GeneratedWorkload& workload,
+              bench::BenchReporter* report) {
   const size_t total = workload.dividend.size();
   const size_t quotient_size = workload.expected_quotient.size();
   std::printf("--- %s: |R|=%zu tuples, |Q|=%zu ---\n", label, total,
@@ -124,6 +126,12 @@ Status RunOne(const char* label, const GeneratedWorkload& workload) {
                 static_cast<unsigned long long>(at_last),
                 100.0 * static_cast<double>(at_last) /
                     static_cast<double>(total));
+    bench::BenchRow* row = report->AddRow(
+        std::string(label) + " " + (early ? "early-output" : "stop-and-go"));
+    row->AddValue("dividend_tuples", static_cast<double>(total));
+    row->AddValue("consumed_at_first", static_cast<double>(at_first));
+    row->AddValue("consumed_at_half", static_cast<double>(at_half));
+    row->AddValue("consumed_at_last", static_cast<double>(at_last));
   }
   std::printf("\n");
   return Status::OK();
@@ -133,10 +141,12 @@ Status RunOne(const char* label, const GeneratedWorkload& workload) {
 }  // namespace reldiv
 
 int main() {
-  reldiv::Status status = reldiv::Run();
+  reldiv::bench::BenchReporter report("early_output");
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  reldiv::Status status = reldiv::Run(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

@@ -16,7 +16,7 @@
 namespace reldiv {
 namespace {
 
-Status RunProbeSweep() {
+Status RunProbeSweep(bench::BenchReporter* report) {
   std::printf("--- chained-table probes vs load factor ---\n");
   std::printf("  %-12s %10s | %16s %16s\n", "load factor", "buckets",
               "comps/probe hit", "comps/probe miss");
@@ -25,8 +25,8 @@ Status RunProbeSweep() {
   options.pool_bytes = 0;
   RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                           Database::Open(options));
-  constexpr int64_t kEntries = 100000;
-  constexpr int kProbes = 50000;
+  const int64_t kEntries = bench::SmokeMode() ? 10000 : 100000;
+  const int kProbes = bench::SmokeMode() ? 5000 : 50000;
   for (double load : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
     const size_t buckets = static_cast<size_t>(kEntries / load);
     Arena arena(nullptr);
@@ -59,6 +59,12 @@ Status RunProbeSweep() {
         static_cast<double>(db->counters()->comparisons) / kProbes;
     std::printf("  %-12.1f %10zu | %16.2f %16.2f\n", load, buckets,
                 hit_comps, miss_comps);
+    char label[32];
+    std::snprintf(label, sizeof label, "probe load=%.1f", load);
+    bench::BenchRow* row = report->AddRow(label);
+    row->AddValue("buckets", static_cast<double>(buckets));
+    row->AddValue("comps_per_hit", hit_comps);
+    row->AddValue("comps_per_miss", miss_comps);
   }
   std::printf(
       "\n  A miss scans the whole chain (≈ load factor comparisons); a hit\n"
@@ -67,12 +73,13 @@ Status RunProbeSweep() {
   return Status::OK();
 }
 
-Status RunSizingSweep() {
+Status RunSizingSweep(bench::BenchReporter* report) {
   std::printf("--- effect of quotient-table sizing on hash-division ---\n");
   std::printf("  %-26s | %12s %14s\n", "table sizing",
               "cpu model ms", "wall ms");
   bench::Rule(58);
-  GeneratedWorkload workload = GenerateWorkload(PaperCell(100, 2000));
+  GeneratedWorkload workload =
+      GenerateWorkload(PaperCell(100, bench::SmokeMode() ? 200 : 2000));
   struct Case {
     const char* label;
     uint64_t hint;
@@ -106,6 +113,11 @@ Status RunSizingSweep() {
     }
     std::printf("  %-26s | %12.0f %14.2f\n", c.label,
                 CpuCostMs(*db->counters()), wall);
+    bench::BenchRow* row = report->AddRow(std::string("sizing ") + c.label);
+    row->AddWallMs(wall);
+    row->counters = *db->counters();
+    row->AddValue("hint", static_cast<double>(c.hint));
+    row->AddValue("cpu_ms", CpuCostMs(*db->counters()));
   }
   std::printf("\n  BucketsFor() targets the paper's hbs = 2; a hint off by\n"
               "  >10x lengthens every chain and shows up directly in the\n"
@@ -119,11 +131,13 @@ Status RunSizingSweep() {
 int main() {
   using namespace reldiv;
   std::printf("=== Ablation: hash bucket size (Table 1's hbs = 2) ===\n\n");
-  Status status = RunProbeSweep();
-  if (status.ok()) status = RunSizingSweep();
+  bench::BenchReporter report("hbs_ablation");
+  report.AddParam("smoke", bench::SmokeMode() ? 1 : 0);
+  Status status = RunProbeSweep(&report);
+  if (status.ok()) status = RunSizingSweep(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

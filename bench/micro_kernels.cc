@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "common/bitmap.h"
 #include "common/counters.h"
 #include "common/rng.h"
@@ -184,7 +185,45 @@ BENCHMARK(BM_HashDivisionEndToEnd)
     ->Args({100, 100})
     ->Args({400, 400});
 
+/// Console output as usual, plus one BenchRow per benchmark run so the
+/// microbenchmarks land in the same BENCH_<name>.json schema as the
+/// experiment binaries (median = p90 = adjusted real ns/iteration;
+/// google-benchmark already aggregates internally).
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(bench::BenchReporter* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchRow* row = report_->AddRow(run.benchmark_name());
+      row->wall_ns.push_back(run.GetAdjustedRealTime());
+      row->AddValue("iterations", static_cast<double>(run.iterations));
+      if (run.counters.find("items_per_second") != run.counters.end()) {
+        row->AddValue("items_per_second",
+                      run.counters.at("items_per_second"));
+      }
+      if (run.counters.find("bytes_per_second") != run.counters.end()) {
+        row->AddValue("bytes_per_second",
+                      run.counters.at("bytes_per_second"));
+      }
+    }
+  }
+
+ private:
+  bench::BenchReporter* report_;
+};
+
 }  // namespace
 }  // namespace reldiv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  reldiv::bench::BenchReporter report("micro_kernels");
+  reldiv::JsonFileReporter console(&report);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  return report.WriteFile() ? 0 : 1;
+}

@@ -31,7 +31,8 @@ namespace {
 
 constexpr size_t kBudget = 128 * 1024;
 
-Status RunScenario(const char* title, const WorkloadSpec& spec) {
+Status RunScenario(const char* title, const char* key,
+                   const WorkloadSpec& spec, bench::BenchReporter* report) {
   GeneratedWorkload workload = GenerateWorkload(spec);
   std::printf("%s\n", title);
   std::printf("Workload: |S|=%llu, quotient candidates=%llu, |R|=%zu "
@@ -61,9 +62,12 @@ Status RunScenario(const char* title, const WorkloadSpec& spec) {
               "partitions", "phases", "cpu ms", "io ms", "total ms",
               "io xfers");
   bench::Rule(84);
+  const std::vector<size_t> partition_counts =
+      bench::SmokeMode() ? std::vector<size_t>{2, 4}
+                         : std::vector<size_t>{2, 4, 8, 16, 32};
   for (PartitionStrategy strategy :
        {PartitionStrategy::kQuotient, PartitionStrategy::kDivisor}) {
-    for (size_t partitions : {2, 4, 8, 16, 32}) {
+    for (size_t partitions : partition_counts) {
       DatabaseOptions options;
       options.pool_bytes = kBudget;
       RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
@@ -88,7 +92,6 @@ Status RunScenario(const char* title, const WorkloadSpec& spec) {
       const double wall_ms = std::chrono::duration<double, std::milli>(
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
-      (void)wall_ms;
       const char* name =
           strategy == PartitionStrategy::kQuotient ? "quotient" : "divisor";
       if (!collected.ok()) {
@@ -110,43 +113,55 @@ Status RunScenario(const char* title, const WorkloadSpec& spec) {
       std::printf("  %-10s %-10zu | %7zu %10.0f %12.0f %10.0f %9llu\n", name,
                   partitions, op.phases_run(), cpu_ms, io_ms, cpu_ms + io_ms,
                   static_cast<unsigned long long>(io.transfers));
+      bench::BenchRow* row = report->AddRow(std::string(key) + " " + name +
+                                            " p=" + std::to_string(partitions));
+      row->AddWallMs(wall_ms);
+      row->counters = cpu;
+      row->io = io;
+      row->AddValue("phases", static_cast<double>(op.phases_run()));
+      row->AddValue("cpu_ms", cpu_ms);
+      row->AddValue("io_ms", io_ms);
+      row->AddValue("total_ms", cpu_ms + io_ms);
     }
   }
   std::printf("\n");
   return Status::OK();
 }
 
-Status Run() {
+Status Run(bench::BenchReporter* report) {
   std::printf("=== Experiment E3: hash table overflow management (§3.4) "
               "===\n\n");
+  // Smoke mode shrinks each scenario ~10x; the tables still overflow the
+  // (fixed) 128 KB budget, so every partitioning path is exercised.
+  const uint64_t shrink = bench::SmokeMode() ? 10 : 1;
   {
     WorkloadSpec spec;
     spec.divisor_cardinality = 50;
-    spec.quotient_candidates = 4000;
+    spec.quotient_candidates = 4000 / shrink;
     spec.candidate_completeness = 0.5;
-    spec.nonmatching_tuples = 5000;
+    spec.nonmatching_tuples = 5000 / shrink;
     spec.seed = 77;
     RELDIV_RETURN_NOT_OK(RunScenario(
         "--- Scenario A: quotient table exceeds memory (use QUOTIENT "
         "partitioning) ---",
-        spec));
+        "A", spec, report));
   }
   {
     WorkloadSpec spec;
-    spec.divisor_cardinality = 4000;
+    spec.divisor_cardinality = 4000 / shrink;
     spec.quotient_candidates = 40;
     spec.candidate_completeness = 0.5;
     spec.seed = 78;
     RELDIV_RETURN_NOT_OK(RunScenario(
         "--- Scenario B: divisor table exceeds memory (use DIVISOR "
         "partitioning) ---",
-        spec));
+        "B", spec, report));
   }
   {
     // Scenario C: BOTH tables exceed memory — §3.4's closing question.
     WorkloadSpec spec;
-    spec.divisor_cardinality = 1500;
-    spec.quotient_candidates = 1500;
+    spec.divisor_cardinality = 1500 / shrink;
+    spec.quotient_candidates = 1500 / shrink;
     spec.candidate_completeness = 0.3;
     spec.seed = 79;
     GeneratedWorkload workload = GenerateWorkload(spec);
@@ -161,8 +176,12 @@ Status Run() {
     std::printf("  %-12s %-12s | %7s %10s %12s %10s\n", "div parts",
                 "quot parts", "phases", "cpu ms", "io ms", "total ms");
     bench::Rule(74);
-    for (size_t dp : {4, 8, 16}) {
-      for (size_t qp : {4, 16}) {
+    const std::vector<size_t> div_parts =
+        bench::SmokeMode() ? std::vector<size_t>{4} : std::vector<size_t>{4, 8, 16};
+    const std::vector<size_t> quot_parts =
+        bench::SmokeMode() ? std::vector<size_t>{4} : std::vector<size_t>{4, 16};
+    for (size_t dp : div_parts) {
+      for (size_t qp : quot_parts) {
         DatabaseOptions options;
         options.pool_bytes = kBudget;
         RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
@@ -202,6 +221,15 @@ Status Run() {
         const double io_ms = IoCostMs(io);
         std::printf("  %-12zu %-12zu | %7zu %10.0f %12.0f %10.0f\n", dp, qp,
                     op.phases_run(), cpu_ms, io_ms, cpu_ms + io_ms);
+        bench::BenchRow* row = report->AddRow(
+            "C combined dp=" + std::to_string(dp) +
+            " qp=" + std::to_string(qp));
+        row->counters = cpu;
+        row->io = io;
+        row->AddValue("phases", static_cast<double>(op.phases_run()));
+        row->AddValue("cpu_ms", cpu_ms);
+        row->AddValue("io_ms", io_ms);
+        row->AddValue("total_ms", cpu_ms + io_ms);
       }
     }
     std::printf("\n");
@@ -222,10 +250,13 @@ Status Run() {
 }  // namespace reldiv
 
 int main() {
-  reldiv::Status status = reldiv::Run();
+  reldiv::bench::BenchReporter report("overflow_partitioning");
+  report.AddParam("budget_bytes", static_cast<double>(reldiv::kBudget));
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  reldiv::Status status = reldiv::Run(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

@@ -13,14 +13,16 @@
 namespace reldiv {
 namespace {
 
-Status Run() {
+Status Run(bench::BenchReporter* report) {
   std::printf("=== Experiment E4: multi-processor hash-division (§6) "
               "===\n\n");
+  // Smoke mode: ~20x smaller dividend, same sweep structure.
+  const uint64_t shrink = bench::SmokeMode() ? 20 : 1;
   WorkloadSpec spec;
   spec.divisor_cardinality = 100;
-  spec.quotient_candidates = 5000;
+  spec.quotient_candidates = 5000 / shrink;
   spec.candidate_completeness = 0.6;
-  spec.nonmatching_tuples = 200000;  // §6: filtering pays off on these
+  spec.nonmatching_tuples = 200000 / shrink;  // §6: filtering pays off
   spec.seed = 66;
   GeneratedWorkload workload = GenerateWorkload(spec);
   std::printf("Workload: |S|=%llu, |R|=%zu tuples (%llu non-matching), "
@@ -69,6 +71,26 @@ Status Run() {
                     static_cast<unsigned long long>(result.network_bytes),
                     static_cast<unsigned long long>(result.network_messages),
                     static_cast<unsigned long long>(result.tuples_filtered));
+        bench::BenchRow* row = report->AddRow(
+            std::string(name) + " nodes=" + std::to_string(nodes) +
+            (filter ? " filter=on" : " filter=off"));
+        row->AddWallMs(result.wall_ms);
+        for (const NodeExecutionMetrics& node : result.node_metrics) {
+          row->counters += node.cpu;
+        }
+        row->AddValue("max_node_cpu_ms", result.max_node_cpu_ms);
+        row->AddValue("max_node_ms", result.max_node_ms);
+        row->AddValue("network_bytes",
+                      static_cast<double>(result.network_bytes));
+        row->AddValue("network_messages",
+                      static_cast<double>(result.network_messages));
+        row->AddValue("tuples_filtered",
+                      static_cast<double>(result.tuples_filtered));
+        row->AddValue("tuples_shipped",
+                      static_cast<double>(result.tuples_shipped));
+        row->AddValue("speedup", single_node_ms > 0
+                                     ? single_node_ms / result.max_node_cpu_ms
+                                     : 0.0);
       }
     }
   }
@@ -90,10 +112,12 @@ Status Run() {
 }  // namespace reldiv
 
 int main() {
-  reldiv::Status status = reldiv::Run();
+  reldiv::bench::BenchReporter report("parallel_scaleup");
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  reldiv::Status status = reldiv::Run(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

@@ -15,7 +15,8 @@ namespace reldiv {
 namespace {
 
 Status RunSweep(const char* title, const std::vector<WorkloadSpec>& specs,
-                const std::vector<const char*>& labels) {
+                const std::vector<const char*>& labels,
+                bench::BenchReporter* report) {
   std::printf("%s\n", title);
   std::printf("  %-24s | %10s %12s %12s %10s\n", "configuration", "Naive",
               "SortAgg+Join", "HashAgg+Join", "Hash-Div");
@@ -42,6 +43,9 @@ Status RunSweep(const char* title, const std::vector<WorkloadSpec>& specs,
       if (quotient_size != workload.expected_quotient.size()) {
         return Status::Internal("wrong quotient in sweep");
       }
+      report->AddCostRow(std::string(labels[i]) + " " +
+                             DivisionAlgorithmName(algorithm),
+                         cost);
       const int width =
           algorithm == DivisionAlgorithm::kNaive ||
                   algorithm == DivisionAlgorithm::kHashDivision
@@ -55,9 +59,11 @@ Status RunSweep(const char* title, const std::vector<WorkloadSpec>& specs,
   return Status::OK();
 }
 
-Status Run() {
+Status Run(bench::BenchReporter* report) {
   std::printf("=== Experiment E5: beyond R = Q x S (§4.6 speculation, §5.2) "
               "===\n\n");
+  // Smoke mode: ~5x smaller workloads, same sweep structure.
+  const uint64_t shrink = bench::SmokeMode() ? 5 : 1;
 
   // Sweep 1: growing share of dividend tuples with no divisor counterpart.
   {
@@ -67,9 +73,10 @@ Status Run() {
     for (uint64_t factor : {0, 1, 2, 4}) {
       WorkloadSpec spec;
       spec.divisor_cardinality = 100;
-      spec.quotient_candidates = 100;
+      spec.quotient_candidates = 100 / shrink;
       spec.candidate_completeness = 1.0;
-      spec.nonmatching_tuples = factor * 5000;  // vs 10000 matching tuples
+      spec.nonmatching_tuples =
+          factor * 5000 / (shrink * shrink);  // vs the matching tuples
       spec.seed = 55;
       specs.push_back(spec);
     }
@@ -77,7 +84,7 @@ Status Run() {
         "Sweep 1: foreign dividend tuples (relative to 10,000 matching "
         "tuples). Hash-division discards them after one divisor-table "
         "probe.",
-        specs, labels));
+        specs, labels, report));
   }
 
   // Sweep 2: quotient candidates that do not participate in the quotient.
@@ -88,7 +95,7 @@ Status Run() {
     for (double completeness : {1.0, 0.5, 0.1, 0.0}) {
       WorkloadSpec spec;
       spec.divisor_cardinality = 100;
-      spec.quotient_candidates = 400;
+      spec.quotient_candidates = 400 / shrink;
       spec.candidate_completeness = completeness;
       spec.seed = 56;
       specs.push_back(spec);
@@ -97,7 +104,7 @@ Status Run() {
         "Sweep 2: fraction of candidates holding ALL divisor values "
         "(incomplete candidates stay in the quotient table but shrink the "
         "dividend).",
-        specs, labels));
+        specs, labels, report));
   }
 
   // Sweep 3: duplicate handling. Hash-division runs on the raw input;
@@ -110,10 +117,11 @@ Status Run() {
     std::printf("  %-24s | %12s %12s %10s\n", "configuration",
                 "SortAgg+Join", "HashAgg+Join", "Hash-Div");
     bench::Rule(66);
-    for (uint64_t dups : {0, 5000, 20000}) {
+    for (uint64_t raw_dups : {0, 5000, 20000}) {
+      const uint64_t dups = raw_dups / shrink;
       WorkloadSpec spec;
       spec.divisor_cardinality = 100;
-      spec.quotient_candidates = 100;
+      spec.quotient_candidates = 100 / shrink;
       spec.dividend_duplicates = dups;
       spec.divisor_duplicates = dups / 100;
       spec.seed = 57;
@@ -143,6 +151,9 @@ Status Run() {
         if (quotient_size != workload.expected_quotient.size()) {
           return Status::Internal("wrong quotient in duplicate sweep");
         }
+        report->AddCostRow(std::string(label) + " " +
+                               DivisionAlgorithmName(algorithm),
+                           cost);
         const int width =
             algorithm == DivisionAlgorithm::kHashDivision ? 10 : 12;
         std::printf(" %*.0f", width, cost.total_ms());
@@ -158,10 +169,12 @@ Status Run() {
 }  // namespace reldiv
 
 int main() {
-  reldiv::Status status = reldiv::Run();
+  reldiv::bench::BenchReporter report("selectivity_sweep");
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  reldiv::Status status = reldiv::Run(&report);
   if (!status.ok()) {
     std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
     return 1;
   }
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

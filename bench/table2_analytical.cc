@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "cost/cost_model.h"
 
 namespace reldiv {
@@ -68,6 +69,21 @@ int CompareAgainstPaper(const std::vector<Table2Row>& computed) {
   return mismatches;
 }
 
+void ReportRows(bench::BenchReporter* report, const std::vector<Table2Row>& rows,
+                const char* prefix) {
+  for (const Table2Row& row : rows) {
+    bench::BenchRow* r = report->AddRow(
+        std::string(prefix) + " S=" + std::to_string(row.divisor_tuples) +
+        " Q=" + std::to_string(row.quotient_tuples));
+    r->AddValue("naive_ms", row.naive);
+    r->AddValue("sort_agg_ms", row.sort_agg);
+    r->AddValue("sort_agg_join_ms", row.sort_agg_join);
+    r->AddValue("hash_agg_ms", row.hash_agg);
+    r->AddValue("hash_agg_join_ms", row.hash_agg_join);
+    r->AddValue("hash_div_ms", row.hash_div);
+  }
+}
+
 }  // namespace
 }  // namespace reldiv
 
@@ -90,6 +106,14 @@ int main() {
   PrintRows(ceiling_mode,
             "Variant: textbook ceil(log_m(r/m)) merge passes "
             "(differs only at |S|=|Q|=400, where r/m = 320 needs 2 passes).");
+
+  bench::BenchReporter report("table2_analytical");
+  report.AddParam("rio_ms", units.rio_ms);
+  report.AddParam("sio_ms", units.sio_ms);
+  report.AddParam("mismatches_vs_paper", mismatches);
+  ReportRows(&report, paper_mode, "paper-mode");
+  ReportRows(&report, ceiling_mode, "ceiling-mode");
+  if (!report.WriteFile()) return 1;
 
   return mismatches == 0 ? 0 : 1;
 }

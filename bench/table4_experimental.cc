@@ -37,7 +37,8 @@ const DivisionAlgorithm kColumns[] = {
     DivisionAlgorithm::kHashDivision,
 };
 
-Status RunCell(int divisor_tuples, int quotient_tuples, Row* row) {
+Status RunCell(int divisor_tuples, int quotient_tuples, Row* row,
+               bench::BenchReporter* report) {
   // Fresh database per cell so buffer state and temp files do not leak
   // across configurations.
   RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
@@ -69,6 +70,12 @@ Status RunCell(int divisor_tuples, int quotient_tuples, Row* row) {
     row->total_ms[algorithm] = cost.total_ms();
     row->wall_ms[algorithm] = cost.wall_ms;
     row->quotient_size = quotient_size;
+    bench::BenchRow* r = report->AddCostRow(
+        std::string(DivisionAlgorithmName(algorithm)) +
+            " S=" + std::to_string(divisor_tuples) +
+            " Q=" + std::to_string(quotient_tuples),
+        cost);
+    r->AddValue("quotient_tuples", static_cast<double>(quotient_size));
   }
   row->divisor_tuples = divisor_tuples;
   row->quotient_tuples = quotient_tuples;
@@ -155,12 +162,17 @@ int main() {
   std::printf("Table 3 cost weights: seek 20 ms, latency 8 ms/transfer, "
               "0.5 ms/KB, CPU 2 ms/transfer; 8 KB transfers, 1 KB sort "
               "runs; 256 KB buffer, 100 KB sort space.\n\n");
-  const int sizes[] = {25, 100, 400};
+  // Smoke mode (tools/check_all.sh): one small cell, full reporting path.
+  std::vector<int> sizes = {25, 100, 400};
+  if (bench::SmokeMode()) sizes = {25};
+  bench::BenchReporter report("table4_experimental");
+  report.AddParam("batch_capacity", 1);
+  report.AddParam("smoke", bench::SmokeMode() ? 1 : 0);
   std::vector<Row> rows;
   for (int s : sizes) {
     for (int q : sizes) {
       Row row;
-      Status status = RunCell(s, q, &row);
+      Status status = RunCell(s, q, &row, &report);
       if (!status.ok()) {
         std::fprintf(stderr, "cell |S|=%d |Q|=%d failed: %s\n", s, q,
                      status.ToString().c_str());
@@ -213,5 +225,5 @@ int main() {
   std::printf("\n");
 
   PrintShapeChecks(rows);
-  return 0;
+  return report.WriteFile() ? 0 : 1;
 }

@@ -9,4 +9,11 @@ std::string CpuCounters::ToString() const {
          " bit_ops=" + std::to_string(bit_ops);
 }
 
+std::string CpuCounters::ToJson() const {
+  return "{\"comparisons\":" + std::to_string(comparisons) +
+         ",\"hashes\":" + std::to_string(hashes) +
+         ",\"moves\":" + std::to_string(moves) +
+         ",\"bit_ops\":" + std::to_string(bit_ops) + "}";
+}
+
 }  // namespace reldiv

@@ -26,7 +26,25 @@ struct CpuCounters {
     return *this;
   }
 
+  CpuCounters& operator-=(const CpuCounters& o) {
+    comparisons -= o.comparisons;
+    hashes -= o.hashes;
+    moves -= o.moves;
+    bit_ops -= o.bit_ops;
+    return *this;
+  }
+
+  friend CpuCounters operator-(CpuCounters a, const CpuCounters& b) {
+    a -= b;
+    return a;
+  }
+
   std::string ToString() const;
+
+  /// JSON object `{"comparisons":..,"hashes":..,"moves":..,"bit_ops":..}` —
+  /// the single serialization used by the trace emitter, the bench reporter,
+  /// and EXPLAIN ANALYZE, so counter field names cannot drift between them.
+  std::string ToJson() const;
 };
 
 }  // namespace reldiv

@@ -149,9 +149,7 @@ double CpuCostMs(const CpuCounters& counters, const CostUnits& units) {
 }
 
 const std::vector<Table2Row>& PaperTable2() {
-  // Intentional static leak, immune to destruction-order issues.
-  // NOLINTNEXTLINE(reldiv/naked-new): deliberately leaked function-static
-  static const std::vector<Table2Row>& rows = *new std::vector<Table2Row>{
+  static const std::vector<Table2Row> rows{
       {25, 25, 9949, 8074, 18529, 1969, 3938, 2028},
       {25, 100, 39663, 32163, 73738, 7763, 15526, 7996},
       {25, 400, 158517, 128517, 294572, 30938, 61876, 31868},

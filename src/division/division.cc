@@ -9,6 +9,7 @@
 #include "exec/materialize.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
+#include "obs/profiled_operator.h"
 #include "storage/record_file.h"
 
 namespace reldiv {
@@ -82,14 +83,18 @@ Result<std::unique_ptr<RecordStore>> MaterializeDistinct(
   spec.keys.resize(input.schema.num_fields());
   for (size_t i = 0; i < spec.keys.size(); ++i) spec.keys[i] = i;
   spec.collapse_equal_keys = true;
-  SortOperator sorter(ctx, std::make_unique<ScanOperator>(ctx, input),
-                      std::move(spec));
+  std::unique_ptr<Operator> sorter = std::make_unique<SortOperator>(
+      ctx, std::make_unique<ScanOperator>(ctx, input), std::move(spec));
+  sorter = MaybeProfile(ctx, std::move(sorter), label);
   auto store = std::make_unique<RecordFile>(ctx->disk(),
                                             ctx->buffer_manager(), label);
   RELDIV_ASSIGN_OR_RETURN(
       uint64_t written,
-      Materialize(&sorter, store.get(), ctx->batch_capacity()));
+      Materialize(sorter.get(), store.get(), ctx->batch_capacity()));
   (void)written;
+  // The pre-pass ran to completion; seal its metrics tree so the main plan
+  // does not adopt it as an operator child.
+  if (ctx->profiling()) ctx->profile()->SealRoots();
   return std::unique_ptr<RecordStore>(std::move(store));
 }
 
@@ -141,9 +146,16 @@ Result<std::unique_ptr<Operator>> MakeDivisionPlan(
       SortSpec dividend_sort;
       dividend_sort.keys = NaiveDividendSortKeys(resolved);
       dividend_sort.collapse_equal_keys = true;
-      auto sorted_dividend = std::make_unique<SortOperator>(
-          ctx, std::make_unique<ScanOperator>(ctx, resolved.dividend),
-          std::move(dividend_sort));
+      auto sorted_dividend = MaybeProfile(
+          ctx,
+          std::make_unique<SortOperator>(
+              ctx,
+              MaybeProfile(ctx,
+                           std::make_unique<ScanOperator>(ctx,
+                                                          resolved.dividend),
+                           "scan(dividend)"),
+              std::move(dividend_sort)),
+          "sort(dividend)");
 
       SortSpec divisor_sort;
       divisor_sort.keys.resize(resolved.divisor.schema.num_fields());
@@ -151,9 +163,19 @@ Result<std::unique_ptr<Operator>> MakeDivisionPlan(
         divisor_sort.keys[i] = i;
       }
       divisor_sort.collapse_equal_keys = true;
-      auto sorted_divisor = std::make_unique<SortOperator>(
-          ctx, std::make_unique<ScanOperator>(ctx, resolved.divisor),
-          std::move(divisor_sort));
+      // The divisor subtree is a sibling of the finished dividend subtree;
+      // the mark keeps its wrappers from adopting the dividend's tree.
+      const size_t divisor_mark = ProfileMark(ctx);
+      auto sorted_divisor = MaybeProfile(
+          ctx,
+          std::make_unique<SortOperator>(
+              ctx,
+              MaybeProfile(ctx,
+                           std::make_unique<ScanOperator>(ctx,
+                                                          resolved.divisor),
+                           "scan(divisor)", divisor_mark),
+              std::move(divisor_sort)),
+          "sort(divisor)", divisor_mark);
 
       plan = std::make_unique<NaiveDivisionOperator>(
           ctx, std::move(sorted_dividend), std::move(sorted_divisor),
@@ -184,9 +206,17 @@ Result<std::unique_ptr<Operator>> MakeDivisionPlan(
         tuned.expected_divisor_cardinality =
             resolved.divisor.store->num_records();
       }
-      plan = std::make_unique<HashDivisionOperator>(
+      // Build the input wrappers as sequenced statements: the metrics tree
+      // relies on creation order, which function arguments do not guarantee.
+      auto dividend_scan = MaybeProfile(
           ctx, std::make_unique<ScanOperator>(ctx, resolved.dividend),
-          std::make_unique<ScanOperator>(ctx, resolved.divisor),
+          "scan(dividend)");
+      const size_t divisor_mark = ProfileMark(ctx);
+      auto divisor_scan = MaybeProfile(
+          ctx, std::make_unique<ScanOperator>(ctx, resolved.divisor),
+          "scan(divisor)", divisor_mark);
+      plan = std::make_unique<HashDivisionOperator>(
+          ctx, std::move(dividend_scan), std::move(divisor_scan),
           resolved.match_attrs, resolved.quotient_attrs, tuned);
       break;
     }
@@ -203,6 +233,11 @@ Result<std::unique_ptr<Operator>> MakeDivisionPlan(
     plan = std::make_unique<OwningOperator>(std::move(plan),
                                             std::move(owned));
   }
+  // Observability root wrapper: adopts every metrics node registered while
+  // building this plan, then the finished tree is sealed so a later plan on
+  // the same context becomes a sibling root.
+  plan = MaybeProfile(ctx, std::move(plan), DivisionAlgorithmName(algorithm));
+  if (ctx->profiling()) ctx->profile()->SealRoots();
   // Debug builds of a plan can run under runtime protocol validation; the
   // wrapper is a no-op pass-through unless ctx->contract_checks() is set.
   return MaybeContractCheck(ctx, std::move(plan),

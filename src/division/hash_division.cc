@@ -168,6 +168,7 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
     Bitmap bitmap = Bitmap::MapOnto(quotient_entry->extra, divisor_count_);
     pending->bit_ops += 1;
     const bool was_clear = bitmap.Set(divisor_number);
+    if (was_clear) bits_set_++;
     if (options_.early_output && was_clear) {
       quotient_entry->num++;
       // The counter counts distinct bits, so it can never pass the divisor
@@ -177,6 +178,7 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
       pending->comparisons += 1;
       if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
         early_out->push_back(*quotient_entry->tuple);
+        early_emits_++;
       }
     }
   } else {
@@ -184,10 +186,12 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
     // dividends; no bit map, just a counter per candidate.
     if (inserted) quotient_entry->num = 0;
     quotient_entry->num++;
+    bits_set_++;
     if (options_.early_output) {
       pending->comparisons += 1;
       if (quotient_entry->num == divisor_count_ && early_out != nullptr) {
         early_out->push_back(*quotient_entry->tuple);
+        early_emits_++;
       }
     }
   }
@@ -371,6 +375,24 @@ Status HashDivisionOperator::NextBatch(TupleBatch* batch, bool* has_more) {
       RELDIV_RETURN_NOT_OK(dividend_->Close());
       dividend_done_ = true;
     }
+  }
+}
+
+void HashDivisionOperator::ExportGauges(GaugeList* gauges) const {
+  if (core_ == nullptr) return;
+  const double divisor = static_cast<double>(core_->divisor_count());
+  const double candidates = static_cast<double>(core_->quotient_candidates());
+  gauges->emplace_back("divisor_count", divisor);
+  gauges->emplace_back("quotient_candidates", candidates);
+  gauges->emplace_back("hash_memory_bytes",
+                       static_cast<double>(core_->memory_bytes()));
+  const double cells = divisor * candidates;
+  gauges->emplace_back(
+      "bitmap_fill_ratio",
+      cells == 0 ? 0.0 : static_cast<double>(core_->bits_set()) / cells);
+  if (options_.early_output) {
+    gauges->emplace_back("early_output_hits",
+                         static_cast<double>(core_->early_emits()));
   }
 }
 

@@ -68,6 +68,13 @@ class HashDivisionCore {
            (quotient_arena_ == nullptr ? 0
                                        : quotient_arena_->bytes_allocated());
   }
+  /// Distinct (quotient candidate, divisor number) pairs recorded — the
+  /// number of 1-bits across all candidate bit maps (counter increments in
+  /// the §3.3 point 6 variant). bits_set / (candidates * divisor_count) is
+  /// the bit-map fill ratio.
+  uint64_t bits_set() const { return bits_set_; }
+  /// Quotient tuples produced eagerly by the §3.3 early-output rule.
+  uint64_t early_emits() const { return early_emits_; }
 
  private:
   bool use_bitmaps() const { return !options_.counters_instead_of_bitmaps; }
@@ -106,6 +113,8 @@ class HashDivisionCore {
   std::unique_ptr<TupleHashTable> divisor_table_;
   std::unique_ptr<TupleHashTable> quotient_table_;
   uint64_t divisor_count_ = 0;
+  uint64_t bits_set_ = 0;
+  uint64_t early_emits_ = 0;
 };
 
 /// Hash-division (§3): the paper's new algorithm. Two hash tables — the
@@ -139,6 +148,11 @@ class HashDivisionOperator : public Operator {
     return dividend_->IsBatchNative() && divisor_->IsBatchNative();
   }
   Status Close() override;
+
+  /// Divisor cardinality, quotient candidates, table memory, bit-map fill
+  /// ratio, and (with early output) eager emissions. Live only while the
+  /// core exists, i.e. between Open() and Close().
+  void ExportGauges(GaugeList* gauges) const override;
 
  private:
   ExecContext* ctx_;

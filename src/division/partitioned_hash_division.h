@@ -46,6 +46,11 @@ class PartitionedHashDivisionOperator : public Operator {
   /// Number of phases actually executed (test hook).
   size_t phases_run() const { return phases_run_; }
 
+  /// Partition passes executed over the spooled clusters.
+  void ExportGauges(GaugeList* gauges) const override {
+    gauges->emplace_back("phases_run", static_cast<double>(phases_run_));
+  }
+
  private:
   Status RunQuotientPartitioned();
   Status RunDivisorPartitioned();

@@ -5,6 +5,7 @@
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "exec/sort_aggregate.h"
+#include "obs/profiled_operator.h"
 
 namespace reldiv {
 
@@ -41,7 +42,8 @@ Result<std::unique_ptr<Operator>> MakeSortAggregationDivisionPlan(
     ExecContext* ctx, const ResolvedDivision& resolved, bool with_join,
     const DivisionOptions& options) {
   std::unique_ptr<Operator> dividend_input =
-      std::make_unique<ScanOperator>(ctx, resolved.dividend);
+      MaybeProfile(ctx, std::make_unique<ScanOperator>(ctx, resolved.dividend),
+                   "scan(dividend)");
 
   if (with_join) {
     // Sort the dividend on the divisor attrs for the merge semi-join
@@ -49,26 +51,41 @@ Result<std::unique_ptr<Operator>> MakeSortAggregationDivisionPlan(
     // grouping attributes").
     SortSpec join_sort;
     join_sort.keys = resolved.match_attrs;
-    auto sorted_dividend = std::make_unique<SortOperator>(
-        ctx, std::move(dividend_input), std::move(join_sort));
+    auto sorted_dividend = MaybeProfile(
+        ctx,
+        std::make_unique<SortOperator>(ctx, std::move(dividend_input),
+                                       std::move(join_sort)),
+        "sort(dividend)");
 
     SortSpec divisor_sort;
     divisor_sort.keys.resize(resolved.divisor.schema.num_fields());
     for (size_t i = 0; i < divisor_sort.keys.size(); ++i) {
       divisor_sort.keys[i] = i;
     }
-    auto sorted_divisor = std::make_unique<SortOperator>(
-        ctx, std::make_unique<ScanOperator>(ctx, resolved.divisor),
-        std::move(divisor_sort));
+    // Sibling subtree: the mark keeps the divisor-side wrappers from
+    // adopting the finished dividend tree.
+    const size_t divisor_mark = ProfileMark(ctx);
+    auto sorted_divisor = MaybeProfile(
+        ctx,
+        std::make_unique<SortOperator>(
+            ctx,
+            MaybeProfile(ctx,
+                         std::make_unique<ScanOperator>(ctx, resolved.divisor),
+                         "scan(divisor)", divisor_mark),
+            std::move(divisor_sort)),
+        "sort(divisor)", divisor_mark);
 
     // Semi-join in which the outer (dividend) relation produces the result:
     // no linked lists, no copying (§5.1).
     std::vector<size_t> divisor_keys(resolved.divisor.schema.num_fields());
     for (size_t i = 0; i < divisor_keys.size(); ++i) divisor_keys[i] = i;
-    dividend_input = std::make_unique<MergeJoinOperator>(
-        ctx, std::move(sorted_dividend), std::move(sorted_divisor),
-        resolved.match_attrs, std::move(divisor_keys),
-        MergeJoinMode::kLeftSemi);
+    dividend_input = MaybeProfile(
+        ctx,
+        std::make_unique<MergeJoinOperator>(
+            ctx, std::move(sorted_dividend), std::move(sorted_divisor),
+            resolved.match_attrs, std::move(divisor_keys),
+            MergeJoinMode::kLeftSemi),
+        "merge-semi-join");
   }
 
   if (options.count_distinct) {
@@ -82,11 +99,17 @@ Result<std::unique_ptr<Operator>> MakeSortAggregationDivisionPlan(
                            resolved.match_attrs.begin(),
                            resolved.match_attrs.end());
     dedup_sort.collapse_equal_keys = true;
-    auto sorted = std::make_unique<SortOperator>(
-        ctx, std::move(dividend_input), std::move(dedup_sort));
-    auto counted = std::make_unique<SortAggregateOperator>(
-        ctx, std::move(sorted), resolved.quotient_attrs,
-        std::vector<AggSpec>{AggSpec{AggFn::kCount, 0, "count"}});
+    auto sorted = MaybeProfile(
+        ctx,
+        std::make_unique<SortOperator>(ctx, std::move(dividend_input),
+                                       std::move(dedup_sort)),
+        "sort(dedup)");
+    auto counted = MaybeProfile(
+        ctx,
+        std::make_unique<SortAggregateOperator>(
+            ctx, std::move(sorted), resolved.quotient_attrs,
+            std::vector<AggSpec>{AggSpec{AggFn::kCount, 0, "count"}}),
+        "sort-aggregate");
     return std::unique_ptr<Operator>(
         std::make_unique<GroupCountFilterOperator>(
             ctx, std::move(counted), resolved.divisor,
@@ -94,8 +117,12 @@ Result<std::unique_ptr<Operator>> MakeSortAggregationDivisionPlan(
   }
 
   // Aggregation during the (second) sort, then the count selection.
-  auto counted = std::make_unique<SortOperator>(
-      ctx, std::move(dividend_input), CountingSortSpec(resolved));
+  auto counted =
+      MaybeProfile(ctx,
+                   std::make_unique<SortOperator>(ctx,
+                                                  std::move(dividend_input),
+                                                  CountingSortSpec(resolved)),
+                   "sort(aggregate)");
   return std::unique_ptr<Operator>(std::make_unique<GroupCountFilterOperator>(
       ctx, std::move(counted), resolved.divisor));
 }

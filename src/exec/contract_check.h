@@ -43,6 +43,9 @@ class ContractCheckOperator : public Operator {
   Status Next(Tuple* tuple, bool* has_next) override;
   Status NextBatch(TupleBatch* batch, bool* has_more) override;
   Status Close() override;
+  void ExportGauges(GaugeList* gauges) const override {
+    child_->ExportGauges(gauges);
+  }
 
   /// Number of violations detected so far (each one also failed the
   /// offending call with an Internal status).

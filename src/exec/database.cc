@@ -6,8 +6,7 @@ namespace reldiv {
 
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
-  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
-  std::unique_ptr<Database> db(new Database());
+  auto db = std::make_unique<Database>(Passkey{});
   if (options.file_backed_disk) {
     RELDIV_ASSIGN_OR_RETURN(db->disk_,
                             SimDisk::OpenFileBacked(options.disk_path));

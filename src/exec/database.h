@@ -39,9 +39,17 @@ struct DatabaseOptions {
 /// named relations. This is the front door used by the examples and the
 /// experiment harness.
 class Database {
+  /// Pass-key restricting construction to Open() while keeping
+  /// std::make_unique usable.
+  struct Passkey {
+    explicit Passkey() = default;
+  };
+
  public:
   static Result<std::unique_ptr<Database>> Open(
       const DatabaseOptions& options = {});
+
+  explicit Database(Passkey) {}
 
   ~Database();
 
@@ -86,8 +94,6 @@ class Database {
   void ResetStats();
 
  private:
-  Database() = default;
-
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<MemoryPool> pool_;
   std::unique_ptr<BufferManager> buffer_manager_;

@@ -1,4 +1,32 @@
 #include "exec/exec_context.h"
 
-// ExecContext is header-only today; this translation unit anchors the
-// library target so the build file stays uniform.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace reldiv {
+
+ExecContext::ExecContext(SimDisk* disk, BufferManager* buffer_manager,
+                         MemoryPool* pool, CpuCounters* counters)
+    : disk_(disk),
+      buffer_manager_(buffer_manager),
+      pool_(pool),
+      counters_(counters) {}
+
+ExecContext::~ExecContext() = default;
+
+void ExecContext::set_profiling(bool enabled) {
+  profiling_ = enabled;
+  if (enabled) {
+    // Fresh collection per profiling session: pointers into the previous
+    // session's tree die here, matching QueryProfile::Clear() semantics.
+    profile_ = std::make_unique<QueryProfile>();
+  }
+}
+
+void ExecContext::set_trace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (disk_ != nullptr) disk_->set_trace(trace);
+  if (buffer_manager_ != nullptr) buffer_manager_->set_trace(trace);
+}
+
+}  // namespace reldiv

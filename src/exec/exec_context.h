@@ -2,6 +2,7 @@
 #define RELDIV_EXEC_EXEC_CONTEXT_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "common/config.h"
 #include "common/counters.h"
@@ -11,6 +12,9 @@
 
 namespace reldiv {
 
+class QueryProfile;
+class TraceRecorder;
+
 /// Shared services handed to every operator in a query evaluation plan:
 /// the simulated disk, the buffer manager, the main memory pool from which
 /// hash tables and sort space are drawn, and deterministic CPU counters.
@@ -18,12 +22,11 @@ namespace reldiv {
 /// construction time, mirroring the paper's compiled function pointers.
 class ExecContext {
  public:
+  // Constructor and destructor are out-of-line: the context owns the
+  // forward-declared QueryProfile via unique_ptr.
   ExecContext(SimDisk* disk, BufferManager* buffer_manager, MemoryPool* pool,
-              CpuCounters* counters)
-      : disk_(disk),
-        buffer_manager_(buffer_manager),
-        pool_(pool),
-        counters_(counters) {}
+              CpuCounters* counters);
+  ~ExecContext();
 
   SimDisk* disk() const { return disk_; }
   BufferManager* buffer_manager() const { return buffer_manager_; }
@@ -57,6 +60,26 @@ class ExecContext {
   bool contract_checks() const { return contract_checks_; }
   void set_contract_checks(bool enabled) { contract_checks_ = enabled; }
 
+  /// Observability switch: when on, plan builders wrap the operators they
+  /// construct in a ProfiledOperator (obs/profiled_operator.h) that records
+  /// a per-operator MetricsNode tree — wall time, call counts, tuples and
+  /// batches, CpuCounters and I/O deltas, algorithm gauges — into profile().
+  /// Off by default: disabled plans contain no wrapper and pay nothing.
+  bool profiling() const { return profiling_; }
+  void set_profiling(bool enabled);
+
+  /// The metrics collected by profiled plans on this context; non-null once
+  /// set_profiling(true) has been called (the trees survive turning
+  /// profiling back off, until the next set_profiling(true) clears them).
+  QueryProfile* profile() const { return profile_.get(); }
+
+  /// Attaches a chrome://tracing span recorder (obs/trace.h) to this context
+  /// AND to its disk and buffer manager, so operator lifecycle spans, page
+  /// traffic, and disk transfers land on one timeline. nullptr detaches.
+  /// Not owned; the recorder must outlive the attachment.
+  void set_trace(TraceRecorder* trace);
+  TraceRecorder* trace() const { return trace_; }
+
   // Cost-unit bumpers (Table 1: Comp / Hash / Move / Bit).
   void CountComparisons(uint64_t n) const { counters_->comparisons += n; }
   void CountHashes(uint64_t n) const { counters_->hashes += n; }
@@ -83,6 +106,9 @@ class ExecContext {
   size_t hash_memory_bytes_ = 0;
   size_t batch_capacity_ = kDefaultBatchCapacity;
   bool contract_checks_ = false;
+  bool profiling_ = false;
+  std::unique_ptr<QueryProfile> profile_;
+  TraceRecorder* trace_ = nullptr;
   mutable uint64_t move_accumulator_ = 0;
 };
 

@@ -44,6 +44,9 @@ class OwningOperator : public Operator {
   }
   bool IsBatchNative() const override { return plan_->IsBatchNative(); }
   Status Close() override { return plan_->Close(); }
+  void ExportGauges(GaugeList* gauges) const override {
+    plan_->ExportGauges(gauges);
+  }
 
  private:
   std::unique_ptr<Operator> plan_;
@@ -69,6 +72,9 @@ class SpoolOperator : public Operator {
   /// regardless of the child (the child is drained internally at Open()).
   bool IsBatchNative() const override { return true; }
   Status Close() override;
+  void ExportGauges(GaugeList* gauges) const override {
+    child_->ExportGauges(gauges);
+  }
 
  private:
   ExecContext* ctx_;

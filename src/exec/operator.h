@@ -2,6 +2,8 @@
 #define RELDIV_EXEC_OPERATOR_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +12,11 @@
 #include "exec/batch.h"
 
 namespace reldiv {
+
+/// Named numeric gauges exported by an operator for the observability layer
+/// (obs/metrics.h): algorithm-specific facts such as hash-division's bitmap
+/// fill ratio, a sort's run count, or a partitioned operator's phase count.
+using GaugeList = std::vector<std::pair<std::string, double>>;
 
 /// Demand-driven iterator interface implemented by every relational algebra
 /// operator (§5.1: "all relational algebra operators are implemented as
@@ -61,6 +68,13 @@ class Operator {
   /// The physical planner and the drain helpers use this to report/select
   /// fully vectorized pipelines; correctness never depends on it.
   virtual bool IsBatchNative() const { return false; }
+
+  /// Observability hook: appends algorithm-specific gauges (hash-table fill,
+  /// spill/run counts, early-output hits, peak memory) to `gauges`. Called
+  /// by the profiling wrapper while the operator is still open — i.e. before
+  /// Close() releases the state the gauges describe. Pure pass-through
+  /// operators forward to their child; the default exports nothing.
+  virtual void ExportGauges(GaugeList* gauges) const { (void)gauges; }
 
   virtual Status Close() = 0;
 };

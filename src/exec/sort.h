@@ -54,6 +54,15 @@ class SortOperator : public Operator {
   /// Number of intermediate merge passes performed in Open(). Test hook.
   size_t intermediate_merges() const { return intermediate_merges_; }
 
+  /// Spill behavior: whether the input fit in the sort space, and if not,
+  /// how many runs were written and how many intermediate merges ran.
+  void ExportGauges(GaugeList* gauges) const override {
+    gauges->emplace_back("in_memory", in_memory_ ? 1.0 : 0.0);
+    gauges->emplace_back("initial_runs", static_cast<double>(initial_runs_));
+    gauges->emplace_back("intermediate_merges",
+                         static_cast<double>(intermediate_merges_));
+  }
+
  private:
   class Run;
   class RunReader;

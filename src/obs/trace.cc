@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace reldiv {
+
+namespace {
+
+/// Escapes a string for use inside a JSON string literal. Labels here are
+/// operator names and categories — printable ASCII — but escaping keeps the
+/// emitted file valid whatever a caller passes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"" + e.phase +
+           "\",\"ts\":" + std::to_string(e.ts_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.phase == 'X') out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + JsonEscape(key) + "\":" + std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

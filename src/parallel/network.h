@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace reldiv {
 
@@ -27,6 +28,11 @@ class Interconnect {
     messages_++;
     bytes_ += bytes;
     sent_matrix_[from * num_nodes_ + to] += bytes;
+    if (trace_ != nullptr) {
+      // Sender's timeline lane (tid = 1 + node_id; 0 is the query thread).
+      trace_->Instant("ship", "network", static_cast<uint32_t>(1 + from),
+                      {{"to", to}, {"bytes", bytes}});
+    }
   }
 
   /// Broadcast accounting helper: `bytes` to every node except `from`.
@@ -52,8 +58,14 @@ class Interconnect {
            " bytes=" + std::to_string(bytes_);
   }
 
+  /// Attaches a span recorder: every remote shipment then emits an instant
+  /// event on the sending node's timeline lane with destination and byte
+  /// count. nullptr detaches. Must outlive the attachment.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   size_t num_nodes_;
+  TraceRecorder* trace_ = nullptr;
   uint64_t messages_ = 0;
   uint64_t bytes_ = 0;
   std::vector<uint64_t> sent_matrix_;

@@ -33,16 +33,21 @@ Result<uint64_t> BatchBytes(const Schema& schema,
   return bytes;
 }
 
-/// Runs one node's local hash-division over in-memory fragments.
+/// Runs one node's local hash-division over in-memory fragments, filling
+/// `metrics` and (with `trace`) emitting one span on the node's lane.
 Status LocalDivision(WorkerNode* node, const Schema& dividend_schema,
                      const Schema& divisor_schema,
                      std::vector<Tuple> dividend, std::vector<Tuple> divisor,
                      const std::vector<size_t>& match_attrs,
                      const std::vector<size_t>& quotient_attrs,
                      const DivisionOptions& options,
-                     std::vector<Tuple>* quotient, double* elapsed_ms,
-                     double* cpu_model_ms) {
+                     std::vector<Tuple>* quotient,
+                     NodeExecutionMetrics* metrics, TraceRecorder* trace) {
   const auto start = std::chrono::steady_clock::now();
+  const uint64_t span_start_us = trace != nullptr ? trace->NowMicros() : 0;
+  metrics->node_id = node->node_id();
+  metrics->dividend_tuples = dividend.size();
+  const size_t quotient_before = quotient->size();
   const CpuCounters before = *node->counters();
   HashDivisionCore core(node->ctx(), match_attrs, quotient_attrs, options);
   MemSourceOperator divisor_source(divisor_schema, std::move(divisor));
@@ -60,13 +65,19 @@ Status LocalDivision(WorkerNode* node, const Schema& dividend_schema,
     RELDIV_RETURN_NOT_OK(core.ConsumeBatch(batch, quotient));
   } while (pos < dividend.size());
   RELDIV_RETURN_NOT_OK(core.EmitComplete(quotient));
-  *elapsed_ms = MsSince(start);
+  metrics->local_ms = MsSince(start);
+  metrics->quotient_tuples = quotient->size() - quotient_before;
   CpuCounters delta = *node->counters();
-  delta.comparisons -= before.comparisons;
-  delta.hashes -= before.hashes;
-  delta.moves -= before.moves;
-  delta.bit_ops -= before.bit_ops;
-  *cpu_model_ms = CpuCostMs(delta);
+  delta -= before;
+  metrics->cpu = delta;
+  metrics->cpu_model_ms = CpuCostMs(delta);
+  if (trace != nullptr) {
+    trace->Complete("local-division", "parallel", span_start_us,
+                    trace->NowMicros() - span_start_us,
+                    static_cast<uint32_t>(1 + node->node_id()),
+                    {{"tuples_in", metrics->dividend_tuples},
+                     {"quotient", metrics->quotient_tuples}});
+  }
   (void)dividend_schema;
   return Status::OK();
 }
@@ -101,6 +112,8 @@ Result<ParallelDivisionResult> ParallelHashDivisionEngine::Execute(
   if (quotient_attrs.empty()) {
     return Status::InvalidArgument("division without quotient attributes");
   }
+
+  interconnect_.set_trace(options_.trace);
 
   // Initial declustered placement of the base relations.
   auto dividend_frags = RoundRobinSplit(dividend, options_.num_nodes);
@@ -169,8 +182,7 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
 
   // All local hash-division operators work completely independently.
   std::vector<std::vector<Tuple>> local_quotients(n);
-  std::vector<double> local_ms(n, 0);
-  std::vector<double> local_cpu_ms(n, 0);
+  std::vector<NodeExecutionMetrics> node_metrics(n);
   std::vector<Status> local_status(n);
   {
     std::vector<std::thread> threads;
@@ -180,8 +192,8 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
         local_status[i] = LocalDivision(
             nodes_[i].get(), dividend_schema, divisor_schema,
             std::move(incoming[i]), full_divisor, match_attrs, quotient_attrs,
-            options_.division, &local_quotients[i], &local_ms[i],
-            &local_cpu_ms[i]);
+            options_.division, &local_quotients[i], &node_metrics[i],
+            options_.trace);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -201,10 +213,12 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
     }
     result.quotient.insert(result.quotient.end(), local_quotients[i].begin(),
                            local_quotients[i].end());
-    result.max_node_ms = std::max(result.max_node_ms, local_ms[i]);
+    result.max_node_ms = std::max(result.max_node_ms,
+                                  node_metrics[i].local_ms);
     result.max_node_cpu_ms = std::max(result.max_node_cpu_ms,
-                                      local_cpu_ms[i]);
+                                      node_metrics[i].cpu_model_ms);
   }
+  result.node_metrics = std::move(node_metrics);
   result.wall_ms = MsSince(wall_start);
   result.network_messages = interconnect_.messages();
   result.network_bytes = interconnect_.bytes();
@@ -273,8 +287,7 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
 
   // Parallel phase: each node with a non-empty divisor cluster divides.
   std::vector<std::vector<Tuple>> local_quotients(n);
-  std::vector<double> local_ms(n, 0);
-  std::vector<double> local_cpu_ms(n, 0);
+  std::vector<NodeExecutionMetrics> node_metrics(n);
   std::vector<Status> local_status(n);
   std::vector<size_t> participating;
   for (size_t i = 0; i < n; ++i) {
@@ -288,7 +301,7 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
             nodes_[i].get(), dividend_schema, divisor_schema,
             std::move(dividend_in[i]), std::move(divisor_in[i]), match_attrs,
             quotient_attrs, options_.division, &local_quotients[i],
-            &local_ms[i], &local_cpu_ms[i]);
+            &node_metrics[i], options_.trace);
       });
     }
     for (std::thread& t : threads) t.join();
@@ -333,9 +346,11 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
 
   for (size_t i : participating) {
     RELDIV_RETURN_NOT_OK(local_status[i]);
-    result.max_node_ms = std::max(result.max_node_ms, local_ms[i]);
+    result.max_node_ms = std::max(result.max_node_ms,
+                                  node_metrics[i].local_ms);
     result.max_node_cpu_ms = std::max(result.max_node_cpu_ms,
-                                      local_cpu_ms[i]);
+                                      node_metrics[i].cpu_model_ms);
+    result.node_metrics.push_back(node_metrics[i]);
     for (Tuple& q : local_quotients[i]) {
       const size_t collector =
           options_.decentralized_collection

@@ -41,6 +41,22 @@ struct ParallelDivisionOptions {
 
   /// Hash-division tuning forwarded to each local operator.
   DivisionOptions division;
+
+  /// Optional span recorder (obs/trace.h): the engine attaches it to the
+  /// interconnect (per-shipment events on the sender's timeline lane) and
+  /// emits one "local-division" span per worker node. Not owned; must
+  /// outlive the engine's Execute() calls.
+  TraceRecorder* trace = nullptr;
+};
+
+/// Measured behavior of one worker node's local division section.
+struct NodeExecutionMetrics {
+  size_t node_id = 0;
+  uint64_t dividend_tuples = 0;  ///< tuples routed to this node
+  uint64_t quotient_tuples = 0;  ///< quotient tuples the node produced
+  double local_ms = 0;           ///< wall time of the local section
+  double cpu_model_ms = 0;       ///< Table 1 cost of the section's counters
+  CpuCounters cpu;               ///< the section's counter deltas
 };
 
 /// Outcome of one parallel division, including the interconnect accounting
@@ -57,6 +73,9 @@ struct ParallelDivisionResult {
   /// the Table 1 unit times — the machine-independent critical path of the
   /// parallel section (host thread scheduling does not distort it).
   double max_node_cpu_ms = 0;
+  /// One entry per node that ran a local division, in node order — the
+  /// per-node skew picture behind the two maxima above.
+  std::vector<NodeExecutionMetrics> node_metrics;
 };
 
 /// Simulated shared-nothing execution of hash-division: worker threads with

@@ -1,0 +1,175 @@
+#include "planner/explain.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "exec/operator.h"
+#include "obs/metrics.h"
+
+namespace reldiv {
+
+std::map<DivisionAlgorithm, double> PredictAlgorithmCosts(
+    const AnalyticalConfig& config, const CostUnits& units) {
+  CostModel model(units);
+  std::map<DivisionAlgorithm, double> predicted;
+  predicted[DivisionAlgorithm::kNaive] = model.NaiveDivisionCost(config);
+  predicted[DivisionAlgorithm::kSortAggregate] =
+      model.SortAggregationCost(config, /*with_join=*/false);
+  predicted[DivisionAlgorithm::kSortAggregateWithJoin] =
+      model.SortAggregationCost(config, /*with_join=*/true);
+  predicted[DivisionAlgorithm::kHashAggregate] =
+      model.HashAggregationCost(config, /*with_join=*/false);
+  predicted[DivisionAlgorithm::kHashAggregateWithJoin] =
+      model.HashAggregationCost(config, /*with_join=*/true);
+  predicted[DivisionAlgorithm::kHashDivision] =
+      model.HashDivisionCost(config);
+  // The §3.4 partitioned form executes the same formulas plus partitioning
+  // I/O; the model's base figure is the closest published prediction.
+  predicted[DivisionAlgorithm::kHashDivisionPartitioned] =
+      model.HashDivisionCost(config);
+  return predicted;
+}
+
+namespace {
+
+std::string Ms(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f", ms);
+  return buf;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+/// Indents every line of a rendered metrics tree by two spaces.
+void AppendIndented(const std::string& tree, std::string* out) {
+  size_t pos = 0;
+  while (pos < tree.size()) {
+    size_t eol = tree.find('\n', pos);
+    if (eol == std::string::npos) eol = tree.size();
+    out->append("  ");
+    out->append(tree, pos, eol - pos);
+    out->push_back('\n');
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+
+Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
+    ExecContext* ctx, const DivisionQuery& query,
+    const ExplainAnalyzeOptions& options) {
+  RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved, ResolveDivision(query));
+
+  ExplainAnalyzeResult result;
+  result.stats = EstimateDivisionStats(resolved, ctx);
+  result.config = options.config.has_value()
+                      ? *options.config
+                      : AnalyticalConfigFromStats(result.stats);
+  const std::map<DivisionAlgorithm, double> predicted =
+      PredictAlgorithmCosts(result.config, options.units);
+
+  std::vector<DivisionAlgorithm> algorithms = options.algorithms;
+  if (algorithms.empty()) {
+    algorithms = {DivisionAlgorithm::kNaive, DivisionAlgorithm::kSortAggregate,
+                  DivisionAlgorithm::kHashAggregate,
+                  DivisionAlgorithm::kHashDivision};
+  }
+
+  const bool was_profiling = ctx->profiling();
+  for (DivisionAlgorithm algorithm : algorithms) {
+    ctx->set_profiling(true);  // fresh QueryProfile per run
+    const CpuCounters cpu_before = *ctx->counters();
+    const DiskStats io_before = ctx->disk()->stats();
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    auto plan_result = MakeDivisionPlan(ctx, query, algorithm,
+                                        options.division);
+    if (!plan_result.ok()) {
+      ctx->set_profiling(was_profiling);
+      return plan_result.status();
+    }
+    auto rows_result =
+        CollectAll(plan_result.value().get(), ctx->batch_capacity());
+    if (!rows_result.ok()) {
+      ctx->set_profiling(was_profiling);
+      return rows_result.status();
+    }
+
+    ExplainedRun run;
+    run.algorithm = algorithm;
+    auto it = predicted.find(algorithm);
+    run.predicted_ms = it != predicted.end() ? it->second : 0;
+    run.measured.cpu_counters = *ctx->counters() - cpu_before;
+    run.measured.io_stats = ctx->disk()->stats() - io_before;
+    run.measured.cpu_ms = CpuCostMs(run.measured.cpu_counters, options.units);
+    run.measured.io_ms = IoCostMs(run.measured.io_stats, options.io_weights);
+    run.measured.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    run.quotient_tuples = rows_result.value().size();
+    run.operator_tree = ctx->profile()->ToString();
+    result.runs.push_back(std::move(run));
+  }
+  ctx->set_profiling(was_profiling);
+
+  // ---- Rendering: prediction table (Table 2 columns), then one annotated
+  // operator tree per run (Table 4 measurements). ----
+  std::string& out = result.text;
+  out += "EXPLAIN ANALYZE relational division\n";
+  out += "  dividend: " + std::to_string(static_cast<uint64_t>(
+                              result.stats.dividend_tuples)) +
+         " tuples / " +
+         std::to_string(static_cast<uint64_t>(result.stats.dividend_pages)) +
+         " pages   divisor: " +
+         std::to_string(static_cast<uint64_t>(result.stats.divisor_tuples)) +
+         " tuples / " +
+         std::to_string(static_cast<uint64_t>(result.stats.divisor_pages)) +
+         " pages\n";
+  out += "  model: |S|=" + std::to_string(static_cast<uint64_t>(
+                               result.config.divisor_tuples)) +
+         " |Q|=" +
+         std::to_string(static_cast<uint64_t>(result.config.quotient_tuples)) +
+         " |R|=" +
+         std::to_string(static_cast<uint64_t>(result.config.dividend_tuples)) +
+         " m=" +
+         std::to_string(static_cast<uint64_t>(result.config.memory_pages)) +
+         " pages\n\n";
+
+  constexpr size_t kName = 24;
+  constexpr size_t kCol = 13;
+  out += "  " + PadRight("algorithm", kName) +
+         PadLeft("predicted_ms", kCol) + PadLeft("measured_ms", kCol) +
+         PadLeft("cpu_ms", kCol) + PadLeft("io_ms", kCol) +
+         PadLeft("wall_ms", kCol) + PadLeft("rows", kCol) + "\n";
+  for (const ExplainedRun& run : result.runs) {
+    out += "  " + PadRight(DivisionAlgorithmName(run.algorithm), kName) +
+           PadLeft(Ms(run.predicted_ms), kCol) +
+           PadLeft(Ms(run.measured.total_ms()), kCol) +
+           PadLeft(Ms(run.measured.cpu_ms), kCol) +
+           PadLeft(Ms(run.measured.io_ms), kCol) +
+           PadLeft(Ms(run.measured.wall_ms), kCol) +
+           PadLeft(std::to_string(run.quotient_tuples), kCol) + "\n";
+  }
+  out += "\n";
+  for (const ExplainedRun& run : result.runs) {
+    out += std::string(DivisionAlgorithmName(run.algorithm)) +
+           "  [predicted " + Ms(run.predicted_ms) + " ms, measured " +
+           Ms(run.measured.total_ms()) + " ms = cpu " +
+           Ms(run.measured.cpu_ms) + " + io " + Ms(run.measured.io_ms) +
+           ", wall " + Ms(run.measured.wall_ms) + " ms, " +
+           std::to_string(run.quotient_tuples) + " rows]\n";
+    AppendIndented(run.operator_tree, &out);
+  }
+  return result;
+}
+
+}  // namespace reldiv

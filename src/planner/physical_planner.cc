@@ -45,7 +45,9 @@ namespace {
 /// tuple estimate + bit-map share); used for the overflow prediction.
 constexpr double kHashEntryBytes = 96;
 
-AnalyticalConfig ConfigFromStats(const DivisionStats& stats) {
+}  // namespace
+
+AnalyticalConfig AnalyticalConfigFromStats(const DivisionStats& stats) {
   AnalyticalConfig config;
   config.dividend_tuples = stats.dividend_tuples;
   config.dividend_pages = std::max(1.0, stats.dividend_pages);
@@ -60,12 +62,10 @@ AnalyticalConfig ConfigFromStats(const DivisionStats& stats) {
   return config;
 }
 
-}  // namespace
-
 AlgorithmChoice ChooseDivisionAlgorithm(const DivisionStats& stats,
                                         const CostUnits& units) {
   CostModel model(units);
-  AnalyticalConfig config = ConfigFromStats(stats);
+  AnalyticalConfig config = AnalyticalConfigFromStats(stats);
   AlgorithmChoice choice;
 
   // Duplicate-elimination surcharge for the aggregation strategies: sort

@@ -38,6 +38,11 @@ struct DivisionStats {
 DivisionStats EstimateDivisionStats(const ResolvedDivision& resolved,
                                     const ExecContext* ctx);
 
+/// Maps chooser statistics onto the §4 analytical model's parameters (the
+/// same mapping ChooseDivisionAlgorithm uses internally, exposed so EXPLAIN
+/// ANALYZE can print the model's predictions beside measurements).
+AnalyticalConfig AnalyticalConfigFromStats(const DivisionStats& stats);
+
 /// Outcome of cost-based algorithm selection.
 struct AlgorithmChoice {
   DivisionAlgorithm algorithm = DivisionAlgorithm::kHashDivision;

@@ -34,7 +34,11 @@
 #include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
+#include "obs/metrics.h"
+#include "obs/profiled_operator.h"
+#include "obs/trace.h"
 #include "parallel/parallel_hash_division.h"
+#include "planner/explain.h"
 #include "planner/logical_plan.h"
 #include "planner/physical_planner.h"
 #include "planner/rewrite.h"

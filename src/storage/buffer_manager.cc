@@ -1,5 +1,7 @@
 #include "storage/buffer_manager.h"
 
+#include "obs/trace.h"
+
 namespace reldiv {
 
 std::string BufferStats::ToString() const {
@@ -24,10 +26,18 @@ Status BufferManager::WriteBack(Frame* frame) {
                                     kSectorsPerPage, frame->data.get()));
   frame->dirty = false;
   stats_.writebacks++;
+  if (trace_ != nullptr) {
+    trace_->Instant("page-write", "buffer", /*tid=*/0,
+                    {{"page", frame->page_no}});
+  }
   return Status::OK();
 }
 
 Status BufferManager::ReadIn(Frame* frame) {
+  if (trace_ != nullptr) {
+    trace_->Instant("page-read", "buffer", /*tid=*/0,
+                    {{"page", frame->page_no}});
+  }
   return disk_->Read(frame->page_no * kSectorsPerPage, kSectorsPerPage,
                      frame->data.get());
 }
@@ -37,6 +47,9 @@ Result<bool> BufferManager::EvictOne() {
   const uint64_t victim = lru_.front();
   RELDIV_RETURN_NOT_OK(ReleaseFrame(victim));
   stats_.evictions++;
+  if (trace_ != nullptr) {
+    trace_->Instant("page-evict", "buffer", /*tid=*/0, {{"page", victim}});
+  }
   return true;
 }
 

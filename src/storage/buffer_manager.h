@@ -14,6 +14,8 @@
 
 namespace reldiv {
 
+class TraceRecorder;
+
 /// Buffer-pool statistics (deterministic; asserted in tests).
 struct BufferStats {
   uint64_t fixes = 0;
@@ -71,6 +73,11 @@ class BufferManager {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats{}; }
 
+  /// Attaches a span recorder (obs/trace.h): page reads from disk, dirty
+  /// write-backs, and evictions then emit instant trace events carrying the
+  /// page number. nullptr detaches.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct Frame {
     std::unique_ptr<char[]> data;
@@ -89,6 +96,7 @@ class BufferManager {
 
   SimDisk* disk_;
   MemoryPool* pool_;
+  TraceRecorder* trace_ = nullptr;
   std::unordered_map<uint64_t, Frame> frames_;
   std::list<uint64_t> lru_;  ///< unfixed pages, least recent first
   BufferStats stats_;

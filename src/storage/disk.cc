@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace reldiv {
 
 std::string DiskStats::ToString() const {
@@ -12,9 +14,17 @@ std::string DiskStats::ToString() const {
          " writes=" + std::to_string(write_transfers);
 }
 
+std::string DiskStats::ToJson() const {
+  return "{\"transfers\":" + std::to_string(transfers) +
+         ",\"seeks\":" + std::to_string(seeks) +
+         ",\"kbytes\":" + std::to_string(sectors_transferred) +
+         ",\"reads\":" + std::to_string(read_transfers) +
+         ",\"writes\":" + std::to_string(write_transfers) + "}";
+}
+
 SimDisk::SimDisk() : backing_(Backing::kMemory) {}
 
-SimDisk::SimDisk(std::FILE* file, std::string path)
+SimDisk::SimDisk(Passkey, std::FILE* file, std::string path)
     : backing_(Backing::kFile), file_(file), path_(std::move(path)) {}
 
 Result<std::unique_ptr<SimDisk>> SimDisk::OpenFileBacked(
@@ -23,8 +33,7 @@ Result<std::unique_ptr<SimDisk>> SimDisk::OpenFileBacked(
   if (f == nullptr) {
     return Status::IOError("cannot open disk backing file '" + path + "'");
   }
-  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
-  return std::unique_ptr<SimDisk>(new SimDisk(f, path));
+  return std::make_unique<SimDisk>(Passkey{}, f, path);
 }
 
 SimDisk::~SimDisk() {
@@ -66,9 +75,16 @@ void SimDisk::Account(uint64_t sector, uint64_t count, bool is_read) {
     stats_.write_transfers++;
   }
   stats_.sectors_transferred += count;
-  if (!arm_valid_ || sector != arm_position_) stats_.seeks++;
+  const bool seek = !arm_valid_ || sector != arm_position_;
+  if (seek) stats_.seeks++;
   arm_position_ = sector + count;
   arm_valid_ = true;
+  if (trace_ != nullptr) {
+    trace_->Instant(is_read ? "disk-read" : "disk-write", "disk", /*tid=*/0,
+                    {{"sector", sector},
+                     {"sectors", count},
+                     {"seek", seek ? 1U : 0U}});
+  }
 }
 
 Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {

@@ -14,6 +14,8 @@
 
 namespace reldiv {
 
+class TraceRecorder;
+
 /// I/O statistics collected by the simulated disk. The experimental harness
 /// converts these into milliseconds with the Table 3 cost weights (physical
 /// seek, rotational latency per transfer, transfer time per KB, CPU cost per
@@ -39,8 +41,20 @@ struct DiskStats {
     a -= b;
     return a;
   }
+  DiskStats& operator+=(const DiskStats& o) {
+    transfers += o.transfers;
+    seeks += o.seeks;
+    sectors_transferred += o.sectors_transferred;
+    read_transfers += o.read_transfers;
+    write_transfers += o.write_transfers;
+    return *this;
+  }
 
   std::string ToString() const;
+
+  /// JSON object mirror of ToString(); shared by the bench reporter and
+  /// EXPLAIN ANALYZE so I/O field names have one source of truth.
+  std::string ToJson() const;
 };
 
 /// Simulated disk in the style of the paper's file system (§5.1): "it
@@ -50,11 +64,21 @@ struct DiskStats {
 /// sector counts as a seek (the arm moved); contiguous transfers model
 /// read-ahead over physically clustered files.
 class SimDisk {
+  /// Pass-key restricting the file-backed constructor to OpenFileBacked()
+  /// while keeping std::make_unique usable.
+  struct Passkey {
+    explicit Passkey() = default;
+  };
+
  public:
   enum class Backing { kMemory, kFile };
 
   /// Creates a memory-backed disk.
   SimDisk();
+
+  /// Creates a disk backed by the already-open Unix file `file` at `path`;
+  /// callers go through OpenFileBacked().
+  SimDisk(Passkey, std::FILE* file, std::string path);
 
   /// Creates a disk backed by the Unix file at `path` (created/truncated).
   static Result<std::unique_ptr<SimDisk>> OpenFileBacked(
@@ -82,13 +106,17 @@ class SimDisk {
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
- private:
-  explicit SimDisk(std::FILE* file, std::string path);
+  /// Attaches a span recorder (obs/trace.h): every transfer then emits one
+  /// trace event carrying its sector, length, direction, and whether the arm
+  /// moved (a seek). nullptr detaches.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+ private:
   Status CheckRange(uint64_t sector, uint64_t count) const;
   void Account(uint64_t sector, uint64_t count, bool is_read);
 
   Backing backing_;
+  TraceRecorder* trace_ = nullptr;
   uint64_t num_sectors_ = 0;
   uint64_t arm_position_ = 0;  ///< sector just past the last transfer
   bool arm_valid_ = false;

@@ -195,8 +195,7 @@ class RecordFile::FileScan : public RecordScan {
 };
 
 Result<std::unique_ptr<RecordScan>> RecordFile::OpenScan() {
-  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
-  return std::unique_ptr<RecordScan>(new FileScan(this));
+  return std::unique_ptr<RecordScan>(std::make_unique<FileScan>(this));
 }
 
 }  // namespace reldiv

@@ -52,8 +52,7 @@ class VirtualDevice::DeviceScan : public RecordScan {
 };
 
 Result<std::unique_ptr<RecordScan>> VirtualDevice::OpenScan() {
-  // NOLINTNEXTLINE(reldiv/naked-new): private constructor, owned immediately.
-  return std::unique_ptr<RecordScan>(new DeviceScan(this));
+  return std::unique_ptr<RecordScan>(std::make_unique<DeviceScan>(this));
 }
 
 }  // namespace reldiv

@@ -1,0 +1,264 @@
+// Tests for the observability layer (obs/): the per-operator metrics tree
+// recorded by ProfiledOperator, the zero-overhead guarantee when profiling
+// is off, trace-span emission, and EXPLAIN ANALYZE's predicted-vs-actual
+// agreement with the §4 cost model fixtures.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "division/division.h"
+#include "exec/materialize.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/profiled_operator.h"
+#include "obs/trace.h"
+#include "planner/explain.h"
+#include "tests/test_util.h"
+#include "workload/generator.h"
+#include "workload/university.h"
+
+namespace reldiv {
+namespace {
+
+/// University-workload fixture (§2's running example): Transcript projected
+/// to (student_id, course_no) divided by all course_nos. With the default
+/// UniversitySpec, students 0 and 1 take every course.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(db_, Database::Open());
+    ASSERT_OK_AND_ASSIGN(UniversityTables tables,
+                         LoadUniversity(db_.get(), UniversitySpec{}));
+    ASSERT_OK_AND_ASSIGN(
+        transcript_proj_,
+        db_->CreateTempTable("transcript_proj",
+                             Schema{Field{"student_id", ValueType::kInt64},
+                                    Field{"course_no", ValueType::kInt64}}));
+    {
+      ProjectOperator project(
+          std::make_unique<ScanOperator>(db_->ctx(), tables.transcript),
+          {0, 1});
+      ASSERT_OK_AND_ASSIGN(transcript_tuples_,
+                           Materialize(&project, transcript_proj_.store));
+      ASSERT_GT(transcript_tuples_, 0u);
+    }
+    ASSERT_OK_AND_ASSIGN(
+        course_nos_,
+        db_->CreateTempTable("course_nos",
+                             Schema{Field{"course_no", ValueType::kInt64}}));
+    {
+      ProjectOperator project(
+          std::make_unique<ScanOperator>(db_->ctx(), tables.courses), {0});
+      ASSERT_OK_AND_ASSIGN(uint64_t n,
+                           Materialize(&project, course_nos_.store));
+      ASSERT_EQ(n, 12u);
+    }
+  }
+
+  DivisionQuery Query() {
+    return DivisionQuery{transcript_proj_, course_nos_, {"course_no"}};
+  }
+
+  std::unique_ptr<Database> db_;
+  Relation transcript_proj_;
+  Relation course_nos_;
+  uint64_t transcript_tuples_ = 0;
+};
+
+TEST_F(ObservabilityTest, ProfilingOffLeavesPlansWrapperFree) {
+  ExecContext* ctx = db_->ctx();
+  ASSERT_FALSE(ctx->profiling());
+
+  // MaybeProfile is an identity when profiling is off.
+  auto scan = std::make_unique<ScanOperator>(ctx, transcript_proj_);
+  Operator* raw = scan.get();
+  std::unique_ptr<Operator> maybe =
+      MaybeProfile(ctx, std::move(scan), "scan");
+  EXPECT_EQ(maybe.get(), raw);
+
+  // A full division plan carries no ProfiledOperator at the root and
+  // registers nothing: the profile stays unallocated.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> plan,
+      MakeDivisionPlan(ctx, Query(), DivisionAlgorithm::kHashDivision));
+  EXPECT_EQ(dynamic_cast<ProfiledOperator*>(plan.get()), nullptr);
+  EXPECT_EQ(ctx->profile(), nullptr);
+}
+
+TEST_F(ObservabilityTest, MetricsTreeCountsHashDivisionExactly) {
+  ExecContext* ctx = db_->ctx();
+  ctx->set_profiling(true);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> plan,
+      MakeDivisionPlan(ctx, Query(), DivisionAlgorithm::kHashDivision));
+  const CpuCounters before = *ctx->counters();
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  const CpuCounters delta = *ctx->counters() - before;
+  EXPECT_EQ(Sorted(std::move(quotient)), (std::vector<Tuple>{T(0), T(1)}));
+
+  ASSERT_NE(ctx->profile(), nullptr);
+  ASSERT_EQ(ctx->profile()->roots().size(), 1u);
+  const MetricsNode* root = ctx->profile()->roots()[0];
+  EXPECT_EQ(root->label(),
+            DivisionAlgorithmName(DivisionAlgorithm::kHashDivision));
+
+  // Exactly one open/close cycle; the quotient is students {0, 1}.
+  EXPECT_EQ(root->metrics().opens, 1u);
+  EXPECT_EQ(root->metrics().closes, 1u);
+  EXPECT_EQ(root->metrics().tuples_out, 2u);
+  EXPECT_GE(root->metrics().batches_out, 1u);
+
+  // The root's inclusive CPU delta is the whole query's counter delta.
+  EXPECT_EQ(root->metrics().cpu.comparisons, delta.comparisons);
+  EXPECT_EQ(root->metrics().cpu.hashes, delta.hashes);
+  EXPECT_EQ(root->metrics().cpu.moves, delta.moves);
+  EXPECT_EQ(root->metrics().cpu.bit_ops, delta.bit_ops);
+
+  // Two input scans, both fully drained: the dividend scan emits every
+  // transcript tuple, the divisor scan every course.
+  ASSERT_EQ(root->children().size(), 2u);
+  const MetricsNode* dividend_scan = root->children()[0];
+  const MetricsNode* divisor_scan = root->children()[1];
+  EXPECT_EQ(dividend_scan->label(), "scan(dividend)");
+  EXPECT_EQ(divisor_scan->label(), "scan(divisor)");
+  EXPECT_EQ(dividend_scan->metrics().tuples_out, transcript_tuples_);
+  EXPECT_EQ(divisor_scan->metrics().tuples_out, 12u);
+  EXPECT_EQ(dividend_scan->metrics().opens, 1u);
+  EXPECT_EQ(divisor_scan->metrics().opens, 1u);
+  EXPECT_TRUE(dividend_scan->children().empty());
+  EXPECT_TRUE(divisor_scan->children().empty());
+
+  // Hash-division's gauges were collected before Close() tore them down.
+  bool saw_fill_ratio = false, saw_divisor_count = false;
+  for (const auto& [name, value] : root->metrics().gauges) {
+    if (name == "bitmap_fill_ratio") {
+      saw_fill_ratio = true;
+      EXPECT_GT(value, 0.0);
+      EXPECT_LE(value, 1.0);
+    }
+    if (name == "divisor_count") {
+      saw_divisor_count = true;
+      EXPECT_EQ(value, 12.0);
+    }
+  }
+  EXPECT_TRUE(saw_fill_ratio);
+  EXPECT_TRUE(saw_divisor_count);
+
+  // Both renderings carry the tree.
+  const std::string text = ctx->profile()->ToString();
+  EXPECT_NE(text.find("hash-division"), std::string::npos);
+  EXPECT_NE(text.find("scan(dividend)"), std::string::npos);
+  const std::string json = ctx->profile()->ToJson();
+  EXPECT_NE(json.find("\"scan(divisor)\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, SecondPlanBecomesSiblingRoot) {
+  ExecContext* ctx = db_->ctx();
+  ctx->set_profiling(true);
+  for (DivisionAlgorithm algorithm :
+       {DivisionAlgorithm::kHashDivision, DivisionAlgorithm::kNaive}) {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Operator> plan,
+                         MakeDivisionPlan(ctx, Query(), algorithm));
+    ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient,
+                         CollectAll(plan.get()));
+    EXPECT_EQ(quotient.size(), 2u);
+  }
+  ASSERT_EQ(ctx->profile()->roots().size(), 2u);
+  EXPECT_EQ(ctx->profile()->roots()[0]->label(), "hash-division");
+  EXPECT_EQ(ctx->profile()->roots()[1]->label(), "naive-division");
+}
+
+TEST_F(ObservabilityTest, TraceRecorderEmitsOperatorSpans) {
+  ExecContext* ctx = db_->ctx();
+  ctx->set_profiling(true);
+  TraceRecorder trace;
+  ctx->set_trace(&trace);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> plan,
+      MakeDivisionPlan(ctx, Query(), DivisionAlgorithm::kHashDivision));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  ctx->set_trace(nullptr);
+  EXPECT_EQ(quotient.size(), 2u);
+  EXPECT_GT(trace.num_events(), 0u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"operator\""), std::string::npos);
+  EXPECT_NE(json.find("hash-division"), std::string::npos);
+}
+
+// EXPLAIN ANALYZE's prediction column is PredictAlgorithmCosts over the
+// query's AnalyticalConfig; on the paper's configurations it must reproduce
+// the same Table 2 milliseconds the cost-model fixtures pin down.
+TEST(ExplainPredictionTest, MatchesPaperTable2OnAllCells) {
+  for (const Table2Row& row : PaperTable2()) {
+    const AnalyticalConfig config =
+        AnalyticalConfig::Paper(row.divisor_tuples, row.quotient_tuples);
+    const std::map<DivisionAlgorithm, double> predicted =
+        PredictAlgorithmCosts(config);
+    const std::string cell = "S=" + std::to_string(row.divisor_tuples) +
+                             " Q=" + std::to_string(row.quotient_tuples);
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kNaive), row.naive, 1.0)
+        << cell;
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kSortAggregate),
+                row.sort_agg, 1.0)
+        << cell;
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kSortAggregateWithJoin),
+                row.sort_agg_join, 1.0)
+        << cell;
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kHashAggregate),
+                row.hash_agg, 1.0)
+        << cell;
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kHashAggregateWithJoin),
+                row.hash_agg_join, 1.0)
+        << cell;
+    EXPECT_NEAR(predicted.at(DivisionAlgorithm::kHashDivision), row.hash_div,
+                1.0)
+        << cell;
+  }
+}
+
+// End-to-end EXPLAIN ANALYZE on the §5.1 25×25 configuration: all four
+// paper algorithms run, return the right quotient, and report the Table 2
+// predictions beside per-algorithm measurements.
+TEST(ExplainAnalyzeTest, FourAlgorithmsOnPaperConfiguration) {
+  GeneratedWorkload workload = GenerateWorkload(PaperCell(25, 25));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open());
+  Relation dividend, divisor;
+  ASSERT_OK(LoadWorkload(db.get(), workload, "ea", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+
+  ExplainAnalyzeOptions options;
+  options.config = AnalyticalConfig::Paper(25, 25);
+  ASSERT_OK_AND_ASSIGN(ExplainAnalyzeResult result,
+                       ExplainAnalyzeDivision(db->ctx(), query, options));
+  EXPECT_FALSE(db->ctx()->profiling());  // restored after the runs
+
+  const Table2Row& cell = PaperTable2().front();  // S=25, Q=25
+  ASSERT_EQ(result.runs.size(), 4u);
+  const std::map<DivisionAlgorithm, double> expected = {
+      {DivisionAlgorithm::kNaive, cell.naive},
+      {DivisionAlgorithm::kSortAggregate, cell.sort_agg},
+      {DivisionAlgorithm::kHashAggregate, cell.hash_agg},
+      {DivisionAlgorithm::kHashDivision, cell.hash_div},
+  };
+  for (const ExplainedRun& run : result.runs) {
+    ASSERT_TRUE(expected.count(run.algorithm))
+        << DivisionAlgorithmName(run.algorithm);
+    EXPECT_NEAR(run.predicted_ms, expected.at(run.algorithm), 1.0)
+        << DivisionAlgorithmName(run.algorithm);
+    EXPECT_EQ(run.quotient_tuples, workload.expected_quotient.size());
+    EXPECT_GT(run.measured.cpu_ms, 0.0);
+    EXPECT_GE(run.measured.wall_ms, 0.0);
+    EXPECT_NE(run.operator_tree.find(DivisionAlgorithmName(run.algorithm)),
+              std::string::npos);
+    EXPECT_NE(result.text.find(DivisionAlgorithmName(run.algorithm)),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace reldiv

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Validate and diff BENCH_<name>.json files emitted by the bench binaries.
+
+Schema (version 1, produced by bench/bench_util.h BenchReporter):
+
+  { "schema_version": 1, "name": str, "params": {str: str|number},
+    "repetitions": int >= 1,
+    "rows": [ { "label": str, "repetitions": int >= 1,
+                "median_wall_ns": number, "p90_wall_ns": number,
+                "counters": {"comparisons","hashes","moves","bit_ops"},
+                "io": {"transfers","seeks","kbytes","reads","writes"},
+                "values": {str: number} } ] }
+
+Usage:
+  bench_report.py validate FILE_OR_DIR...
+      Exit 1 if any file fails schema validation (schema drift).
+  bench_report.py diff BASELINE_DIR CURRENT_DIR [--threshold 0.10]
+      Match files by bench name and rows by label; report wall-time and
+      counter changes. Exit 1 on schema errors, 2 if any regression
+      exceeds the threshold (wall time only; counters are deterministic
+      and any change is reported but not fatal by default).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+COUNTER_KEYS = ("comparisons", "hashes", "moves", "bit_ops")
+IO_KEYS = ("transfers", "seeks", "kbytes", "reads", "writes")
+
+
+def _fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def _check_number(errors, path, obj, key, minimum=None):
+    value = obj.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(errors, path, f"'{key}' must be a number, got {value!r}")
+        return
+    if minimum is not None and value < minimum:
+        _fail(errors, path, f"'{key}' must be >= {minimum}, got {value!r}")
+
+
+def validate_doc(doc, path):
+    """Returns a list of schema-violation messages (empty = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        _fail(errors, path, "top level must be an object")
+        return errors
+    if doc.get("schema_version") != 1:
+        _fail(errors, path,
+              f"schema_version must be 1, got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        _fail(errors, path, "'name' must be a non-empty string")
+    if not isinstance(doc.get("params"), dict):
+        _fail(errors, path, "'params' must be an object")
+    else:
+        for key, value in doc["params"].items():
+            if not isinstance(value, (str, int, float)) or isinstance(
+                    value, bool):
+                _fail(errors, path,
+                      f"param {key!r} must be a string or number")
+    _check_number(errors, path, doc, "repetitions", minimum=1)
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        _fail(errors, path, "'rows' must be an array")
+        return errors
+    if not rows:
+        _fail(errors, path, "'rows' must not be empty")
+    seen_labels = set()
+    for i, row in enumerate(rows):
+        where = f"{path} rows[{i}]"
+        if not isinstance(row, dict):
+            _fail(errors, where, "row must be an object")
+            continue
+        label = row.get("label")
+        if not isinstance(label, str) or not label:
+            _fail(errors, where, "'label' must be a non-empty string")
+        elif label in seen_labels:
+            _fail(errors, where, f"duplicate row label {label!r}")
+        else:
+            seen_labels.add(label)
+        _check_number(errors, where, row, "repetitions", minimum=1)
+        _check_number(errors, where, row, "median_wall_ns", minimum=0)
+        _check_number(errors, where, row, "p90_wall_ns", minimum=0)
+        for group, keys in (("counters", COUNTER_KEYS), ("io", IO_KEYS)):
+            obj = row.get(group)
+            if not isinstance(obj, dict):
+                _fail(errors, where, f"'{group}' must be an object")
+                continue
+            for key in keys:
+                _check_number(errors, where + f" {group}", obj, key,
+                              minimum=0)
+            extra = set(obj) - set(keys)
+            if extra:
+                _fail(errors, where,
+                      f"unexpected keys in '{group}': {sorted(extra)}")
+        values = row.get("values")
+        if not isinstance(values, dict):
+            _fail(errors, where, "'values' must be an object")
+        else:
+            for key, value in values.items():
+                if not isinstance(value, (int, float)) or isinstance(
+                        value, bool):
+                    _fail(errors, where, f"value {key!r} must be a number")
+    return errors
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, entry)
+                for entry in sorted(os.listdir(path))
+                if entry.startswith("BENCH_") and entry.endswith(".json"))
+        else:
+            files.append(path)
+    return files
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cmd_validate(args):
+    files = collect_files(args.paths)
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        errors = validate_doc(doc, path)
+        if errors:
+            failures += 1
+            print(f"FAIL {path}")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"ok   {path} ({len(doc['rows'])} rows)")
+    return 1 if failures else 0
+
+
+def _row_index(doc):
+    return {row["label"]: row for row in doc["rows"]}
+
+
+def cmd_diff(args):
+    base_files = {os.path.basename(p): p
+                  for p in collect_files([args.baseline])}
+    cur_files = {os.path.basename(p): p
+                 for p in collect_files([args.current])}
+    if not base_files or not cur_files:
+        print("no BENCH_*.json files found in one of the directories",
+              file=sys.stderr)
+        return 1
+    schema_errors = 0
+    regressions = 0
+    for name in sorted(set(base_files) | set(cur_files)):
+        if name not in base_files:
+            print(f"[new bench] {name}")
+            continue
+        if name not in cur_files:
+            print(f"[missing bench] {name}")
+            continue
+        try:
+            base = load(base_files[name])
+            cur = load(cur_files[name])
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {name}: {exc}")
+            schema_errors += 1
+            continue
+        for doc, path in ((base, base_files[name]), (cur, cur_files[name])):
+            errors = validate_doc(doc, path)
+            if errors:
+                schema_errors += 1
+                for error in errors:
+                    print(f"  {error}")
+        if schema_errors:
+            continue
+        base_rows, cur_rows = _row_index(base), _row_index(cur)
+        for label in sorted(set(base_rows) | set(cur_rows)):
+            if label not in base_rows:
+                print(f"  [new row]     {name}: {label}")
+                continue
+            if label not in cur_rows:
+                print(f"  [missing row] {name}: {label}")
+                continue
+            b, c = base_rows[label], cur_rows[label]
+            b_ns, c_ns = b["median_wall_ns"], c["median_wall_ns"]
+            if b_ns > 0 and c_ns > 0:
+                ratio = c_ns / b_ns
+                if ratio > 1 + args.threshold:
+                    regressions += 1
+                    print(f"  [REGRESSION]  {name}: {label}: median wall "
+                          f"{b_ns:.0f} -> {c_ns:.0f} ns ({ratio:.2f}x)")
+                elif ratio < 1 - args.threshold:
+                    print(f"  [improvement] {name}: {label}: median wall "
+                          f"{b_ns:.0f} -> {c_ns:.0f} ns ({ratio:.2f}x)")
+            for key in COUNTER_KEYS:
+                bv, cv = b["counters"].get(key, 0), c["counters"].get(key, 0)
+                if bv != cv:
+                    print(f"  [counter]     {name}: {label}: {key} "
+                          f"{bv} -> {cv}")
+    if schema_errors:
+        print(f"{schema_errors} schema error(s)")
+        return 1
+    if regressions:
+        print(f"{regressions} wall-time regression(s) over "
+              f"{args.threshold:.0%}")
+        return 2
+    print("no regressions")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate", help="schema-check result files")
+    validate.add_argument("paths", nargs="+",
+                          help="BENCH_*.json files or directories")
+    validate.set_defaults(func=cmd_validate)
+    diff = sub.add_parser("diff", help="compare two result directories")
+    diff.add_argument("baseline")
+    diff.add_argument("current")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative wall-time change to flag (default 0.10)")
+    diff.set_defaults(func=cmd_diff)
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

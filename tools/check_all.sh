@@ -2,6 +2,10 @@
 # One-command verification matrix for the reldiv tree:
 #
 #   release build + ctest      (the tier-1 gate)
+#   bench smoke                (every bench binary on a shrunken workload,
+#                               BENCH_*.json schema validation and a
+#                               bench_report.py self-diff — fails on
+#                               schema drift)
 #   asan build + ctest         (address + UB sanitizers, DCHECKs forced on)
 #   tsan build + ctest         (data races in the shared-nothing layer)
 #   tools/lint.py              (repo-specific static lints)
@@ -55,6 +59,34 @@ else
 fi
 
 stage "release build+ctest" build_and_test release
+
+# Runs every bench binary on its RELDIV_BENCH_SMOKE workload (micro_kernels
+# on one fast kernel), then schema-checks the emitted BENCH_*.json files and
+# self-diffs the result set. Catches bench bit-rot and reporter schema drift
+# without paying for the full experiment grid.
+bench_smoke() {
+  local out
+  out=$(mktemp -d) || return 1
+  local benches=(table2_analytical table4_experimental selectivity_sweep
+                 overflow_partitioning parallel_scaleup early_output
+                 algorithm_choice hbs_ablation batch_vs_tuple)
+  local b
+  for b in "${benches[@]}"; do
+    echo "-- $b (smoke)"
+    RELDIV_BENCH_SMOKE=1 RELDIV_BENCH_DIR="$out" "build/bench/$b" \
+      >/dev/null || { rm -rf "$out"; return 1; }
+  done
+  echo "-- micro_kernels (BM_BitmapSet/64 only)"
+  RELDIV_BENCH_DIR="$out" build/bench/micro_kernels \
+    --benchmark_filter='BM_BitmapSet/64' --benchmark_min_time=0.01 \
+    >/dev/null || { rm -rf "$out"; return 1; }
+  python3 tools/bench_report.py validate "$out" &&
+    python3 tools/bench_report.py diff "$out" "$out"
+  local status=$?
+  rm -rf "$out"
+  return "$status"
+}
+stage "bench smoke" bench_smoke
 
 if [[ "$QUICK" == "0" ]]; then
   stage "asan build+ctest" build_and_test asan
