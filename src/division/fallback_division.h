@@ -1,0 +1,54 @@
+#ifndef RELDIV_DIVISION_FALLBACK_DIVISION_H_
+#define RELDIV_DIVISION_FALLBACK_DIVISION_H_
+
+#include <memory>
+
+#include "division/division.h"
+#include "exec/exec_context.h"
+#include "exec/operator.h"
+
+namespace reldiv {
+
+/// Graceful degradation for hash-division (§3.4 as a recovery path): Open()
+/// first attempts plain in-memory hash-division; if the memory grant is
+/// denied mid-build — the pool or the ExecContext::hash_memory_bytes()
+/// budget returns ResourceExhausted — the partially built tables are torn
+/// down and the query restarts as partitioned hash-division, which spools
+/// the inputs into clusters that each fit. Any other failure is propagated
+/// unchanged: only resource exhaustion is recoverable by partitioning.
+///
+/// The inputs are stored relations (re-scannable), so the restart re-reads
+/// them from page one; no operator state survives the switch.
+class FallbackDivisionOperator : public Operator {
+ public:
+  FallbackDivisionOperator(ExecContext* ctx, const ResolvedDivision& resolved,
+                           const DivisionOptions& options);
+
+  const Schema& output_schema() const override { return schema_; }
+  Status Open() override;
+  Status Next(Tuple* tuple, bool* has_next) override;
+  Status NextBatch(TupleBatch* batch, bool* has_more) override;
+  /// Both candidates are batch-native (scans feeding hash-division, or the
+  /// buffered partitioned operator).
+  bool IsBatchNative() const override { return true; }
+  Status Close() override;
+
+  /// `fallback_taken` (0/1) plus the active plan's own gauges.
+  void ExportGauges(GaugeList* gauges) const override;
+
+  /// Whether the last Open() degraded to partitioned hash-division.
+  bool fallback_taken() const { return fallback_taken_; }
+
+ private:
+  ExecContext* ctx_;
+  ResolvedDivision resolved_;
+  DivisionOptions options_;
+  Schema schema_;
+
+  std::unique_ptr<Operator> active_;
+  bool fallback_taken_ = false;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_DIVISION_FALLBACK_DIVISION_H_

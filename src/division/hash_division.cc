@@ -17,11 +17,39 @@ HashDivisionCore::HashDivisionCore(ExecContext* ctx,
 
 Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
                                            uint64_t expected_cardinality) {
+  RELDIV_RETURN_NOT_OK(divisor->Open());
+  Status status = ConsumeDivisorStream(divisor, expected_cardinality);
+  // Close on success AND on error: an abandoned open input would hold
+  // buffer pins past this build. The build error wins over a close error.
+  Status close_status = divisor->Close();
+  if (status.ok()) status = close_status;
+  if (!status.ok()) return status;
+  // Dense divisor numbering (Figure 1, step 1): every distinct divisor tuple
+  // received exactly one number in [0, divisor_count_), so the table size
+  // and the counter must agree — the quotient bit maps are sized from it.
+  RELDIV_CHECK_EQ(divisor_count_, divisor_table_->size())
+      << "divisor numbering is not dense";
+  return Status::OK();
+}
+
+Status HashDivisionCore::CheckBudget(const char* stage) const {
+  const size_t budget = ctx_->hash_memory_bytes();
+  if (budget != 0 && memory_bytes() > budget) {
+    return Status::ResourceExhausted(
+        std::string("hash-division ") + stage + ": table memory " +
+        std::to_string(memory_bytes()) +
+        " bytes exceeds the hash_memory_bytes budget of " +
+        std::to_string(budget));
+  }
+  return Status::OK();
+}
+
+Status HashDivisionCore::ConsumeDivisorStream(Operator* divisor,
+                                              uint64_t expected_cardinality) {
   const uint64_t hint = expected_cardinality != 0
                             ? expected_cardinality
                             : options_.expected_divisor_cardinality;
   // Key = all divisor columns.
-  RELDIV_RETURN_NOT_OK(divisor->Open());
   std::vector<Tuple> pending;  // buffered only when no hint sizes the table
   std::vector<size_t> all_cols;
   bool table_ready = false;
@@ -45,6 +73,7 @@ Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
       // a rejected duplicate gets no number (§3.3, point 5).
       entry->num = divisor_count_;
       divisor_count_++;
+      RELDIV_RETURN_NOT_OK(CheckBudget("divisor table"));
     }
     return Status::OK();
   };
@@ -65,18 +94,12 @@ Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
       RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
     }
   }
-  RELDIV_RETURN_NOT_OK(divisor->Close());
   if (!table_ready) {
     make_table(pending.size(), pending.empty() ? 1 : pending.front().size());
     for (Tuple& tuple : pending) {
       RELDIV_RETURN_NOT_OK(insert(std::move(tuple)));
     }
   }
-  // Dense divisor numbering (Figure 1, step 1): every distinct divisor tuple
-  // received exactly one number in [0, divisor_count_), so the table size
-  // and the counter must agree — the quotient bit maps are sized from it.
-  RELDIV_CHECK_EQ(divisor_count_, divisor_table_->size())
-      << "divisor numbering is not dense";
   return Status::OK();
 }
 
@@ -101,7 +124,7 @@ Status HashDivisionCore::BuildDivisorTableFromNumbered(
     entry->num = number;
   }
   divisor_count_ = divisor_count;
-  return Status::OK();
+  return CheckBudget("divisor table (pre-numbered)");
 }
 
 Status HashDivisionCore::ResetQuotientTable(uint64_t expected_cardinality) {
@@ -160,6 +183,7 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
       bitmap.ClearAll();
       pending->bit_ops += words;
       quotient_entry->num = 0;  // early-output counter (§3.3)
+      RELDIV_RETURN_NOT_OK(CheckBudget("quotient table"));
     }
     // The bit map is exactly divisor_count_ bits wide, so a dense divisor
     // number is also a valid bit index (§3.3, points 1 and 4).
@@ -184,7 +208,10 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
   } else {
     // Counter variant (§3.3, point 6): valid only for duplicate-free
     // dividends; no bit map, just a counter per candidate.
-    if (inserted) quotient_entry->num = 0;
+    if (inserted) {
+      quotient_entry->num = 0;
+      RELDIV_RETURN_NOT_OK(CheckBudget("quotient table"));
+    }
     quotient_entry->num++;
     bits_set_++;
     if (options_.early_output) {
@@ -261,7 +288,6 @@ Status HashDivisionCore::EmitComplete(std::vector<Tuple>* out) {
   if (quotient_table_ == nullptr) return Status::OK();
   // Figure 1, step 3: scan all buckets for bit maps with no zero bit. The
   // counter bumps for the whole scan are flushed as one batch.
-  Status status;
   PendingCounts pending;
   quotient_table_->ForEach([&](TupleHashTable::Entry* entry) {
     if (use_bitmaps()) {
@@ -275,7 +301,7 @@ Status HashDivisionCore::EmitComplete(std::vector<Tuple>* out) {
     return true;
   });
   FlushCounts(pending);
-  return status;
+  return Status::OK();
 }
 
 HashDivisionOperator::HashDivisionOperator(

@@ -29,6 +29,10 @@ class HashDivisionCore {
 
   /// Step 1: builds the divisor table, assigning dense divisor numbers.
   /// Duplicates in the divisor are eliminated on the fly (§3.3, point 5).
+  /// `divisor` is opened here and closed again on success AND on error — an
+  /// abandoned open input would hold buffer pins past the build.
+  /// ResourceExhausted when the table outgrows the pool or the
+  /// ExecContext::hash_memory_bytes() budget (the §3.4 overflow trigger).
   Status BuildDivisorTable(Operator* divisor,
                            uint64_t expected_cardinality = 0);
 
@@ -84,6 +88,14 @@ class HashDivisionCore {
     uint64_t comparisons = 0;
     uint64_t bit_ops = 0;
   };
+
+  /// BuildDivisorTable minus open/close of the input.
+  Status ConsumeDivisorStream(Operator* divisor,
+                              uint64_t expected_cardinality);
+
+  /// Enforces ExecContext::hash_memory_bytes() (0 = unlimited) over both
+  /// tables' arenas. Called only when a table grew, so probe hits are free.
+  Status CheckBudget(const char* stage) const;
 
   Status ConsumeOne(const Tuple& dividend, std::vector<Tuple>* early_out,
                     PendingCounts* pending);

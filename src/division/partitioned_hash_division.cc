@@ -1,6 +1,9 @@
 #include "division/partitioned_hash_division.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/row_codec.h"
 #include "division/hash_division.h"
 #include "exec/mem_source.h"
@@ -11,15 +14,29 @@ namespace reldiv {
 
 namespace {
 
+/// Ceiling on the recursive cluster-split depth (quotient strategy). Each
+/// level halves a cluster in expectation, so 16 levels shrink any practical
+/// cluster to single tuples; a cluster that still overflows then is a
+/// single entry larger than the budget, which no partitioning can fix.
+constexpr size_t kMaxRepartitionDepth = 16;
+
+/// Restart-with-doubled-partitions attempts (divisor/combined strategies)
+/// before the ResourceExhausted is accepted as final.
+constexpr size_t kMaxRestarts = 6;
+
 /// Maps a tuple to its cluster index: hash of the partitioning attrs, or
 /// the range of the first partitioning attr under precomputed splits.
 class ClusterAssigner {
  public:
+  /// `salt` != 0 perturbs the hash (depth salt): a recursive re-split of an
+  /// overflowing cluster must not reproduce the parent partitioning, or
+  /// every tuple would land in the same half again.
   static ClusterAssigner Hash(std::vector<size_t> attrs,
-                              size_t num_partitions) {
+                              size_t num_partitions, uint64_t salt = 0) {
     ClusterAssigner assigner;
     assigner.attrs_ = std::move(attrs);
     assigner.num_partitions_ = num_partitions;
+    assigner.salt_ = salt;
     return assigner;
   }
 
@@ -43,12 +60,15 @@ class ClusterAssigner {
       return p;
     }
     ctx->CountHashes(1);
-    return tuple.HashAt(attrs_) % num_partitions_;
+    uint64_t h = tuple.HashAt(attrs_);
+    if (salt_ != 0) h = HashCombine(h, salt_);
+    return h % num_partitions_;
   }
 
  private:
   std::vector<size_t> attrs_;
   size_t num_partitions_ = 1;
+  uint64_t salt_ = 0;
   std::vector<int64_t> splits_;
   bool by_range_ = false;
 };
@@ -96,13 +116,13 @@ Result<std::vector<int64_t>> ComputeRangeSplits(ExecContext* ctx,
 /// Partitions `input` into temporary record files under `assigner`.
 Result<std::vector<std::unique_ptr<RecordFile>>> PartitionRelation(
     ExecContext* ctx, const Relation& input, const ClusterAssigner& assigner,
-    size_t num_partitions, const char* label) {
+    size_t num_partitions, const std::string& label) {
   std::vector<std::unique_ptr<RecordFile>> clusters;
   clusters.reserve(num_partitions);
   for (size_t i = 0; i < num_partitions; ++i) {
     clusters.push_back(std::make_unique<RecordFile>(
         ctx->disk(), ctx->buffer_manager(),
-        std::string(label) + "-cluster-" + std::to_string(i)));
+        label + "-cluster-" + std::to_string(i)));
   }
   RowCodec codec(input.schema);
   ScanOperator scan(ctx, input);
@@ -155,6 +175,47 @@ PartitionedHashDivisionOperator::PartitionedHashDivisionOperator(
 
 PartitionedHashDivisionOperator::~PartitionedHashDivisionOperator() = default;
 
+Status PartitionedHashDivisionOperator::DivideQuotientCluster(
+    HashDivisionCore* core, RecordFile* cluster, size_t depth) {
+  Relation rel{resolved_.dividend.schema, cluster};
+  // The cluster's record count bounds its quotient candidates, and the
+  // planner hint (when present) bounds the total; the smaller wins.
+  uint64_t hint = cluster->num_records();
+  if (options_.expected_quotient_cardinality != 0) {
+    hint = std::min<uint64_t>(hint, options_.expected_quotient_cardinality);
+  }
+  Status status = core->ResetQuotientTable(hint == 0 ? 1 : hint);
+  if (status.ok()) status = ConsumeScan(ctx_, core, rel);
+  if (status.ok()) {
+    RELDIV_RETURN_NOT_OK(core->EmitComplete(&results_));
+    phases_run_++;
+    return Status::OK();
+  }
+  if (status.code() != StatusCode::kResourceExhausted ||
+      depth >= kMaxRepartitionDepth || cluster->num_records() <= 1) {
+    return status;  // not recoverable by splitting
+  }
+  // The quotient table outgrew the budget mid-phase: split the cluster in
+  // two with a depth-salted hash and divide each half in its own phase.
+  // Splitting on the quotient attrs keeps every candidate's dividend
+  // tuples together, so per-half quotients concatenate correctly.
+  repartitions_++;
+  RELDIV_ASSIGN_OR_RETURN(
+      auto halves,
+      PartitionRelation(
+          ctx_, rel,
+          ClusterAssigner::Hash(resolved_.quotient_attrs, 2,
+                                /*salt=*/depth + 1),
+          2,
+          "quotient-repart-d" + std::to_string(depth + 1) + "-" +
+              std::to_string(repartitions_)));
+  for (auto& half : halves) {
+    if (half->num_records() == 0) continue;
+    RELDIV_RETURN_NOT_OK(DivideQuotientCluster(core, half.get(), depth + 1));
+  }
+  return Status::OK();
+}
+
 Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
   const size_t num_partitions =
       options_.num_partitions == 0 ? 1 : options_.num_partitions;
@@ -174,6 +235,9 @@ Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
                         "quotient-part"));
 
   // The divisor table is built once and kept in memory during all phases.
+  // If IT overflows the budget, quotient partitioning cannot help (no
+  // phase shrinks it) — the ResourceExhausted propagates to Open(), which
+  // escalates to the combined strategy.
   DivisionOptions core_options = options_;
   core_options.early_output = false;
   HashDivisionCore core(ctx_, resolved_.match_attrs, resolved_.quotient_attrs,
@@ -181,25 +245,16 @@ Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
   ScanOperator divisor_scan(ctx_, resolved_.divisor);
   RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
 
-  const uint64_t quotient_hint =
-      options_.expected_quotient_cardinality == 0
-          ? 0
-          : options_.expected_quotient_cardinality / num_partitions + 1;
   for (auto& cluster : clusters) {
-    RELDIV_RETURN_NOT_OK(core.ResetQuotientTable(quotient_hint));
-    Relation cluster_rel{resolved_.dividend.schema, cluster.get()};
-    RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, cluster_rel));
     // The quotient of the whole division is the concatenation of the
-    // per-phase quotient clusters.
-    RELDIV_RETURN_NOT_OK(core.EmitComplete(&results_));
-    phases_run_++;
+    // per-phase quotients; an overflowing cluster is split recursively.
+    RELDIV_RETURN_NOT_OK(DivideQuotientCluster(&core, cluster.get(), 0));
   }
   return Status::OK();
 }
 
-Status PartitionedHashDivisionOperator::RunDivisorPartitioned() {
-  const size_t num_partitions =
-      options_.num_partitions == 0 ? 1 : options_.num_partitions;
+Status PartitionedHashDivisionOperator::RunDivisorPartitioned(
+    size_t num_partitions) {
   // The same partitioning function must be applied to the divisor (on all
   // its columns) and the dividend (on the divisor attributes) so matching
   // tuples land in the same cluster.
@@ -305,14 +360,12 @@ Status PartitionedHashDivisionOperator::RunDivisorPartitioned() {
   return Status::OK();
 }
 
-Status PartitionedHashDivisionOperator::RunCombined() {
+Status PartitionedHashDivisionOperator::RunCombined(size_t divisor_parts) {
   // §3.4's closing question: neither table fits. Outer loop = divisor
   // partitioning (shrinks the divisor table and the bit maps); inner loop =
   // quotient partitioning of each divisor cluster's dividend (shrinks the
   // quotient table); the divisor-cluster tags then go through the standard
   // collection phase.
-  const size_t divisor_parts =
-      options_.num_partitions == 0 ? 1 : options_.num_partitions;
   const size_t quotient_parts = options_.num_quotient_subpartitions == 0
                                     ? divisor_parts
                                     : options_.num_quotient_subpartitions;
@@ -352,7 +405,10 @@ Status PartitionedHashDivisionOperator::RunCombined() {
     ScanOperator divisor_scan(ctx_, divisor_rel);
     RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
 
-    // Inner quotient partitioning of this cluster's dividend.
+    // Inner quotient partitioning of this cluster's dividend. Each
+    // sub-cluster is divided through the recursive splitter, so an inner
+    // overflow repartitions just that sub-cluster instead of failing the
+    // phase.
     Relation dividend_rel{resolved_.dividend.schema,
                           dividend_clusters[p].get()};
     RELDIV_ASSIGN_OR_RETURN(
@@ -360,23 +416,22 @@ Status PartitionedHashDivisionOperator::RunCombined() {
         PartitionRelation(
             ctx_, dividend_rel,
             ClusterAssigner::Hash(resolved_.quotient_attrs, quotient_parts),
-            quotient_parts,
-            ("combined-r" + std::to_string(p)).c_str()));
-    std::vector<Tuple> phase_quotient;
+            quotient_parts, "combined-r" + std::to_string(p)));
+    const size_t emitted_before = results_.size();
     for (auto& sub : sub_clusters) {
-      RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
-      Relation sub_rel{resolved_.dividend.schema, sub.get()};
-      RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, sub_rel));
-      RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
-      phases_run_++;
+      RELDIV_RETURN_NOT_OK(DivideQuotientCluster(&core, sub.get(), 0));
     }
-    for (Tuple& q : phase_quotient) {
+    // DivideQuotientCluster appended this phase's quotient to results_;
+    // move it out, tag it, and spool it for the collection phase.
+    for (size_t i = emitted_before; i < results_.size(); ++i) {
+      Tuple q = std::move(results_[i]);
       q.Append(Value::Int64(static_cast<int64_t>(p)));
       buffer.clear();
       RELDIV_RETURN_NOT_OK(tagged_codec.Encode(q, &buffer));
       RELDIV_ASSIGN_OR_RETURN(Rid rid, tagged_store.Append(Slice(buffer)));
       (void)rid;
     }
+    results_.resize(emitted_before);
   }
 
   if (participating.empty()) return Status::OK();
@@ -406,15 +461,39 @@ Status PartitionedHashDivisionOperator::Open() {
   results_.clear();
   emit_pos_ = 0;
   phases_run_ = 0;
-  switch (options_.partition_strategy) {
-    case PartitionStrategy::kQuotient:
-      return RunQuotientPartitioned();
-    case PartitionStrategy::kDivisor:
-      return RunDivisorPartitioned();
-    case PartitionStrategy::kCombined:
-      return RunCombined();
+  repartitions_ = 0;
+  escalations_ = 0;
+  restarts_ = 0;
+
+  PartitionStrategy strategy = options_.partition_strategy;
+  size_t parts = options_.num_partitions == 0 ? 1 : options_.num_partitions;
+  if (strategy == PartitionStrategy::kQuotient) {
+    Status status = RunQuotientPartitioned();
+    if (status.code() != StatusCode::kResourceExhausted) return status;
+    // The resident divisor table (or an unsplittable cluster) outgrew the
+    // budget; quotient partitioning alone cannot recover, so escalate to
+    // the combined strategy, which also shrinks the divisor table.
+    escalations_++;
+    strategy = PartitionStrategy::kCombined;
+  } else if (strategy != PartitionStrategy::kDivisor &&
+             strategy != PartitionStrategy::kCombined) {
+    return Status::NotSupported("unknown partition strategy");
   }
-  return Status::NotSupported("unknown partition strategy");
+
+  Status status;
+  for (size_t attempt = 0;; ++attempt) {
+    results_.clear();
+    phases_run_ = 0;
+    status = strategy == PartitionStrategy::kDivisor
+                 ? RunDivisorPartitioned(parts)
+                 : RunCombined(parts);
+    if (status.code() != StatusCode::kResourceExhausted) return status;
+    if (attempt >= kMaxRestarts) return status;
+    // A cluster outgrew the budget at this partition count: restart with
+    // twice the partitions, which halves every cluster in expectation.
+    restarts_++;
+    parts *= 2;
+  }
 }
 
 Status PartitionedHashDivisionOperator::Next(Tuple* tuple, bool* has_next) {

@@ -10,6 +10,9 @@
 
 namespace reldiv {
 
+class HashDivisionCore;
+class RecordFile;
+
 /// Hash-division with hash-table-overflow management (§3.4): the inputs are
 /// hash-partitioned into disjoint clusters spooled to temporary files and
 /// processed one cluster per phase.
@@ -27,6 +30,22 @@ namespace reldiv {
 /// hash-division because the phase tag directly indexes the bit map. Phases
 /// whose divisor cluster is empty constrain nothing and are excluded from
 /// the collection divisor.
+///
+/// Overflow recovery (§3.4's "overflow avoidance ... may fail"): the
+/// partition count is a planning estimate, so a cluster can still outgrow
+/// the memory budget at run time. Three recovery mechanisms compose:
+///  - Quotient strategy: a dividend cluster whose quotient table overflows
+///    is recursively split in two with a depth-salted hash and each half is
+///    divided on its own (`repartitions` gauge).
+///  - Quotient strategy: if the resident divisor table itself overflows,
+///    quotient partitioning cannot help (the divisor table is per-phase
+///    state it never shrinks), so the operator escalates to the combined
+///    strategy (`escalations` gauge).
+///  - Divisor / combined strategies: a per-phase overflow restarts the whole
+///    run with twice the partitions (`restarts` gauge), bounded; clusters
+///    halve in expectation each restart.
+/// Only ResourceExhausted triggers recovery; any other failure (an I/O
+/// fault, a corrupt page) propagates unchanged.
 class PartitionedHashDivisionOperator : public Operator {
  public:
   PartitionedHashDivisionOperator(ExecContext* ctx,
@@ -45,16 +64,31 @@ class PartitionedHashDivisionOperator : public Operator {
 
   /// Number of phases actually executed (test hook).
   size_t phases_run() const { return phases_run_; }
+  /// Recursive cluster splits taken by the quotient strategy (test hook).
+  size_t repartitions() const { return repartitions_; }
+  /// Full restarts with a doubled partition count (test hook).
+  size_t restarts() const { return restarts_; }
 
-  /// Partition passes executed over the spooled clusters.
+  /// Partition passes executed over the spooled clusters, plus the overflow
+  /// recovery counters (see the class comment).
   void ExportGauges(GaugeList* gauges) const override {
     gauges->emplace_back("phases_run", static_cast<double>(phases_run_));
+    gauges->emplace_back("repartitions", static_cast<double>(repartitions_));
+    gauges->emplace_back("escalations", static_cast<double>(escalations_));
+    gauges->emplace_back("restarts", static_cast<double>(restarts_));
   }
 
  private:
   Status RunQuotientPartitioned();
-  Status RunDivisorPartitioned();
-  Status RunCombined();
+  Status RunDivisorPartitioned(size_t num_partitions);
+  Status RunCombined(size_t divisor_parts);
+
+  /// Divides one dividend cluster against the resident divisor table,
+  /// recursively splitting the cluster when its quotient table overflows
+  /// the memory budget (quotient strategy only). `depth` salts the split
+  /// hash so a re-split does not reproduce the parent partitioning.
+  Status DivideQuotientCluster(HashDivisionCore* core, RecordFile* cluster,
+                               size_t depth);
 
   ExecContext* ctx_;
   ResolvedDivision resolved_;
@@ -64,6 +98,9 @@ class PartitionedHashDivisionOperator : public Operator {
   std::vector<Tuple> results_;
   size_t emit_pos_ = 0;
   size_t phases_run_ = 0;
+  size_t repartitions_ = 0;
+  size_t escalations_ = 0;
+  size_t restarts_ = 0;
 };
 
 }  // namespace reldiv

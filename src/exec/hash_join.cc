@@ -40,6 +40,7 @@ Status HashJoinOperator::Open() {
   table_ = std::make_unique<TupleHashTable>(ctx_, arena_.get(), build_keys_,
                                             buckets);
   RELDIV_RETURN_NOT_OK(build_->Open());
+  build_open_ = true;
   while (true) {
     Tuple tuple;
     bool has = false;
@@ -49,8 +50,10 @@ Status HashJoinOperator::Open() {
                             table_->Insert(std::move(tuple)));
     (void)entry;
   }
+  build_open_ = false;
   RELDIV_RETURN_NOT_OK(build_->Close());
   RELDIV_RETURN_NOT_OK(probe_->Open());
+  probe_open_ = true;
   match_cursor_ = nullptr;
   return Status::OK();
 }
@@ -97,7 +100,19 @@ Status HashJoinOperator::Next(Tuple* tuple, bool* has_next) {
 Status HashJoinOperator::Close() {
   table_.reset();
   arena_.reset();
-  return probe_->Close();
+  // Close whatever Open() left open (a failed Open() may have the build
+  // side mid-drain and the probe side never opened); first error wins.
+  Status status;
+  if (build_open_) {
+    build_open_ = false;
+    status = build_->Close();
+  }
+  if (probe_open_) {
+    probe_open_ = false;
+    Status probe_status = probe_->Close();
+    if (status.ok()) status = probe_status;
+  }
+  return status;
 }
 
 }  // namespace reldiv

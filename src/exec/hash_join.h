@@ -51,6 +51,11 @@ class HashJoinOperator : public Operator {
   // Inner-join fan-out state: entries matching the current probe tuple.
   Tuple current_probe_;
   TupleHashTable::Entry* match_cursor_ = nullptr;
+
+  /// Which inputs Close() still owes a Close() call — Open() can fail with
+  /// the build side open and the probe side never opened.
+  bool build_open_ = false;
+  bool probe_open_ = false;
 };
 
 }  // namespace reldiv

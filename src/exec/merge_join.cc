@@ -136,8 +136,11 @@ Status MergeJoinOperator::Next(Tuple* tuple, bool* has_next) {
 }
 
 Status MergeJoinOperator::Close() {
-  RELDIV_RETURN_NOT_OK(left_->Close());
-  return right_->Close();
+  // Close both sides even if the first close fails; first error wins. An
+  // early return here would leak the right child's pins and scans.
+  Status left_status = left_->Close();
+  Status right_status = right_->Close();
+  return left_status.ok() ? right_status : left_status;
 }
 
 }  // namespace reldiv

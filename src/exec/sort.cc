@@ -342,6 +342,7 @@ Status SortOperator::OpenFinalMerge() {
 
 Status SortOperator::Open() {
   RELDIV_RETURN_NOT_OK(child_->Open());
+  child_open_ = true;
 
   std::vector<Tuple> batch;
   size_t batch_bytes = 0;
@@ -392,6 +393,9 @@ Status SortOperator::Open() {
       first_batch = false;
     }
   }
+  // One Close() attempt settles the debt even if it fails — a second call
+  // on an already-failed child is not owed anything.
+  child_open_ = false;
   RELDIV_RETURN_NOT_OK(child_->Close());
 
   if (!in_memory_) {
@@ -479,12 +483,19 @@ Status SortOperator::Next(Tuple* tuple, bool* has_next) {
 }
 
 Status SortOperator::Close() {
+  Status status;
+  if (child_open_) {
+    // Open() failed while draining the input; the child still holds its
+    // resources (pinned pages, open scans) and must be closed here.
+    child_open_ = false;
+    status = child_->Close();
+  }
   memory_tuples_.clear();
   final_readers_.clear();
   heap_.clear();
   runs_.clear();
   open_ = false;
-  return Status::OK();
+  return status;
 }
 
 }  // namespace reldiv

@@ -108,6 +108,9 @@ class SortOperator : public Operator {
   size_t initial_runs_ = 0;
   size_t intermediate_merges_ = 0;
   bool open_ = false;
+  /// The child is opened and drained inside Open(); if Open() fails in
+  /// between, Close() still owes the child its Close() call.
+  bool child_open_ = false;
 };
 
 }  // namespace reldiv

@@ -1,3 +1,65 @@
 #include "parallel/network.h"
 
-// Header-only; translation unit kept for build uniformity.
+#include "testing/failpoint.h"
+
+namespace reldiv {
+
+namespace {
+
+/// A dropped packet or a momentarily full receive buffer clears on retry;
+/// anything else (corruption, unknown address) will not.
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kIOError ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
+
+Status Interconnect::TrySend(size_t from, size_t to, uint64_t bytes) {
+  RELDIV_FAILPOINT("network/send");
+  // The shipment is on the wire: it is accounted whether or not the
+  // receiver accepts it, mirroring real interconnect counters.
+  messages_++;
+  bytes_ += bytes;
+  sent_matrix_[from * num_nodes_ + to] += bytes;
+  if (trace_ != nullptr) {
+    // Sender's timeline lane (tid = 1 + node_id; 0 is the query thread).
+    trace_->Instant("ship", "network", static_cast<uint32_t>(1 + from),
+                    {{"to", to}, {"bytes", bytes}});
+  }
+  RELDIV_FAILPOINT("network/recv");
+  return Status::OK();
+}
+
+Status Interconnect::Ship(size_t from, size_t to, uint64_t bytes) {
+  RELDIV_DCHECK_LT(from, num_nodes_) << "shipment from an unknown node";
+  RELDIV_DCHECK_LT(to, num_nodes_) << "shipment to an unknown node";
+  if (from == to) return Status::OK();
+  const size_t max_attempts =
+      retry_.max_attempts == 0 ? 1 : retry_.max_attempts;
+  Status last;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff, in simulated units so tests stay fast and
+      // deterministic: 1, 2, 4, ... per successive retry of this shipment.
+      retries_++;
+      backoff_units_ += uint64_t{1} << (attempt - 1);
+    }
+    last = TrySend(from, to, bytes);
+    if (last.ok()) return last;
+    if (!IsTransient(last.code())) return last;
+  }
+  return Status(last.code(), "shipment " + std::to_string(from) + "->" +
+                                 std::to_string(to) + " failed after " +
+                                 std::to_string(max_attempts) +
+                                 " attempts: " + last.message());
+}
+
+Status Interconnect::Broadcast(size_t from, uint64_t bytes) {
+  for (size_t to = 0; to < num_nodes_; ++to) {
+    RELDIV_RETURN_NOT_OK(Ship(from, to, bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace reldiv

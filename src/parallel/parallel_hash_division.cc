@@ -146,7 +146,7 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
   for (size_t i = 0; i < n; ++i) {
     RELDIV_ASSIGN_OR_RETURN(uint64_t bytes,
                             BatchBytes(divisor_schema, divisor_frags[i]));
-    interconnect_.Broadcast(i, bytes);
+    RELDIV_RETURN_NOT_OK(interconnect_.Broadcast(i, bytes));
     full_divisor.insert(full_divisor.end(), divisor_frags[i].begin(),
                         divisor_frags[i].end());
   }
@@ -174,7 +174,7 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
       }
       const size_t to = HashPartitionOf(tuple, quotient_attrs, n);
       RELDIV_ASSIGN_OR_RETURN(size_t bytes, dividend_codec.EncodedSize(tuple));
-      interconnect_.Ship(from, to, bytes);
+      RELDIV_RETURN_NOT_OK(interconnect_.Ship(from, to, bytes));
       if (to != from) result.tuples_shipped++;
       incoming[to].push_back(tuple);
     }
@@ -246,7 +246,7 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
     for (const Tuple& tuple : divisor_frags[from]) {
       const size_t to = HashPartitionOf(tuple, divisor_all, n);
       RELDIV_ASSIGN_OR_RETURN(size_t bytes, divisor_codec.EncodedSize(tuple));
-      interconnect_.Ship(from, to, bytes);
+      RELDIV_RETURN_NOT_OK(interconnect_.Ship(from, to, bytes));
       divisor_in[to].push_back(tuple);
     }
   }
@@ -262,7 +262,7 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
       for (const Tuple& tuple : divisor_in[i]) {
         local.InsertHash(tuple.HashAt(divisor_all));
       }
-      interconnect_.Broadcast(i, local.byte_size());
+      RELDIV_RETURN_NOT_OK(interconnect_.Broadcast(i, local.byte_size()));
       filter->UnionWith(local);
     }
   }
@@ -279,7 +279,7 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
       }
       const size_t to = HashPartitionOf(tuple, match_attrs, n);
       RELDIV_ASSIGN_OR_RETURN(size_t bytes, dividend_codec.EncodedSize(tuple));
-      interconnect_.Ship(from, to, bytes);
+      RELDIV_RETURN_NOT_OK(interconnect_.Ship(from, to, bytes));
       if (to != from) result.tuples_shipped++;
       dividend_in[to].push_back(tuple);
     }
@@ -357,7 +357,8 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
               ? HashPartitionOf(q, collect_quotient_attrs, n)
               : 0;
       RELDIV_ASSIGN_OR_RETURN(size_t bytes, quotient_codec.EncodedSize(q));
-      interconnect_.Ship(i, collector, bytes + sizeof(int64_t));
+      RELDIV_RETURN_NOT_OK(
+          interconnect_.Ship(i, collector, bytes + sizeof(int64_t)));
       q.Append(Value::Int64(static_cast<int64_t>(i)));
       RELDIV_RETURN_NOT_OK(collectors[collector]->Consume(q, nullptr));
     }

@@ -1,6 +1,7 @@
 #include "storage/buffer_manager.h"
 
 #include "obs/trace.h"
+#include "testing/failpoint.h"
 
 namespace reldiv {
 
@@ -65,6 +66,7 @@ Status BufferManager::ReleaseFrame(uint64_t page_no) {
 }
 
 Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
+  RELDIV_FAILPOINT("buffer/fix");
   stats_.fixes++;
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace.h"
+#include "testing/failpoint.h"
 
 namespace reldiv {
 
@@ -89,6 +90,10 @@ void SimDisk::Account(uint64_t sector, uint64_t count, bool is_read) {
 
 Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {
   RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
+  RELDIV_FAILPOINT("sim_disk/read");
+  if (!arm_valid_ || sector != arm_position_) {
+    RELDIV_FAILPOINT("sim_disk/seek");
+  }
   Account(sector, count, /*is_read=*/true);
   if (backing_ == Backing::kMemory) {
     for (uint64_t i = 0; i < count; ++i) {
@@ -113,6 +118,10 @@ Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {
 
 Status SimDisk::Write(uint64_t sector, uint64_t count, const char* src) {
   RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
+  RELDIV_FAILPOINT("sim_disk/write");
+  if (!arm_valid_ || sector != arm_position_) {
+    RELDIV_FAILPOINT("sim_disk/seek");
+  }
   Account(sector, count, /*is_read=*/false);
   if (backing_ == Backing::kMemory) {
     for (uint64_t i = 0; i < count; ++i) {

@@ -1,6 +1,17 @@
 #include "storage/memory_manager.h"
 
+#include "testing/failpoint.h"
+
 namespace reldiv {
+
+bool MemoryPool::Reserve(size_t bytes) {
+  if (RELDIV_FAILPOINT_DENIED("memory/reserve")) return false;
+  while (used_ + bytes > budget_) {
+    if (!reclaimer_ || !reclaimer_()) return false;
+  }
+  used_ += bytes;
+  return true;
+}
 
 void* Arena::Allocate(size_t bytes) {
   const size_t aligned = (bytes + 7) & ~size_t{7};

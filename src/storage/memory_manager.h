@@ -25,13 +25,9 @@ class MemoryPool {
   /// On pressure, the registered reclaimer (the buffer manager shedding
   /// unfixed frames — §5.1 "shrinks as buffer slots are unfixed") is invoked
   /// repeatedly until enough space frees up or it reports nothing left.
-  bool Reserve(size_t bytes) {
-    while (used_ + bytes > budget_) {
-      if (!reclaimer_ || !reclaimer_()) return false;
-    }
-    used_ += bytes;
-    return true;
-  }
+  /// Out-of-line: this is the "memory/reserve" failpoint, which forces a
+  /// denial to trigger §3.4 overflow handling at adversarial moments.
+  bool Reserve(size_t bytes);
 
   /// Registers a callback that frees some pool memory and returns true, or
   /// returns false when it has nothing left to give back.

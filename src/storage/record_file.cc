@@ -1,5 +1,7 @@
 #include "storage/record_file.h"
 
+#include "testing/failpoint.h"
+
 namespace reldiv {
 
 RecordFile::RecordFile(SimDisk* disk, BufferManager* buffer_manager,
@@ -27,7 +29,9 @@ Result<Rid> RecordFile::Append(Slice record) {
     has_open_page_ = false;
     RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/false));
   }
-  // Allocate a fresh page.
+  // Allocate a fresh page. ExtentFile::AllocatePage itself is infallible
+  // (pure bookkeeping), so the extent-growth failpoint sits in front of it.
+  RELDIV_FAILPOINT("extent_file/append");
   const uint64_t local = file_.AllocatePage();
   RELDIV_ASSIGN_OR_RETURN(uint64_t global, file_.GlobalPage(local));
   RELDIV_ASSIGN_OR_RETURN(char* frame,

@@ -1,5 +1,7 @@
 #include "storage/virtual_device.h"
 
+#include "testing/failpoint.h"
+
 namespace reldiv {
 
 VirtualDevice::VirtualDevice(MemoryPool* pool, std::string name)
@@ -10,6 +12,7 @@ VirtualDevice::~VirtualDevice() {
 }
 
 Result<Rid> VirtualDevice::Append(Slice record) {
+  RELDIV_FAILPOINT("virtual_device/append");
   // Reserve pool memory page-wise so virtual devices compete with the
   // buffer pool at the same granularity.
   while (pool_ != nullptr && bytes_used_ + record.size() > bytes_reserved_) {

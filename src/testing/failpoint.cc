@@ -1,0 +1,119 @@
+#include "testing/failpoint.h"
+
+namespace reldiv {
+
+namespace {
+
+/// SplitMix64 expansion of a seed into xorshift128+ state (same scheme as
+/// common/rng.h, inlined here so the registry owns plain POD state).
+void SeedRngState(uint64_t seed, uint64_t* s0, uint64_t* s1) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  *s0 = z ^ (z >> 27);
+  z = *s0 + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  *s1 = z ^ (z >> 27);
+  if (*s0 == 0 && *s1 == 0) *s1 = 1;
+}
+
+uint64_t NextRng(uint64_t* s0, uint64_t* s1) {
+  uint64_t x = *s0;
+  const uint64_t y = *s1;
+  *s0 = y;
+  x ^= x << 23;
+  *s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return *s1 + y;
+}
+
+}  // namespace
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+
+FailpointRegistry& FailpointRegistry::Global() {
+  // Intentionally leaked so late-destroyed threads can still consult it.
+  static FailpointRegistry* registry =
+      new FailpointRegistry();  // NOLINT(reldiv/naked-new)
+  return *registry;
+}
+
+void FailpointRegistry::Arm(const std::string& site, FailpointPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.hits = 0;
+  state.fires = 0;
+  if (policy.trigger == FailpointPolicy::Trigger::kProbability) {
+    SeedRngState(policy.seed, &state.rng_s0, &state.rng_s1);
+  }
+  state.policy = std::move(policy);
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, state] : sites_) {
+    if (state.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  sites_.clear();
+}
+
+uint64_t FailpointRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+bool FailpointRegistry::ShouldFire(SiteState* state) {
+  state->hits++;
+  bool fire = false;
+  switch (state->policy.trigger) {
+    case FailpointPolicy::Trigger::kNever:
+      break;
+    case FailpointPolicy::Trigger::kAlways:
+      fire = true;
+      break;
+    case FailpointPolicy::Trigger::kOnNthHit:
+      fire = state->hits == state->policy.n;
+      break;
+    case FailpointPolicy::Trigger::kProbability:
+      fire = NextRng(&state->rng_s0, &state->rng_s1) % 100 <
+             state->policy.percent;
+      break;
+  }
+  if (fire) state->fires++;
+  return fire;
+}
+
+Status FailpointRegistry::Check(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return Status::OK();
+  SiteState& state = it->second;
+  if (!ShouldFire(&state)) return Status::OK();
+  std::string message = "failpoint '" + std::string(site) + "' fired";
+  if (!state.policy.message.empty()) message += ": " + state.policy.message;
+  return Status(state.policy.code, std::move(message));
+}
+
+bool FailpointRegistry::CheckDeny(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  return ShouldFire(&it->second);
+}
+
+}  // namespace reldiv

@@ -1,6 +1,8 @@
 #include <set>
+#include <string>
 
 #include "common/bitmap.h"
+#include "common/check.h"
 #include "common/hash.h"
 #include "common/ordered_key.h"
 #include "common/result.h"
@@ -337,6 +339,55 @@ TEST(HashTest, Avalanche) {
 
 TEST(HashTest, BytesHashIsOrderSensitive) {
   EXPECT_NE(HashBytes("ab", 2), HashBytes("ba", 2));
+}
+
+TEST(CheckDeathTest, CheckFailureAbortsWithMessage) {
+  EXPECT_DEATH(RELDIV_CHECK(1 == 2) << ": streamed context",
+               "RELDIV_CHECK\\(1 == 2\\) failed: streamed context");
+}
+
+TEST(CheckDeathTest, BinaryCheckPrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(RELDIV_CHECK_EQ(lhs, rhs),
+               "RELDIV_CHECK\\(lhs == rhs\\) failed \\(3 vs\\. 4\\)");
+}
+
+TEST(CheckDeathTest, DcheckHonorsDebugChecksSetting) {
+#if RELDIV_DEBUG_CHECKS
+  // Debug build (or RELDIV_FORCE_DCHECKS): a DCHECK is a full CHECK.
+  EXPECT_DEATH(RELDIV_DCHECK_LT(5, 4),
+               "RELDIV_CHECK\\(5 < 4\\) failed \\(5 vs\\. 4\\)");
+#else
+  // Optimized build: compiled out — reaching this line proves no abort.
+  RELDIV_DCHECK_LT(5, 4) << "never evaluated";
+  RELDIV_DCHECK(false) << "never evaluated";
+#endif
+}
+
+namespace check_handler_test {
+std::string* captured_message = nullptr;
+void CapturingHandler(const char* /*file*/, int /*line*/,
+                      const std::string& message) {
+  *captured_message = message;
+}
+}  // namespace check_handler_test
+
+TEST(CheckTest, HandlerCapturesMessageAndRestores) {
+  std::string captured;
+  check_handler_test::captured_message = &captured;
+  CheckFailureHandler previous =
+      SetCheckFailureHandler(&check_handler_test::CapturingHandler);
+  // The capturing handler returns normally, so execution resumes here.
+  RELDIV_CHECK(false) << ": not fatal under a test handler";
+  EXPECT_NE(captured.find("RELDIV_CHECK(false) failed"), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("not fatal under a test handler"),
+            std::string::npos);
+
+  captured.clear();
+  SetCheckFailureHandler(previous);
+  check_handler_test::captured_message = nullptr;
 }
 
 TEST(RngTest, DeterministicPerSeed) {

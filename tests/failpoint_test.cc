@@ -1,0 +1,186 @@
+#include "testing/failpoint.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+/// A production-shaped function with an error-injection site.
+Status ReadSomething() {
+  RELDIV_FAILPOINT("sim_disk/read");
+  return Status::OK();
+}
+
+/// A production-shaped memory grant with a verdict-injection site.
+bool GrantMemory() { return !RELDIV_FAILPOINT_DENIED("memory/reserve"); }
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Global().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+
+  FailpointRegistry& registry() { return FailpointRegistry::Global(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFiresAndCountsNothing) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(ReadSomething());
+  }
+  // With nothing armed the macro never enters the registry: no hits.
+  EXPECT_EQ(registry().hits("sim_disk/read"), 0u);
+  EXPECT_EQ(registry().fires("sim_disk/read"), 0u);
+}
+
+TEST_F(FailpointTest, ArmingAnUnrelatedSiteLeavesOthersPassing) {
+  registry().Arm("sim_disk/write", FailpointPolicy::Always());
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  ASSERT_OK(ReadSomething());
+  // The read site was evaluated (something is armed) but did not fire.
+  EXPECT_EQ(registry().fires("sim_disk/read"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresWithInjectedCodeAndMessage) {
+  registry().Arm("sim_disk/read",
+                 FailpointPolicy::Always(StatusCode::kCorruption,
+                                         "torn sector"));
+  Status status = ReadSomething();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("sim_disk/read"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("torn sector"), std::string::npos);
+  EXPECT_EQ(registry().hits("sim_disk/read"), 1u);
+  EXPECT_EQ(registry().fires("sim_disk/read"), 1u);
+}
+
+TEST_F(FailpointTest, OnNthHitFiresExactlyOnce) {
+  registry().Arm("sim_disk/read", FailpointPolicy::OnNthHit(3));
+  ASSERT_OK(ReadSomething());  // hit 1
+  ASSERT_OK(ReadSomething());  // hit 2
+  Status status = ReadSomething();  // hit 3: fires
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(ReadSomething());  // hits 4..13 pass again
+  }
+  EXPECT_EQ(registry().hits("sim_disk/read"), 13u);
+  EXPECT_EQ(registry().fires("sim_disk/read"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicUnderFixedSeed) {
+  auto run_schedule = [&](uint64_t seed) {
+    registry().Arm("sim_disk/read",
+                   FailpointPolicy::WithProbability(30, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!ReadSomething().ok());
+    }
+    registry().Disarm("sim_disk/read");
+    return fired;
+  };
+  const std::vector<bool> a = run_schedule(99);
+  const std::vector<bool> b = run_schedule(99);
+  const std::vector<bool> c = run_schedule(100);
+  EXPECT_EQ(a, b) << "same seed must replay the same fire pattern";
+  EXPECT_NE(a, c) << "different seeds should diverge (200 draws)";
+  // ~30% of 200 draws should fire; allow a generous band.
+  const size_t fires = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 20u);
+  EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresHundredAlwaysFires) {
+  registry().Arm("sim_disk/read", FailpointPolicy::WithProbability(0, 1));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(ReadSomething());
+  registry().Arm("sim_disk/read", FailpointPolicy::WithProbability(100, 1));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(ReadSomething().ok());
+}
+
+TEST_F(FailpointTest, ArmResetsCountersAndReplacesPolicy) {
+  registry().Arm("sim_disk/read", FailpointPolicy::Always());
+  EXPECT_FALSE(ReadSomething().ok());
+  EXPECT_EQ(registry().hits("sim_disk/read"), 1u);
+  // Re-arming resets hit/fire counts and swaps the policy in place.
+  registry().Arm("sim_disk/read", FailpointPolicy::OnNthHit(2));
+  EXPECT_EQ(registry().hits("sim_disk/read"), 0u);
+  EXPECT_EQ(registry().fires("sim_disk/read"), 0u);
+  ASSERT_OK(ReadSomething());
+  EXPECT_FALSE(ReadSomething().ok());
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringButKeepsCountersReadable) {
+  registry().Arm("sim_disk/read", FailpointPolicy::Always());
+  EXPECT_FALSE(ReadSomething().ok());
+  registry().Disarm("sim_disk/read");
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  ASSERT_OK(ReadSomething());
+  EXPECT_EQ(registry().hits("sim_disk/read"), 1u);
+  EXPECT_EQ(registry().fires("sim_disk/read"), 1u);
+}
+
+TEST_F(FailpointTest, DisarmAllForgetsEverything) {
+  registry().Arm("sim_disk/read", FailpointPolicy::Always());
+  registry().Arm("network/send", FailpointPolicy::Always());
+  EXPECT_FALSE(ReadSomething().ok());
+  registry().DisarmAll();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_EQ(registry().hits("sim_disk/read"), 0u);
+  ASSERT_OK(ReadSomething());
+}
+
+TEST_F(FailpointTest, DisarmingUnknownSiteIsANoOp) {
+  registry().Disarm("no/such/site");
+  EXPECT_EQ(registry().hits("no/such/site"), 0u);
+}
+
+TEST_F(FailpointTest, CheckDenyInjectsMemoryDenial) {
+  EXPECT_TRUE(GrantMemory());
+  registry().Arm("memory/reserve", FailpointPolicy::OnNthHit(2));
+  EXPECT_TRUE(GrantMemory());   // hit 1 passes
+  EXPECT_FALSE(GrantMemory());  // hit 2 denied
+  EXPECT_TRUE(GrantMemory());   // hit 3 passes again
+  EXPECT_EQ(registry().fires("memory/reserve"), 1u);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint scoped("sim_disk/read", FailpointPolicy::Always());
+    EXPECT_TRUE(FailpointRegistry::AnyArmed());
+    EXPECT_FALSE(ReadSomething().ok());
+  }
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  ASSERT_OK(ReadSomething());
+}
+
+TEST_F(FailpointTest, ConcurrentHitsAreCountedExactly) {
+  // Worker threads (the §6 simulation) hammer an armed site firing with
+  // 50% probability; the counters must not lose updates.
+  registry().Arm("sim_disk/read", FailpointPolicy::WithProbability(50, 7));
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        Status status = ReadSomething();
+        (void)status;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry().hits("sim_disk/read"),
+            static_cast<uint64_t>(kThreads) * kHitsPerThread);
+  EXPECT_GT(registry().fires("sim_disk/read"), 0u);
+  EXPECT_LT(registry().fires("sim_disk/read"),
+            static_cast<uint64_t>(kThreads) * kHitsPerThread);
+}
+
+}  // namespace
+}  // namespace reldiv

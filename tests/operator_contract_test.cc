@@ -8,8 +8,10 @@
 #include "division/division.h"
 #include "exec/database.h"
 #include "exec/filter.h"
+#include "exec/hash_join.h"
 #include "exec/materialize.h"
 #include "exec/mem_source.h"
+#include "exec/merge_join.h"
 #include "exec/project.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
@@ -304,6 +306,141 @@ TEST_F(OperatorContractTest, BatchAndTupleLanesAgreeOnEveryAlgorithm) {
     }
     db_->ctx()->set_batch_capacity(kDefaultBatchCapacity);
   }
+}
+
+/// Child probe for the Open()/Close() pairing contract: replays a fixed
+/// tuple stream, optionally fails its own Open() or the Nth Next(), and
+/// records how often each protocol entry ran so a test can assert that a
+/// parent's Close() settled every child it had opened — and only those.
+class ProbeOperator : public Operator {
+ public:
+  ProbeOperator(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  void FailOpen() { fail_open_ = true; }
+  void FailOnNthNext(size_t n) { fail_next_at_ = n; }
+  void FailClose() { fail_close_ = true; }
+
+  int opens() const { return opens_; }
+  int closes() const { return closes_; }
+
+  const Schema& output_schema() const override { return schema_; }
+
+  Status Open() override {
+    if (fail_open_) return Status::Internal("probe open failed");
+    opens_++;
+    pos_ = 0;
+    nexts_ = 0;
+    return Status::OK();
+  }
+
+  Status Next(Tuple* tuple, bool* has_next) override {
+    nexts_++;
+    if (fail_next_at_ != 0 && nexts_ >= fail_next_at_) {
+      return Status::IOError("probe next failed");
+    }
+    if (pos_ >= rows_.size()) {
+      *has_next = false;
+      return Status::OK();
+    }
+    *tuple = rows_[pos_++];
+    *has_next = true;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    closes_++;
+    if (fail_close_) return Status::IOError("probe close failed");
+    return Status::OK();
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+  size_t nexts_ = 0;
+  size_t fail_next_at_ = 0;
+  bool fail_open_ = false;
+  bool fail_close_ = false;
+  int opens_ = 0;
+  int closes_ = 0;
+};
+
+// Regression: SortOperator::Open() drains its child and closes it before
+// returning; when that drain fails mid-stream, the later Close() must still
+// settle the child instead of leaking its pins.
+TEST_F(OperatorContractTest, SortClosesChildAfterFailedOpenDrain) {
+  auto probe = std::make_unique<ProbeOperator>(
+      TwoCol(), std::vector<Tuple>{T(3, 0), T(1, 0), T(2, 0)});
+  ProbeOperator* child = probe.get();
+  child->FailOnNthNext(2);
+  SortSpec spec;
+  spec.keys = {0};
+  SortOperator sorter(db_->ctx(), std::move(probe), spec);
+  EXPECT_TRUE(sorter.Open().IsIOError());
+  EXPECT_EQ(child->opens(), 1);
+  EXPECT_EQ(child->closes(), 0);
+  ASSERT_OK(sorter.Close());
+  EXPECT_EQ(child->closes(), 1);
+  // A clean cycle afterwards must not double-close.
+  child->FailOnNthNext(0);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&sorter));
+  EXPECT_EQ(out.front(), T(1, 0));
+  EXPECT_EQ(child->opens(), 2);
+  EXPECT_EQ(child->closes(), 2);
+}
+
+// Regression: HashJoinOperator::Open() fails while draining the build side
+// (probe side not yet opened). Close() must close the build child exactly
+// once and must NOT touch the never-opened probe child.
+TEST_F(OperatorContractTest, HashJoinClosesOnlyTheChildrenItOpened) {
+  auto probe_side = std::make_unique<ProbeOperator>(
+      TwoCol(), std::vector<Tuple>{T(1, 1)});
+  auto build_side = std::make_unique<ProbeOperator>(
+      TwoCol(), std::vector<Tuple>{T(1, 1), T(2, 2)});
+  ProbeOperator* probe = probe_side.get();
+  ProbeOperator* build = build_side.get();
+  build->FailOnNthNext(2);
+  HashJoinOperator join(db_->ctx(), std::move(probe_side),
+                        std::move(build_side), {0}, {0},
+                        HashJoinMode::kLeftSemi);
+  EXPECT_TRUE(join.Open().IsIOError());
+  ASSERT_OK(join.Close());
+  EXPECT_EQ(build->opens(), 1);
+  EXPECT_EQ(build->closes(), 1);
+  EXPECT_EQ(probe->opens(), 0);
+  EXPECT_EQ(probe->closes(), 0);
+  // Recovered cycle: both children open and close exactly once.
+  build->FailOnNthNext(0);
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> out, CollectAll(&join));
+  EXPECT_EQ(out, std::vector<Tuple>{T(1, 1)});
+  EXPECT_EQ(build->closes(), 2);
+  EXPECT_EQ(probe->opens(), 1);
+  EXPECT_EQ(probe->closes(), 1);
+}
+
+// Regression: MergeJoinOperator::Close() used to skip the right child when
+// the left child's Close() failed. Both must always be attempted, with the
+// left child's (first) error propagated.
+TEST_F(OperatorContractTest, MergeJoinClosesBothChildrenEvenWhenLeftFails) {
+  auto left_side = std::make_unique<ProbeOperator>(
+      TwoCol(), std::vector<Tuple>{T(1, 0)});
+  auto right_side = std::make_unique<ProbeOperator>(
+      TwoCol(), std::vector<Tuple>{T(1, 0)});
+  ProbeOperator* left = left_side.get();
+  ProbeOperator* right = right_side.get();
+  left->FailClose();
+  MergeJoinOperator join(db_->ctx(), std::move(left_side),
+                         std::move(right_side), {0}, {0},
+                         MergeJoinMode::kLeftSemi);
+  ASSERT_OK(join.Open());
+  Tuple tuple;
+  bool has = false;
+  ASSERT_OK(join.Next(&tuple, &has));
+  ASSERT_TRUE(has);
+  EXPECT_TRUE(join.Close().IsIOError());
+  EXPECT_EQ(left->closes(), 1);
+  EXPECT_EQ(right->closes(), 1) << "right child must be closed regardless";
 }
 
 TEST_F(OperatorContractTest, EarlyOutputHashDivisionAgreesAcrossLanes) {

@@ -13,9 +13,9 @@ namespace {
 
 TEST(InterconnectTest, CountsRemoteShipmentsOnly) {
   Interconnect net(4);
-  net.Ship(0, 0, 100);  // local, free
-  net.Ship(0, 1, 100);
-  net.Ship(2, 3, 50);
+  ASSERT_OK(net.Ship(0, 0, 100));  // local, free
+  ASSERT_OK(net.Ship(0, 1, 100));
+  ASSERT_OK(net.Ship(2, 3, 50));
   EXPECT_EQ(net.messages(), 2u);
   EXPECT_EQ(net.bytes(), 150u);
   EXPECT_EQ(net.bytes_between(0, 1), 100u);
@@ -26,7 +26,7 @@ TEST(InterconnectTest, CountsRemoteShipmentsOnly) {
 
 TEST(InterconnectTest, BroadcastSkipsSelf) {
   Interconnect net(3);
-  net.Broadcast(1, 10);
+  ASSERT_OK(net.Broadcast(1, 10));
   EXPECT_EQ(net.messages(), 2u);
   EXPECT_EQ(net.bytes(), 20u);
 }

@@ -3,12 +3,15 @@
 // hash tables share the pool with frames, and every algorithm still has to
 // agree with brute force.
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "common/rng.h"
 #include "division/division.h"
 #include "exec/database.h"
 #include "gtest/gtest.h"
+#include "testing/failpoint.h"
 #include "tests/test_util.h"
 #include "workload/generator.h"
 
@@ -122,6 +125,106 @@ TEST(StressSingle, RepeatedQueriesReuseTheSameDatabase) {
   ASSERT_OK(db->buffer_manager()->FlushAll());
   ASSERT_OK(db->buffer_manager()->DropAll());
   EXPECT_EQ(db->pool()->used(), 0u);
+}
+
+// Randomized failpoint-schedule fuzzer: each iteration draws a schedule
+// (which sites, which trigger policies, which error codes) and one of the
+// seven algorithms from a seeded Rng, then demands the differential
+// contract — either the exact reference quotient (the faults were absorbed
+// by eviction, fallback, or restart) or a clean non-OK Status at the root.
+// The faults stage of tools/check_all.sh reruns this under ASan/TSan, which
+// upgrades "clean" to "no leak, no use-after-free, no race". Iteration
+// count can be raised via RELDIV_STRESS_ITERS; the seed of a failing
+// schedule is in the trace, and pinning it back reproduces the run exactly.
+TEST(FailpointFuzz, RandomSchedulesEndInExactQuotientOrCleanError) {
+  uint64_t iters = 12;
+  if (const char* env = std::getenv("RELDIV_STRESS_ITERS")) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) iters = parsed;
+  }
+
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 10;
+  spec.quotient_candidates = 60;
+  spec.candidate_completeness = 0.5;
+  spec.nonmatching_tuples = 0;  // keep the no-join aggregations valid
+  spec.dividend_duplicates = 15;
+  spec.seed = 31;
+  const GeneratedWorkload workload = GenerateWorkload(spec);
+
+  constexpr DivisionAlgorithm kAlgorithms[] = {
+      DivisionAlgorithm::kNaive,
+      DivisionAlgorithm::kSortAggregate,
+      DivisionAlgorithm::kSortAggregateWithJoin,
+      DivisionAlgorithm::kHashAggregate,
+      DivisionAlgorithm::kHashAggregateWithJoin,
+      DivisionAlgorithm::kHashDivision,
+      DivisionAlgorithm::kHashDivisionPartitioned,
+  };
+
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = 0xfa170000u + iter;
+    SCOPED_TRACE("failpoint fuzz seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                         Database::Open(DatabaseOptions{}));
+    Relation dividend, divisor;
+    ASSERT_OK(LoadWorkload(db.get(), workload, "fuzz", &dividend, &divisor));
+    // Evict the loaded pages so read faults are reachable too.
+    ASSERT_OK(db->buffer_manager()->FlushAll());
+    ASSERT_OK(db->buffer_manager()->DropAll());
+
+    const size_t num_sites =
+        sizeof(kFailpointSites) / sizeof(kFailpointSites[0]);
+    const size_t armed = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < armed; ++i) {
+      const char* site = kFailpointSites[rng.Uniform(num_sites)];
+      constexpr StatusCode kCodes[] = {StatusCode::kIOError,
+                                       StatusCode::kResourceExhausted,
+                                       StatusCode::kCorruption};
+      const StatusCode code = kCodes[rng.Uniform(3)];
+      FailpointPolicy policy;
+      switch (rng.Uniform(3)) {
+        case 0:
+          policy = FailpointPolicy::Always(code, "fuzz");
+          break;
+        case 1:
+          policy = FailpointPolicy::OnNthHit(1 + rng.Uniform(20), code,
+                                             "fuzz");
+          break;
+        default:
+          policy = FailpointPolicy::WithProbability(
+              1 + static_cast<uint32_t>(rng.Uniform(30)), rng.Next(), code,
+              "fuzz");
+          break;
+      }
+      FailpointRegistry::Global().Arm(site, policy);
+    }
+
+    const DivisionAlgorithm algorithm = kAlgorithms[rng.Uniform(7)];
+    DivisionOptions div_options;
+    div_options.eliminate_duplicates =
+        algorithm == DivisionAlgorithm::kSortAggregate ||
+        algorithm == DivisionAlgorithm::kHashAggregate ||
+        algorithm == DivisionAlgorithm::kSortAggregateWithJoin ||
+        algorithm == DivisionAlgorithm::kHashAggregateWithJoin;
+    div_options.num_partitions = 4;
+    div_options.overflow_fallback = rng.Chance(50);
+    Result<std::vector<Tuple>> result =
+        Divide(db->ctx(), DivisionQuery{dividend, divisor, {"divisor_id"}},
+               algorithm, div_options);
+    FailpointRegistry::Global().DisarmAll();
+
+    if (result.ok()) {
+      EXPECT_EQ(Sorted(result.MoveValue()), workload.expected_quotient)
+          << DivisionAlgorithmName(algorithm)
+          << ": a run that absorbs its faults must still be exact";
+    } else {
+      EXPECT_FALSE(result.status().message().empty())
+          << DivisionAlgorithmName(algorithm);
+    }
+  }
 }
 
 }  // namespace

@@ -8,6 +8,11 @@
 #                               schema drift)
 #   asan build + ctest         (address + UB sanitizers, DCHECKs forced on)
 #   tsan build + ctest         (data races in the shared-nothing layer)
+#   faults                     (the failpoint suites with the schedule
+#                               fuzzer iteration count raised, under BOTH
+#                               sanitizer builds: injected disk/memory/
+#                               network faults must recover exactly or
+#                               unwind leak- and race-free — DESIGN.md §10)
 #   tools/lint.py              (repo-specific static lints)
 #   clang-tidy                 (when installed; skipped with a notice
 #                               otherwise so the matrix stays runnable on
@@ -91,6 +96,21 @@ stage "bench smoke" bench_smoke
 if [[ "$QUICK" == "0" ]]; then
   stage "asan build+ctest" build_and_test asan
   stage "tsan build+ctest" build_and_test tsan
+
+  # Fault stage: rerun the fault-injection layer with the randomized
+  # schedule fuzzer turned up, under each sanitizer build produced above.
+  # Clean-failure claims ("no leak, no race under injected faults") are
+  # only proven when the sanitizers watch the unwinding.
+  faults() {
+    local preset rc=0
+    for preset in asan tsan; do
+      echo "-- fault suites under $preset"
+      RELDIV_STRESS_ITERS=100 ctest --preset "$preset" \
+        -R '(failpoint_test|fault_injection_test|stress_test)' || rc=1
+    done
+    return "$rc"
+  }
+  stage "faults" faults
 fi
 
 note "summary"

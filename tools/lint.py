@@ -20,6 +20,15 @@ Checks that clang-tidy cannot express (or that must run without a compiler):
                     operator and must also override `Open` and `Close`: a
                     batch-native stream carries state that Open must reset
                     and Close must release (see exec/operator.h).
+  failpoint-site    every `RELDIV_FAILPOINT("...")` /
+                    `RELDIV_FAILPOINT_DENIED("...")` site literal in src/
+                    must be listed in `kFailpointSites`
+                    (testing/failpoint.h): an unlisted site can be armed by
+                    name yet silently never fire after a typo or a rename.
+  failpoint-coverage  the files wired for fault injection (DESIGN.md §10.1)
+                    must keep their registered sites; losing one during a
+                    refactor would quietly shrink what the fault-injection
+                    suites exercise.
 
 Usage: tools/lint.py [--root DIR]
 Exit status: 0 when clean, 1 when any finding is reported.
@@ -179,20 +188,82 @@ class Linter:
                             f"{'/'.join(missing)}; batch-native operators "
                             "must manage their stream state explicitly")
 
+    # --- failpoint sites --------------------------------------------------
+
+    FAILPOINT_USE_RE = re.compile(
+        r'RELDIV_FAILPOINT(?:_DENIED)?\s*\(\s*"([^"]+)"')
+    FAILPOINT_CATALOG_RE = re.compile(
+        r"kFailpointSites\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
+
+    # The fault-injection wiring (DESIGN.md §10.1): these files must keep
+    # these sites registered.
+    FAILPOINT_COVERAGE = {
+        "src/storage/disk.cc": ("sim_disk/read", "sim_disk/write",
+                                "sim_disk/seek"),
+        "src/storage/buffer_manager.cc": ("buffer/fix",),
+        "src/storage/memory_manager.cc": ("memory/reserve",),
+        "src/storage/virtual_device.cc": ("virtual_device/append",),
+        "src/storage/record_file.cc": ("extent_file/append",),
+        "src/parallel/network.cc": ("network/send", "network/recv"),
+    }
+
+    def failpoint_catalog(self) -> set[str]:
+        header = self.root / "src" / "testing" / "failpoint.h"
+        if not header.is_file():
+            return set()
+        match = self.FAILPOINT_CATALOG_RE.search(
+            header.read_text(encoding="utf-8"))
+        if match is None:
+            self.report(header, 1, "failpoint-site",
+                        "kFailpointSites catalog not found")
+            return set()
+        return set(re.findall(r'"([^"]+)"', match.group(1)))
+
+    def lint_failpoints(self, texts: dict[Path, str]):
+        catalog = self.failpoint_catalog()
+        sites_by_file: dict[str, set[str]] = {}
+        for path, text in texts.items():
+            rel = str(path.relative_to(self.root))
+            for lineno, raw in enumerate(text.splitlines(), start=1):
+                for site in self.FAILPOINT_USE_RE.findall(raw):
+                    sites_by_file.setdefault(rel, set()).add(site)
+                    if site not in catalog:
+                        self.report(path, lineno, "failpoint-site",
+                                    f"site '{site}' is not listed in "
+                                    "kFailpointSites (testing/failpoint.h); "
+                                    "arming it by name would never fire")
+        for rel, required in self.FAILPOINT_COVERAGE.items():
+            path = self.root / rel
+            if not path.is_file():
+                self.report(path if path.exists() else self.root / rel, 1,
+                            "failpoint-coverage",
+                            f"wired file {rel} is missing")
+                continue
+            present = sites_by_file.get(rel, set())
+            for site in required:
+                if site not in present:
+                    self.report(path, 1, "failpoint-coverage",
+                                f"expected failpoint site '{site}' is no "
+                                "longer registered in this file (see "
+                                "DESIGN.md §10.1)")
+
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
         files = []
         for d in SOURCE_DIRS:
             files.extend(sorted((self.root / d).rglob("*")))
+        texts: dict[Path, str] = {}
         for path in files:
             if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
                 continue
             text = mask_block_comments(path.read_text(encoding="utf-8"))
+            texts[path] = text
             self.lint_lines(path, text)
             if path.suffix == HEADER_SUFFIX:
                 self.lint_include_guard(path, text)
                 self.lint_batch_overrides(path, text)
+        self.lint_failpoints(texts)
         for finding in self.findings:
             print(finding)
         print(f"lint.py: {len(self.findings)} finding(s)")
