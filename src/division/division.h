@@ -91,6 +91,20 @@ struct DivisionOptions {
   /// kCombined only: quotient sub-partitions within each divisor cluster
   /// (0 = same as num_partitions).
   size_t num_quotient_subpartitions = 0;
+
+  /// kHashDivision only: in-process quotient partitioning (§6 applied to
+  /// intra-node parallelism). 0 = serial (the default). When > 0 the
+  /// operator builds the divisor table once, hash-partitions the dividend
+  /// on the quotient attributes into this many fragments, and divides the
+  /// fragments concurrently on the morsel scheduler, each against a private
+  /// quotient table and the shared read-only divisor table. Correct for any
+  /// value because tuples of one quotient candidate always land in the same
+  /// fragment. The fragment decomposition — and therefore every Table 1
+  /// counter total — depends only on this count, never on how many worker
+  /// threads execute the fragments. (Totals differ from the serial plan by
+  /// the repartitioning hash per dividend tuple.) Incompatible with
+  /// early_output, whose eager emission is ordered by dividend arrival.
+  size_t parallel_fragments = 0;
 };
 
 /// A division query: dividend ÷ divisor. The dividend columns named in

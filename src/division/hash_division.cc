@@ -1,7 +1,11 @@
 #include "division/hash_division.h"
 
+#include <algorithm>
+
 #include "common/bitmap.h"
 #include "common/check.h"
+#include "exec/exchange.h"
+#include "exec/scheduler.h"
 
 namespace reldiv {
 
@@ -29,7 +33,16 @@ Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
   // and the counter must agree — the quotient bit maps are sized from it.
   RELDIV_CHECK_EQ(divisor_count_, divisor_table_->size())
       << "divisor numbering is not dense";
+  divisor_view_ = divisor_table_.get();
   return Status::OK();
+}
+
+void HashDivisionCore::BorrowDivisorTable(const HashDivisionCore& owner) {
+  RELDIV_CHECK(owner.divisor_view_ != nullptr)
+      << "borrowing from a core whose divisor table was never built";
+  divisor_view_ = owner.divisor_view_;
+  divisor_count_ = owner.divisor_count_;
+  borrowed_divisor_bytes_ = owner.memory_bytes();
 }
 
 Status HashDivisionCore::CheckBudget(const char* stage) const {
@@ -124,6 +137,7 @@ Status HashDivisionCore::BuildDivisorTableFromNumbered(
     entry->num = number;
   }
   divisor_count_ = divisor_count;
+  divisor_view_ = divisor_table_.get();
   return CheckBudget("divisor table (pre-numbered)");
 }
 
@@ -144,8 +158,10 @@ Status HashDivisionCore::ConsumeOne(const Tuple& dividend,
                                     std::vector<Tuple>* early_out,
                                     PendingCounts* pending) {
   // Figure 1, step 2: probe the divisor table on the divisor attributes.
+  // Through divisor_view_ with an explicit context: the table may be a
+  // borrowed one shared across fragments, and the probe must charge us.
   TupleHashTable::Entry* divisor_entry =
-      divisor_table_->Find(dividend, match_attrs_);
+      divisor_view_->FindCounted(ctx_, dividend, match_attrs_);
   if (divisor_entry == nullptr) {
     return Status::OK();  // immediate discard — no matching divisor tuple
   }
@@ -232,7 +248,7 @@ void HashDivisionCore::FlushCounts(const PendingCounts& pending) {
 
 Status HashDivisionCore::Consume(const Tuple& dividend,
                                  std::vector<Tuple>* early_out) {
-  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
+  if (divisor_view_ == nullptr || quotient_table_ == nullptr) {
     return Status::Internal("hash-division tables not initialized");
   }
   PendingCounts pending;
@@ -243,7 +259,7 @@ Status HashDivisionCore::Consume(const Tuple& dividend,
 
 Status HashDivisionCore::ConsumeBatch(const TupleBatch& batch,
                                       std::vector<Tuple>* early_out) {
-  if (divisor_table_ == nullptr || quotient_table_ == nullptr) {
+  if (divisor_view_ == nullptr || quotient_table_ == nullptr) {
     return Status::Internal("hash-division tables not initialized");
   }
   // The vectorized step-2 loop, staged across the batch. Pass 1 probes the
@@ -259,7 +275,7 @@ Status HashDivisionCore::ConsumeBatch(const TupleBatch& batch,
   staged_.clear();
   for (const Tuple& dividend : batch) {
     TupleHashTable::Entry* divisor_entry =
-        divisor_table_->Find(dividend, match_attrs_);
+        divisor_view_->FindCounted(ctx_, dividend, match_attrs_);
     if (divisor_entry == nullptr) {
       continue;  // immediate discard — no matching divisor tuple
     }
@@ -321,6 +337,15 @@ Status HashDivisionOperator::Open() {
   emit_pos_ = 0;
   dividend_done_ = false;
 
+  if (options_.parallel_fragments > 0) {
+    if (options_.early_output) {
+      return Status::InvalidArgument(
+          "hash-division: parallel_fragments is incompatible with "
+          "early_output (eager emission is ordered by dividend arrival)");
+    }
+    return OpenParallel();
+  }
+
   // A fresh core per Open: plans are re-openable and Close() releases the
   // previous run's table memory.
   core_ = std::make_unique<HashDivisionCore>(ctx_, match_attrs_,
@@ -343,6 +368,61 @@ Status HashDivisionOperator::Open() {
     RELDIV_RETURN_NOT_OK(dividend_->Close());
     dividend_done_ = true;
     RELDIV_RETURN_NOT_OK(core_->EmitComplete(&results_));
+  }
+  return Status::OK();
+}
+
+Status HashDivisionOperator::OpenParallel() {
+  // §6 quotient partitioning applied in-process: the divisor table is built
+  // ONCE on the query context and shared read-only; the dividend is hash-
+  // partitioned on the quotient attributes, so all tuples of one quotient
+  // candidate land in the same fragment and fragments never coordinate.
+  core_ = std::make_unique<HashDivisionCore>(ctx_, match_attrs_,
+                                             quotient_attrs_, options_);
+  RELDIV_RETURN_NOT_OK(core_->BuildDivisorTable(divisor_.get()));
+
+  const size_t fragments = options_.parallel_fragments;
+  RELDIV_ASSIGN_OR_RETURN(std::vector<std::vector<Tuple>> buckets,
+                          DrainAndHashRepartition(ctx_, dividend_.get(),
+                                                  quotient_attrs_, fragments));
+  dividend_done_ = true;  // DrainAndHashRepartition closed the input
+
+  // Fragment decomposition fixed above, independent of worker count; only
+  // the assignment of fragments to scheduler lanes varies with dop. Each
+  // fragment charges a private context, merged in fragment order below, so
+  // counter totals are reproducible at any thread count.
+  FragmentContexts fragment_ctxs(ctx_, fragments);
+  std::vector<std::vector<Tuple>> outs(fragments);
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx_->dop(), fragments), fragments, [&](size_t f) -> Status {
+        ExecContext* fctx = fragment_ctxs.fragment(f);
+        HashDivisionCore fragment_core(fctx, match_attrs_, quotient_attrs_,
+                                       options_);
+        fragment_core.BorrowDivisorTable(*core_);
+        // Size the fragment's quotient table from its own bucket — the
+        // query-wide hint would oversize every fragment F-fold.
+        uint64_t hint = buckets[f].size();
+        if (options_.expected_quotient_cardinality != 0) {
+          hint = std::min<uint64_t>(hint,
+                                    options_.expected_quotient_cardinality);
+        }
+        RELDIV_RETURN_NOT_OK(
+            fragment_core.ResetQuotientTable(hint == 0 ? 1 : hint));
+        for (const Tuple& dividend : buckets[f]) {
+          RELDIV_RETURN_NOT_OK(fragment_core.Consume(dividend, nullptr));
+        }
+        return fragment_core.EmitComplete(&outs[f]);
+      });
+  // Merge fragment counters even on failure — counters stay monotone over
+  // the work actually performed.
+  fragment_ctxs.MergeInto(ctx_);
+  RELDIV_RETURN_NOT_OK(status);
+
+  size_t total = 0;
+  for (const std::vector<Tuple>& out : outs) total += out.size();
+  results_.reserve(total);
+  for (std::vector<Tuple>& out : outs) {
+    for (Tuple& tuple : out) results_.push_back(std::move(tuple));
   }
   return Status::OK();
 }
@@ -419,6 +499,12 @@ void HashDivisionOperator::ExportGauges(GaugeList* gauges) const {
   if (options_.early_output) {
     gauges->emplace_back("early_output_hits",
                          static_cast<double>(core_->early_emits()));
+  }
+  if (options_.parallel_fragments > 0) {
+    // Fragment-local quotient tables are gone by now; the shared divisor
+    // table and the fragment count are what remain observable.
+    gauges->emplace_back("parallel_fragments",
+                         static_cast<double>(options_.parallel_fragments));
   }
 }
 

@@ -43,6 +43,17 @@ class HashDivisionCore {
       const std::vector<std::pair<Tuple, uint64_t>>& numbered,
       uint64_t divisor_count);
 
+  /// Shares `owner`'s already-built divisor table (and its dense numbering)
+  /// instead of building one: the §6 quotient-partitioning form in-process,
+  /// where parallel fragments probe one read-only divisor table. The owner
+  /// must outlive this core and must not mutate the table while it is
+  /// borrowed. Probes through a borrowed table charge THIS core's context,
+  /// so concurrent fragments never race on cost counters. A borrowing
+  /// core's memory_bytes() adds a snapshot of the shared table's footprint
+  /// to its own quotient table, so hash_memory_bytes budget checks (the
+  /// §3.4 overflow trigger) fire exactly where the serial plan's would.
+  void BorrowDivisorTable(const HashDivisionCore& owner);
+
   /// Prepares an empty quotient table (step 2 state). May be called again
   /// to start a new phase; the previous table's memory is released.
   Status ResetQuotientTable(uint64_t expected_cardinality = 0);
@@ -68,7 +79,7 @@ class HashDivisionCore {
     return quotient_table_ == nullptr ? 0 : quotient_table_->size();
   }
   size_t memory_bytes() const {
-    return divisor_arena_.bytes_allocated() +
+    return divisor_arena_.bytes_allocated() + borrowed_divisor_bytes_ +
            (quotient_arena_ == nullptr ? 0
                                        : quotient_arena_->bytes_allocated());
   }
@@ -124,6 +135,14 @@ class HashDivisionCore {
   std::unique_ptr<Arena> quotient_arena_;
   std::unique_ptr<TupleHashTable> divisor_table_;
   std::unique_ptr<TupleHashTable> quotient_table_;
+  /// The table probed in step 2: divisor_table_.get() after a build, or the
+  /// owner's table after BorrowDivisorTable. All probes go through the
+  /// counted-context overloads so a shared table charges the prober.
+  const TupleHashTable* divisor_view_ = nullptr;
+  /// Footprint of a borrowed divisor table at borrow time (the owner's
+  /// table no longer grows then), counted into memory_bytes() so budget
+  /// checks match the owning/serial plan's.
+  size_t borrowed_divisor_bytes_ = 0;
   uint64_t divisor_count_ = 0;
   uint64_t bits_set_ = 0;
   uint64_t early_emits_ = 0;
@@ -167,6 +186,12 @@ class HashDivisionOperator : public Operator {
   void ExportGauges(GaugeList* gauges) const override;
 
  private:
+  /// The DivisionOptions::parallel_fragments path: divisor table built once,
+  /// dividend hash-repartitioned on the quotient attributes, fragments
+  /// divided concurrently with private quotient tables, results concatenated
+  /// in fragment order (deterministic output for any worker count).
+  Status OpenParallel();
+
   ExecContext* ctx_;
   std::unique_ptr<Operator> dividend_;
   std::unique_ptr<Operator> divisor_;

@@ -6,8 +6,10 @@
 #include "common/hash.h"
 #include "common/row_codec.h"
 #include "division/hash_division.h"
+#include "exec/exchange.h"
 #include "exec/mem_source.h"
 #include "exec/scan.h"
+#include "exec/scheduler.h"
 #include "storage/record_file.h"
 
 namespace reldiv {
@@ -176,7 +178,9 @@ PartitionedHashDivisionOperator::PartitionedHashDivisionOperator(
 PartitionedHashDivisionOperator::~PartitionedHashDivisionOperator() = default;
 
 Status PartitionedHashDivisionOperator::DivideQuotientCluster(
-    HashDivisionCore* core, RecordFile* cluster, size_t depth) {
+    ExecContext* ctx, HashDivisionCore* core, RecordFile* cluster,
+    size_t depth, const std::string& label, std::vector<Tuple>* out,
+    size_t* phases, size_t* repartitions, bool allow_repartition) {
   Relation rel{resolved_.dividend.schema, cluster};
   // The cluster's record count bounds its quotient candidates, and the
   // planner hint (when present) bounds the total; the smaller wins.
@@ -185,33 +189,36 @@ Status PartitionedHashDivisionOperator::DivideQuotientCluster(
     hint = std::min<uint64_t>(hint, options_.expected_quotient_cardinality);
   }
   Status status = core->ResetQuotientTable(hint == 0 ? 1 : hint);
-  if (status.ok()) status = ConsumeScan(ctx_, core, rel);
+  if (status.ok()) status = ConsumeScan(ctx, core, rel);
   if (status.ok()) {
-    RELDIV_RETURN_NOT_OK(core->EmitComplete(&results_));
-    phases_run_++;
+    RELDIV_RETURN_NOT_OK(core->EmitComplete(out));
+    ++*phases;
     return Status::OK();
   }
-  if (status.code() != StatusCode::kResourceExhausted ||
+  if (!allow_repartition || status.code() != StatusCode::kResourceExhausted ||
       depth >= kMaxRepartitionDepth || cluster->num_records() <= 1) {
-    return status;  // not recoverable by splitting
+    return status;  // not recoverable by splitting (or splitting disallowed)
   }
   // The quotient table outgrew the budget mid-phase: split the cluster in
   // two with a depth-salted hash and divide each half in its own phase.
   // Splitting on the quotient attrs keeps every candidate's dividend
   // tuples together, so per-half quotients concatenate correctly.
-  repartitions_++;
+  ++*repartitions;
   RELDIV_ASSIGN_OR_RETURN(
       auto halves,
       PartitionRelation(
-          ctx_, rel,
+          ctx, rel,
           ClusterAssigner::Hash(resolved_.quotient_attrs, 2,
                                 /*salt=*/depth + 1),
           2,
-          "quotient-repart-d" + std::to_string(depth + 1) + "-" +
-              std::to_string(repartitions_)));
+          label + "-repart-d" + std::to_string(depth + 1) + "-" +
+              std::to_string(*repartitions)));
   for (auto& half : halves) {
     if (half->num_records() == 0) continue;
-    RELDIV_RETURN_NOT_OK(DivideQuotientCluster(core, half.get(), depth + 1));
+    RELDIV_RETURN_NOT_OK(DivideQuotientCluster(ctx, core, half.get(),
+                                               depth + 1, label, out, phases,
+                                               repartitions,
+                                               allow_repartition));
   }
   return Status::OK();
 }
@@ -245,10 +252,71 @@ Status PartitionedHashDivisionOperator::RunQuotientPartitioned() {
   ScanOperator divisor_scan(ctx_, resolved_.divisor);
   RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
 
-  for (auto& cluster : clusters) {
-    // The quotient of the whole division is the concatenation of the
-    // per-phase quotients; an overflowing cluster is split recursively.
-    RELDIV_RETURN_NOT_OK(DivideQuotientCluster(&core, cluster.get(), 0));
+  // One morsel per cluster: each fragment divides its cluster with a private
+  // core borrowing the resident divisor table, charging a private context.
+  // The cluster decomposition above never depends on the worker count, and
+  // the order-merged results/counters below reproduce the serial loop
+  // exactly — this same code path IS the serial plan at dop 1.
+  const size_t num_clusters = clusters.size();
+  FragmentContexts fragment_ctxs(ctx_, num_clusters);
+  std::vector<std::vector<Tuple>> outs(num_clusters);
+  std::vector<size_t> phases(num_clusters, 0);
+  std::vector<size_t> repartitions(num_clusters, 0);
+  std::vector<char> deferred(num_clusters, 0);
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx_->dop(), num_clusters), num_clusters,
+      [&](size_t c) -> Status {
+        ExecContext* fctx = fragment_ctxs.fragment(c);
+        HashDivisionCore cluster_core(fctx, resolved_.match_attrs,
+                                      resolved_.quotient_attrs, core_options);
+        cluster_core.BorrowDivisorTable(core);
+        // The quotient of the whole division is the concatenation of the
+        // per-phase quotients. Overflow recovery is NOT attempted here:
+        // concurrent clusters share the memory budget, so an in-region
+        // ResourceExhausted may be an artifact of the schedule. Discard the
+        // attempt completely — counters, sub-page Move residue, partial
+        // output — and defer the cluster to the serial rerun below, which
+        // sees the whole budget. A cluster that fits alone then contributes
+        // its plain build counters at every worker count, and one that
+        // genuinely overflows recovers identically at every worker count.
+        Status cluster_status = DivideQuotientCluster(
+            fctx, &cluster_core, clusters[c].get(), 0,
+            "quotient-part-c" + std::to_string(c), &outs[c], &phases[c],
+            &repartitions[c], /*allow_repartition=*/false);
+        if (cluster_status.code() == StatusCode::kResourceExhausted) {
+          *fctx->counters() = CpuCounters{};
+          fctx->ResetMoveAccumulator();
+          outs[c].clear();
+          phases[c] = 0;
+          repartitions[c] = 0;
+          deferred[c] = 1;
+          return Status::OK();
+        }
+        return cluster_status;
+      });
+  fragment_ctxs.MergeInto(ctx_);
+  RELDIV_RETURN_NOT_OK(status);
+  // Deferred clusters rerun one at a time on the parent context with the
+  // full budget and the recursive splitter enabled; a cluster that STILL
+  // overflows propagates ResourceExhausted so Open() can escalate.
+  Status rerun_status;
+  for (size_t c = 0; c < num_clusters && rerun_status.ok(); ++c) {
+    if (!deferred[c]) continue;
+    HashDivisionCore cluster_core(ctx_, resolved_.match_attrs,
+                                  resolved_.quotient_attrs, core_options);
+    cluster_core.BorrowDivisorTable(core);
+    rerun_status = DivideQuotientCluster(
+        ctx_, &cluster_core, clusters[c].get(), 0,
+        "quotient-part-c" + std::to_string(c), &outs[c], &phases[c],
+        &repartitions[c], /*allow_repartition=*/true);
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    phases_run_ += phases[c];
+    repartitions_ += repartitions[c];
+  }
+  RELDIV_RETURN_NOT_OK(rerun_status);
+  for (std::vector<Tuple>& out : outs) {
+    for (Tuple& tuple : out) results_.push_back(std::move(tuple));
   }
   return Status::OK();
 }
@@ -290,35 +358,75 @@ Status PartitionedHashDivisionOperator::RunDivisorPartitioned(
   RecordFile tagged_store(ctx_->disk(), ctx_->buffer_manager(),
                           "quotient-clusters");
 
+  // Phases whose divisor cluster is empty constrain nothing (their for-all
+  // condition is vacuous) and must not appear in the collection divisor.
   std::vector<int64_t> participating;
-  std::string buffer;
   for (size_t p = 0; p < num_partitions; ++p) {
-    if (divisor_clusters[p]->num_records() == 0) {
-      // Empty divisor cluster: the for-all condition over it is vacuous, so
-      // the phase constrains nothing and must not appear in the collection
-      // divisor.
-      continue;
+    if (divisor_clusters[p]->num_records() != 0) {
+      participating.push_back(static_cast<int64_t>(p));
     }
-    participating.push_back(static_cast<int64_t>(p));
-    phases_run_++;
+  }
 
+  // One morsel per participating phase: each phase's divisor cluster is
+  // private, so fragments share nothing but the (thread-safe) storage
+  // layer. Tagging and spooling happen serially afterwards, in phase
+  // order, so the tagged file's contents match the serial loop's.
+  const size_t num_phases = participating.size();
+  phases_run_ += num_phases;
+  FragmentContexts fragment_ctxs(ctx_, num_phases);
+  std::vector<std::vector<Tuple>> phase_quotients(num_phases);
+  std::vector<char> deferred(num_phases, 0);
+  // One phase's whole body, runnable on a fragment context (in-region) or
+  // on the parent context (serial rerun of a deferred phase).
+  auto run_phase = [&](size_t i, ExecContext* ectx) -> Status {
+    const size_t p = static_cast<size_t>(participating[i]);
     DivisionOptions phase_options = options_;
     phase_options.early_output = false;
-    HashDivisionCore core(ctx_, resolved_.match_attrs,
+    HashDivisionCore core(ectx, resolved_.match_attrs,
                           resolved_.quotient_attrs, phase_options);
     Relation divisor_rel{resolved_.divisor.schema, divisor_clusters[p].get()};
-    ScanOperator divisor_scan(ctx_, divisor_rel);
+    ScanOperator divisor_scan(ectx, divisor_rel);
     RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
     RELDIV_RETURN_NOT_OK(core.ResetQuotientTable());
 
     Relation dividend_rel{resolved_.dividend.schema,
                           dividend_clusters[p].get()};
-    RELDIV_RETURN_NOT_OK(ConsumeScan(ctx_, &core, dividend_rel));
+    RELDIV_RETURN_NOT_OK(ConsumeScan(ectx, &core, dividend_rel));
+    return core.EmitComplete(&phase_quotients[i]);
+  };
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx_->dop(), num_phases), num_phases,
+      [&](size_t i) -> Status {
+        ExecContext* fctx = fragment_ctxs.fragment(i);
+        Status phase_status = run_phase(i, fctx);
+        if (phase_status.code() == StatusCode::kResourceExhausted) {
+          // Concurrent phases share the memory budget, so this overflow may
+          // be an artifact of the schedule. Discard the attempt completely
+          // (counters, Move residue, partial output) and defer the phase to
+          // the serial rerun below, which sees the whole budget — so the
+          // worker count never changes what gets charged or what fails.
+          *fctx->counters() = CpuCounters{};
+          fctx->ResetMoveAccumulator();
+          phase_quotients[i].clear();
+          deferred[i] = 1;
+          return Status::OK();
+        }
+        return phase_status;
+      });
+  fragment_ctxs.MergeInto(ctx_);
+  RELDIV_RETURN_NOT_OK(status);
+  // Deferred phases rerun one at a time with the full budget; a phase that
+  // STILL overflows propagates ResourceExhausted so Open() can restart with
+  // more partitions.
+  for (size_t i = 0; i < num_phases; ++i) {
+    if (!deferred[i]) continue;
+    RELDIV_RETURN_NOT_OK(run_phase(i, ctx_));
+  }
 
-    std::vector<Tuple> phase_quotient;
-    RELDIV_RETURN_NOT_OK(core.EmitComplete(&phase_quotient));
-    for (Tuple& q : phase_quotient) {
-      q.Append(Value::Int64(static_cast<int64_t>(p)));
+  std::string buffer;
+  for (size_t i = 0; i < num_phases; ++i) {
+    for (Tuple& q : phase_quotients[i]) {
+      q.Append(Value::Int64(participating[i]));
       buffer.clear();
       RELDIV_RETURN_NOT_OK(tagged_codec.Encode(q, &buffer));
       RELDIV_ASSIGN_OR_RETURN(Rid rid, tagged_store.Append(Slice(buffer)));
@@ -392,46 +500,95 @@ Status PartitionedHashDivisionOperator::RunCombined(size_t divisor_parts) {
                           "combined-quotient-clusters");
 
   std::vector<int64_t> participating;
-  std::string buffer;
   for (size_t p = 0; p < divisor_parts; ++p) {
-    if (divisor_clusters[p]->num_records() == 0) continue;
-    participating.push_back(static_cast<int64_t>(p));
+    if (divisor_clusters[p]->num_records() != 0) {
+      participating.push_back(static_cast<int64_t>(p));
+    }
+  }
 
+  // One morsel per participating divisor cluster: each fragment builds that
+  // cluster's divisor table, quotient-partitions its dividend, and divides
+  // the sub-clusters through the recursive splitter (an inner overflow
+  // repartitions just that sub-cluster instead of failing the phase).
+  // Tagging and spooling happen serially afterwards, in phase order.
+  const size_t num_phases = participating.size();
+  FragmentContexts fragment_ctxs(ctx_, num_phases);
+  std::vector<std::vector<Tuple>> phase_quotients(num_phases);
+  std::vector<size_t> phases(num_phases, 0);
+  std::vector<size_t> repartitions(num_phases, 0);
+  std::vector<char> deferred(num_phases, 0);
+  // One divisor-cluster phase, runnable on a fragment context (in-region,
+  // no recovery) or on the parent context (serial rerun with the recursive
+  // splitter enabled).
+  auto run_phase = [&](size_t i, ExecContext* ectx,
+                       bool allow_repartition) -> Status {
+    const size_t p = static_cast<size_t>(participating[i]);
     DivisionOptions phase_options = options_;
     phase_options.early_output = false;
-    HashDivisionCore core(ctx_, resolved_.match_attrs,
+    HashDivisionCore core(ectx, resolved_.match_attrs,
                           resolved_.quotient_attrs, phase_options);
     Relation divisor_rel{resolved_.divisor.schema, divisor_clusters[p].get()};
-    ScanOperator divisor_scan(ctx_, divisor_rel);
+    ScanOperator divisor_scan(ectx, divisor_rel);
     RELDIV_RETURN_NOT_OK(core.BuildDivisorTable(&divisor_scan));
 
-    // Inner quotient partitioning of this cluster's dividend. Each
-    // sub-cluster is divided through the recursive splitter, so an inner
-    // overflow repartitions just that sub-cluster instead of failing the
-    // phase.
     Relation dividend_rel{resolved_.dividend.schema,
                           dividend_clusters[p].get()};
     RELDIV_ASSIGN_OR_RETURN(
         auto sub_clusters,
         PartitionRelation(
-            ctx_, dividend_rel,
+            ectx, dividend_rel,
             ClusterAssigner::Hash(resolved_.quotient_attrs, quotient_parts),
             quotient_parts, "combined-r" + std::to_string(p)));
-    const size_t emitted_before = results_.size();
     for (auto& sub : sub_clusters) {
-      RELDIV_RETURN_NOT_OK(DivideQuotientCluster(&core, sub.get(), 0));
+      RELDIV_RETURN_NOT_OK(DivideQuotientCluster(
+          ectx, &core, sub.get(), 0, "combined-r" + std::to_string(p),
+          &phase_quotients[i], &phases[i], &repartitions[i],
+          allow_repartition));
     }
-    // DivideQuotientCluster appended this phase's quotient to results_;
-    // move it out, tag it, and spool it for the collection phase.
-    for (size_t i = emitted_before; i < results_.size(); ++i) {
-      Tuple q = std::move(results_[i]);
-      q.Append(Value::Int64(static_cast<int64_t>(p)));
+    return Status::OK();
+  };
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx_->dop(), num_phases), num_phases,
+      [&](size_t i) -> Status {
+        ExecContext* fctx = fragment_ctxs.fragment(i);
+        Status phase_status = run_phase(i, fctx, /*allow_repartition=*/false);
+        if (phase_status.code() == StatusCode::kResourceExhausted) {
+          // See RunQuotientPartitioned: an overflow under concurrent
+          // siblings may be an artifact of the schedule, so the attempt is
+          // discarded wholesale and the phase deferred to the serial rerun,
+          // which alone decides between recovery and restart.
+          *fctx->counters() = CpuCounters{};
+          fctx->ResetMoveAccumulator();
+          phase_quotients[i].clear();
+          phases[i] = 0;
+          repartitions[i] = 0;
+          deferred[i] = 1;
+          return Status::OK();
+        }
+        return phase_status;
+      });
+  fragment_ctxs.MergeInto(ctx_);
+  RELDIV_RETURN_NOT_OK(status);
+  Status rerun_status;
+  for (size_t i = 0; i < num_phases && rerun_status.ok(); ++i) {
+    if (!deferred[i]) continue;
+    rerun_status = run_phase(i, ctx_, /*allow_repartition=*/true);
+  }
+  for (size_t i = 0; i < num_phases; ++i) {
+    phases_run_ += phases[i];
+    repartitions_ += repartitions[i];
+  }
+  RELDIV_RETURN_NOT_OK(rerun_status);
+
+  std::string buffer;
+  for (size_t i = 0; i < num_phases; ++i) {
+    for (Tuple& q : phase_quotients[i]) {
+      q.Append(Value::Int64(participating[i]));
       buffer.clear();
       RELDIV_RETURN_NOT_OK(tagged_codec.Encode(q, &buffer));
       RELDIV_ASSIGN_OR_RETURN(Rid rid, tagged_store.Append(Slice(buffer)));
       (void)rid;
     }
-    results_.resize(emitted_before);
   }
 
   if (participating.empty()) return Status::OK();

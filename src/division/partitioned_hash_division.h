@@ -2,6 +2,7 @@
 #define RELDIV_DIVISION_PARTITIONED_HASH_DIVISION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "division/division.h"
@@ -46,6 +47,18 @@ class RecordFile;
 ///    halve in expectation each restart.
 /// Only ResourceExhausted triggers recovery; any other failure (an I/O
 /// fault, a corrupt page) propagates unchanged.
+///
+/// Intra-node parallelism: the per-cluster (quotient strategy) and per-phase
+/// (divisor/combined strategies) loops run as morsels on the TaskScheduler,
+/// one fragment per cluster/phase with a private ExecContext and
+/// HashDivisionCore; quotient-strategy fragments borrow the one resident
+/// divisor table read-only. The decomposition is the §3.4 partitioning
+/// itself — fixed by num_partitions, never by worker count — and results
+/// and counters are merged in cluster/phase order, so the quotient and all
+/// Table 1 CPU counter totals of a SUCCESSFUL run are identical at any
+/// RELDIV_THREADS. (When a run fails and restarts, the counted work of the
+/// failed attempt depends on which fragments progressed before the error
+/// won — only successful attempts are counter-reproducible.)
 class PartitionedHashDivisionOperator : public Operator {
  public:
   PartitionedHashDivisionOperator(ExecContext* ctx,
@@ -83,12 +96,25 @@ class PartitionedHashDivisionOperator : public Operator {
   Status RunDivisorPartitioned(size_t num_partitions);
   Status RunCombined(size_t divisor_parts);
 
-  /// Divides one dividend cluster against the resident divisor table,
-  /// recursively splitting the cluster when its quotient table overflows
-  /// the memory budget (quotient strategy only). `depth` salts the split
-  /// hash so a re-split does not reproduce the parent partitioning.
-  Status DivideQuotientCluster(HashDivisionCore* core, RecordFile* cluster,
-                               size_t depth);
+  /// Divides one dividend cluster against `core`'s (possibly borrowed)
+  /// divisor table, recursively splitting the cluster when its quotient
+  /// table overflows the memory budget. `depth` salts the split hash so a
+  /// re-split does not reproduce the parent partitioning. All work is
+  /// charged to `ctx` and all output goes to the explicit sinks, so the
+  /// same code serves the serial path and one parallel fragment: quotient
+  /// tuples append to `out`, phase/split tallies to `phases`/`repartitions`
+  /// (folded into the operator gauges by the caller). `label` prefixes the
+  /// temporary spill files of recursive splits — it must be unique per
+  /// concurrent caller. With `allow_repartition` false the first overflow
+  /// surfaces as ResourceExhausted instead of splitting: parallel fragments
+  /// run in that mode, because an overflow under concurrent siblings may be
+  /// an artifact of the schedule, and recovery decisions must not depend on
+  /// the worker count — the caller defers the cluster and reruns it alone.
+  Status DivideQuotientCluster(ExecContext* ctx, HashDivisionCore* core,
+                               RecordFile* cluster, size_t depth,
+                               const std::string& label,
+                               std::vector<Tuple>* out, size_t* phases,
+                               size_t* repartitions, bool allow_repartition);
 
   ExecContext* ctx_;
   ResolvedDivision resolved_;

@@ -1,5 +1,6 @@
 #include "exec/exec_context.h"
 
+#include "exec/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -10,7 +11,8 @@ ExecContext::ExecContext(SimDisk* disk, BufferManager* buffer_manager,
     : disk_(disk),
       buffer_manager_(buffer_manager),
       pool_(pool),
-      counters_(counters) {}
+      counters_(counters),
+      dop_(TaskScheduler::DefaultDop()) {}
 
 ExecContext::~ExecContext() = default;
 

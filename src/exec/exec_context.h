@@ -52,6 +52,15 @@ class ExecContext {
     batch_capacity_ = capacity == 0 ? 1 : capacity;
   }
 
+  /// Degree of intra-node parallelism available to dop-aware operators
+  /// (parallel sort run formation, concurrent division clusters, exchange
+  /// fragments). Defaults to TaskScheduler::DefaultDop(), i.e. the
+  /// RELDIV_THREADS environment variable or 1. Operators must keep quotients
+  /// and Table 1 counter totals bit-identical across dop values — only
+  /// thread assignment may vary (see exec/scheduler.h).
+  size_t dop() const { return dop_; }
+  void set_dop(size_t dop) { dop_ = dop == 0 ? 1 : dop; }
+
   /// Debug switch: when on, plan builders wrap the operators they hand out
   /// in a ContractCheckOperator (exec/contract_check.h) that validates the
   /// open-next-close protocol at runtime and fails the query with an
@@ -97,6 +106,12 @@ class ExecContext {
   /// deltas regardless of what executed earlier on this context.
   void ResetMoveAccumulator() const { move_accumulator_ = 0; }
 
+  /// The sub-page Move remainder currently carried. Parallel sections run
+  /// each fragment on its own context and fold the fragments' remainders
+  /// back into the parent IN FRAGMENT ORDER (FragmentContexts::MergeInto),
+  /// which reproduces the serial cumulative fold exactly.
+  uint64_t move_remainder_bytes() const { return move_accumulator_; }
+
  private:
   SimDisk* disk_;
   BufferManager* buffer_manager_;
@@ -105,6 +120,7 @@ class ExecContext {
   size_t sort_space_bytes_ = kDefaultSortSpaceBytes;
   size_t hash_memory_bytes_ = 0;
   size_t batch_capacity_ = kDefaultBatchCapacity;
+  size_t dop_;  // initialized in the constructor from RELDIV_THREADS
   bool contract_checks_ = false;
   bool profiling_ = false;
   std::unique_ptr<QueryProfile> profile_;

@@ -60,13 +60,24 @@ class TupleHashTable {
   /// element inspected. Inline: one probe per dividend tuple.
   Entry* Find(const Tuple& probe,
               const std::vector<size_t>& probe_indices) const {
-    const uint64_t hash = HashKey(probe, probe_indices);
+    return FindCounted(ctx_, probe, probe_indices);
+  }
+
+  /// Find with the Table 1 accounting charged to `ctx` instead of the
+  /// table's own context — the shared-table probe path: when parallel
+  /// fragments probe one read-only divisor table (§6 quotient partitioning
+  /// in-process), each fragment counts on its private context, so
+  /// concurrent probes never race on counters. The table itself must not
+  /// be mutated while shared.
+  Entry* FindCounted(ExecContext* ctx, const Tuple& probe,
+                     const std::vector<size_t>& probe_indices) const {
+    const uint64_t hash = HashKeyCounted(ctx, probe, probe_indices);
     for (Entry* e = buckets_[hash % buckets_.size()]; e != nullptr;
          e = e->next) {
       // One counted Comp per chain element inspected, exactly as in the
       // paper's model; the memoized hash only short-circuits the physical
       // tuple comparison.
-      ctx_->CountComparisons(1);
+      ctx->CountComparisons(1);
       if (e->hash == hash && KeysEqualUncounted(probe, probe_indices, *e->tuple)) {
         return e;
       }
@@ -103,6 +114,12 @@ class TupleHashTable {
   uint64_t ProbeHash(const Tuple& probe,
                      const std::vector<size_t>& probe_indices) const {
     return HashKey(probe, probe_indices);
+  }
+
+  /// ProbeHash charging `ctx` (shared-table probe path, see FindCounted).
+  uint64_t ProbeHashCounted(ExecContext* ctx, const Tuple& probe,
+                            const std::vector<size_t>& probe_indices) const {
+    return HashKeyCounted(ctx, probe, probe_indices);
   }
 
   /// Prefetch hint for the bucket-head slot of `hash`. No cost accounting:
@@ -167,7 +184,12 @@ class TupleHashTable {
  private:
   uint64_t HashKey(const Tuple& tuple,
                    const std::vector<size_t>& indices) const {
-    ctx_->CountHashes(1);
+    return HashKeyCounted(ctx_, tuple, indices);
+  }
+
+  static uint64_t HashKeyCounted(ExecContext* ctx, const Tuple& tuple,
+                                 const std::vector<size_t>& indices) {
+    ctx->CountHashes(1);
     return tuple.HashAt(indices);
   }
 

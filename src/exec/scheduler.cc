@@ -1,0 +1,222 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace reldiv {
+
+namespace {
+
+/// Lane of the active region on this thread; 0 outside any region so that
+/// serial code, the region caller, and non-pool threads all report lane 0.
+thread_local size_t tls_lane = 0;
+/// Distinguishes "lane 0 because caller" from "lane 0 because no region":
+/// nested ParallelFor calls detect the region through this flag, not the
+/// lane number.
+thread_local bool tls_in_region = false;
+
+}  // namespace
+
+TaskScheduler& TaskScheduler::Global() {
+  static TaskScheduler scheduler;
+  return scheduler;
+}
+
+size_t TaskScheduler::DefaultDop() {
+  static const size_t dop = [] {
+    const char* env = std::getenv("RELDIV_THREADS");
+    if (env == nullptr || *env == '\0') return size_t{1};
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || parsed < 1) return size_t{1};
+    return std::min(static_cast<size_t>(parsed), kMaxLanes);
+  }();
+  return dop;
+}
+
+size_t TaskScheduler::CurrentLane() { return tls_lane; }
+
+bool TaskScheduler::InParallelRegion() { return tls_in_region; }
+
+TaskScheduler::TaskScheduler() = default;
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t TaskScheduler::num_workers() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return workers_.size();
+}
+
+void TaskScheduler::EnsureWorkers(size_t want) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  want = std::min(want, kMaxLanes - 1);
+  while (workers_.size() < want) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
+                                  const MorselFn& fn) {
+  if (num_morsels == 0) return Status::OK();
+  dop = std::min(dop, std::min(num_morsels, kMaxLanes));
+  if (dop <= 1 || tls_in_region) {
+    // Deterministic serial fallback; nested regions run inline on the
+    // caller's lane (see class comment).
+    for (size_t m = 0; m < num_morsels; ++m) {
+      RELDIV_RETURN_NOT_OK(fn(m));
+    }
+    return Status::OK();
+  }
+
+  EnsureWorkers(dop - 1);
+
+  // One top-level region at a time.
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+
+  Region region;
+  region.fn = &fn;
+  region.dop = dop;
+  region.lanes.reserve(dop);
+  for (size_t lane = 0; lane < dop; ++lane) {
+    region.lanes.push_back(std::make_unique<LaneQueue>());
+  }
+  // Round-robin placement: morsel m starts on lane m % dop, so every lane
+  // gets an even share before any stealing happens.
+  for (size_t m = 0; m < num_morsels; ++m) {
+    region.lanes[m % dop]->morsels.push_back(m);
+  }
+  region.remaining.store(num_morsels, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    current_ = &region;
+    ++region_seq_;
+  }
+  pool_cv_.notify_all();
+
+  // The caller works too: lane 0.
+  RunLane(&region, 0);
+
+  // Retire the region from the pool BEFORE waiting: lane claims happen
+  // under pool_mu_, so after this block no late-waking worker can claim a
+  // lane (and bump active_workers) behind the wait below.
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    current_ = nullptr;
+  }
+
+  std::unique_lock<std::mutex> lock(region.mu);
+  region.done_cv.wait(lock, [&region] {
+    return region.remaining.load(std::memory_order_acquire) == 0 &&
+           region.active_workers.load(std::memory_order_acquire) == 0;
+  });
+  return region.first_error;
+}
+
+void TaskScheduler::WorkerLoop() {
+  uint64_t served_seq = 0;
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  while (true) {
+    pool_cv_.wait(lock, [this, served_seq] {
+      return stop_ || (current_ != nullptr && region_seq_ != served_seq);
+    });
+    if (stop_) return;
+    Region* region = current_;
+    served_seq = region_seq_;
+    const size_t lane = region->next_lane.fetch_add(1);
+    if (lane >= region->dop) continue;  // region needs fewer lanes than pool
+    // active_workers rises before pool_mu_ drops, so the region cannot be
+    // retired while this worker holds a pointer to it.
+    region->active_workers.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+
+    RunLane(region, lane);
+
+    {
+      // The notify happens under region->mu: the instant active_workers
+      // hits 0 the caller may destroy the stack-allocated Region, so this
+      // worker must not touch it after releasing the mutex. The waiter can
+      // only re-check its predicate once the mutex is free, i.e. after the
+      // last region access here.
+      std::lock_guard<std::mutex> done_lock(region->mu);
+      region->active_workers.fetch_sub(1, std::memory_order_acq_rel);
+      region->done_cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+void TaskScheduler::RunLane(Region* region, size_t lane) {
+  const size_t saved_lane = tls_lane;
+  const bool saved_in_region = tls_in_region;
+  tls_lane = lane;
+  tls_in_region = true;
+
+  // Own lane first, front-to-back (sequential morsel order).
+  LaneQueue* own = region->lanes[lane].get();
+  while (true) {
+    size_t morsel = 0;
+    {
+      std::lock_guard<std::mutex> lock(own->mu);
+      if (own->morsels.empty()) break;
+      morsel = own->morsels.front();
+      own->morsels.pop_front();
+    }
+    ExecuteMorsel(region, morsel);
+  }
+  // Then steal from the other lanes, back-to-front, until everything is
+  // drained.
+  while (region->remaining.load(std::memory_order_acquire) > 0) {
+    bool stole = false;
+    for (size_t i = 1; i < region->dop; ++i) {
+      LaneQueue* victim = region->lanes[(lane + i) % region->dop].get();
+      size_t morsel = 0;
+      {
+        std::lock_guard<std::mutex> lock(victim->mu);
+        if (victim->morsels.empty()) continue;
+        morsel = victim->morsels.back();
+        victim->morsels.pop_back();
+      }
+      stole = true;
+      ExecuteMorsel(region, morsel);
+      break;
+    }
+    // Nothing left to steal: the still-remaining morsels are in flight on
+    // other lanes; this lane is finished.
+    if (!stole) break;
+  }
+
+  tls_lane = saved_lane;
+  tls_in_region = saved_in_region;
+}
+
+void TaskScheduler::ExecuteMorsel(Region* region, size_t morsel) {
+  if (!region->failed.load(std::memory_order_acquire)) {
+    Status status = (*region->fn)(morsel);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(region->mu);
+      if (region->first_error.ok()) {
+        region->first_error = std::move(status);
+      }
+      region->failed.store(true, std::memory_order_release);
+    }
+  }
+  // After a failure the remaining morsels drain without running.
+  if (region->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify under region->mu so the last retirement cannot slip between
+    // the caller's predicate check and its wait (and so a worker retiring
+    // the final morsel never touches the Region after the caller could
+    // have destroyed it — see WorkerLoop).
+    std::lock_guard<std::mutex> lock(region->mu);
+    region->done_cv.notify_all();
+  }
+}
+
+}  // namespace reldiv

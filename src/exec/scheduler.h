@@ -1,0 +1,143 @@
+#ifndef RELDIV_EXEC_SCHEDULER_H_
+#define RELDIV_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reldiv {
+
+/// Morsel-driven intra-node task scheduler (Leis et al.; Volcano exchange
+/// model). One shared pool of worker threads executes "morsels" — small,
+/// numbered units of work, typically one TupleBatch-sized fragment of a
+/// pipeline — handed out through per-lane work-stealing deques.
+///
+/// Determinism contract. Parallel operators in this codebase must produce
+/// bit-identical quotients and Table 1 counter totals at every worker count
+/// (lane equivalence across RELDIV_THREADS=1,4,8). The scheduler supports
+/// that by guaranteeing only *assignment* varies with the thread count:
+///
+///   - morsel DECOMPOSITION is the caller's (it passes `num_morsels`; the
+///     scheduler never splits or merges morsels);
+///   - every morsel runs exactly once;
+///   - `ParallelFor(dop <= 1, ...)` degenerates to an in-order serial loop
+///     on the calling thread — the deterministic fallback used by tests and
+///     by every build where RELDIV_THREADS is unset.
+///
+/// Callers keep per-morsel state (counters, contexts, output buffers) and
+/// merge it in morsel order afterwards; see exec/exchange.h.
+///
+/// Error handling: the first non-OK Status wins (first in the
+/// synchronization order — with a single failing morsel this is exact).
+/// Once a failure is recorded the remaining morsels are drained without
+/// running, so a failed region still terminates promptly and each executed
+/// morsel has cleaned up after itself (operators close their own state
+/// inside the morsel body; nothing leaks).
+///
+/// Nesting: a morsel body that calls ParallelFor again runs the nested
+/// region inline on its own lane. One top-level region is active at a time
+/// (regions serialize on a region mutex), which keeps the pool small and
+/// the execution comprehensible; division pipelines parallelize one phase
+/// at a time anyway.
+class TaskScheduler {
+ public:
+  using MorselFn = std::function<Status(size_t morsel)>;
+
+  /// Hard cap on lanes per region (caller lane 0 + up to kMaxLanes-1 pool
+  /// workers). RELDIV_THREADS above this is clamped.
+  static constexpr size_t kMaxLanes = 16;
+
+  /// The process-wide pool. Workers are spawned lazily on first parallel
+  /// region and joined at process exit.
+  static TaskScheduler& Global();
+
+  /// Degree of parallelism requested via the RELDIV_THREADS environment
+  /// variable, parsed once; 1 when unset, malformed, or < 1 (the serial
+  /// default that keeps every existing test and bench bit-identical).
+  static size_t DefaultDop();
+
+  /// Lane index of the calling thread inside the active region: 0 for the
+  /// region's caller (and for any thread outside a region), 1..dop-1 for
+  /// pool workers. Stable for the duration of a morsel; used to tag trace
+  /// spans and per-lane metrics.
+  static size_t CurrentLane();
+
+  /// True while the calling thread is executing a morsel (used to run
+  /// nested regions inline).
+  static bool InParallelRegion();
+
+  TaskScheduler();
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Runs fn(0) .. fn(num_morsels-1), each exactly once, on up to `dop`
+  /// lanes (the calling thread participates as lane 0). Returns the first
+  /// non-OK Status, or OK. dop is clamped to [1, min(kMaxLanes,
+  /// num_morsels)]; dop <= 1 (or a nested call) executes serially in morsel
+  /// order on the calling thread.
+  Status ParallelFor(size_t dop, size_t num_morsels, const MorselFn& fn);
+
+  /// Workers the pool has actually spawned so far (test introspection).
+  size_t num_workers() const;
+
+ private:
+  /// One lane's deque. The owner pops from the front (cache-friendly
+  /// sequential order); thieves pop from the back.
+  struct LaneQueue {
+    std::mutex mu;
+    std::deque<size_t> morsels;
+  };
+
+  /// State of one active parallel region, stack-allocated in ParallelFor.
+  struct Region {
+    const MorselFn* fn = nullptr;
+    size_t dop = 0;
+    std::vector<std::unique_ptr<LaneQueue>> lanes;
+    /// Lane claim ticket for pool workers (caller owns lane 0).
+    std::atomic<size_t> next_lane{1};
+    /// Morsels not yet executed-or-drained; region is done at 0.
+    std::atomic<size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    /// Guards first_error and backs done_cv.
+    std::mutex mu;
+    std::condition_variable done_cv;
+    Status first_error;
+    /// Pool workers currently holding a lane of this region. The caller
+    /// waits for 0 before the Region leaves scope.
+    std::atomic<size_t> active_workers{0};
+  };
+
+  void EnsureWorkers(size_t want);
+  void WorkerLoop();
+  /// Drains lane `lane`'s own deque, then steals from the other lanes.
+  void RunLane(Region* region, size_t lane);
+  /// Runs (or, after a failure, skips) one morsel and retires it.
+  void ExecuteMorsel(Region* region, size_t morsel);
+
+  /// Serializes top-level regions.
+  std::mutex region_mu_;
+
+  /// Pool state: guards current_/region_seq_/stop_/workers_.
+  mutable std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  Region* current_ = nullptr;
+  /// Bumped per region so a worker never re-joins a region it already
+  /// served (its lane claim is single-use).
+  uint64_t region_seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_SCHEDULER_H_

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/config.h"
+#include "exec/exchange.h"
+#include "exec/scheduler.h"
 
 namespace reldiv {
 
@@ -178,7 +180,12 @@ SortOperator::SortOperator(ExecContext* ctx, std::unique_ptr<Operator> child,
 SortOperator::~SortOperator() = default;
 
 int SortOperator::CompareKeys(const Tuple& a, const Tuple& b) const {
-  ctx_->CountComparisons(1);
+  return CompareKeysOn(ctx_, a, b);
+}
+
+int SortOperator::CompareKeysOn(ExecContext* ctx, const Tuple& a,
+                                const Tuple& b) const {
+  ctx->CountComparisons(1);
   return a.CompareAt(spec_.keys, b);
 }
 
@@ -224,36 +231,71 @@ SortOperator::HeapEntry SortOperator::HeapPop() {
   return top;
 }
 
-Status SortOperator::WriteRun(std::vector<Tuple>* batch) {
-  std::sort(batch->begin(), batch->end(),
-            [this](const Tuple& a, const Tuple& b) {
-              return CompareKeys(a, b) < 0;
+Status SortOperator::SortChunk(ExecContext* ctx,
+                               std::vector<Tuple>* chunk) const {
+  std::sort(chunk->begin(), chunk->end(),
+            [this, ctx](const Tuple& a, const Tuple& b) {
+              return CompareKeysOn(ctx, a, b) < 0;
             });
-  auto run = std::make_unique<Run>(ctx_->disk());
-  std::string encoded;
-  for (size_t i = 0; i < batch->size(); ++i) {
-    if (spec_.collapse_equal_keys && i + 1 < batch->size()) {
-      // Combine the whole equal-key group before writing one tuple.
-      Tuple acc = std::move((*batch)[i]);
+  if (!spec_.collapse_equal_keys || chunk->empty()) return Status::OK();
+  // Combine each equal-key group down to one tuple. Comparison pattern:
+  // every tuple is compared once against its group's accumulator (the
+  // group-closing mismatch included), matching the merge paths' counting.
+  std::vector<Tuple> collapsed;
+  collapsed.reserve(chunk->size());
+  for (size_t i = 0; i < chunk->size(); ++i) {
+    if (i + 1 < chunk->size()) {
+      Tuple acc = std::move((*chunk)[i]);
       size_t j = i + 1;
-      while (j < batch->size() && CompareKeys(acc, (*batch)[j]) == 0) {
-        Combine(&acc, (*batch)[j]);
+      while (j < chunk->size() && CompareKeysOn(ctx, acc, (*chunk)[j]) == 0) {
+        Combine(&acc, (*chunk)[j]);
         j++;
       }
       i = j - 1;
-      encoded.clear();
-      RELDIV_RETURN_NOT_OK(codec_.Encode(acc, &encoded));
-      RELDIV_RETURN_NOT_OK(run->Append(Slice(encoded)));
+      collapsed.push_back(std::move(acc));
     } else {
-      encoded.clear();
-      RELDIV_RETURN_NOT_OK(codec_.Encode((*batch)[i], &encoded));
-      RELDIV_RETURN_NOT_OK(run->Append(Slice(encoded)));
+      collapsed.push_back(std::move((*chunk)[i]));
     }
+  }
+  *chunk = std::move(collapsed);
+  return Status::OK();
+}
+
+Status SortOperator::WriteSortedRun(std::vector<Tuple>* chunk) {
+  auto run = std::make_unique<Run>(ctx_->disk());
+  std::string encoded;
+  for (const Tuple& tuple : *chunk) {
+    encoded.clear();
+    RELDIV_RETURN_NOT_OK(codec_.Encode(tuple, &encoded));
+    RELDIV_RETURN_NOT_OK(run->Append(Slice(encoded)));
     ctx_->CountMoveBytes(encoded.size());
   }
   RELDIV_RETURN_NOT_OK(run->Finish());
   runs_.push_back(std::move(run));
-  batch->clear();
+  chunk->clear();
+  return Status::OK();
+}
+
+Status SortOperator::FlushChunkWindow(
+    std::vector<std::vector<Tuple>>* window) {
+  if (window->empty()) return Status::OK();
+  const size_t num_chunks = window->size();
+  // Chunk contents were fixed by the sort-space accounting in Open(); only
+  // the sorting of the chunks held in this window runs concurrently. Runs
+  // are written below, serially and in chunk order, so the on-disk layout
+  // never depends on the worker count.
+  FragmentContexts fragment_ctxs(ctx_, num_chunks);
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx_->dop(), num_chunks), num_chunks, [&](size_t i) -> Status {
+        return SortChunk(fragment_ctxs.fragment(i), &(*window)[i]);
+      });
+  fragment_ctxs.MergeInto(ctx_);
+  RELDIV_RETURN_NOT_OK(status);
+  for (std::vector<Tuple>& chunk : *window) {
+    RELDIV_RETURN_NOT_OK(WriteSortedRun(&chunk));
+    initial_runs_++;
+  }
+  window->clear();
   return Status::OK();
 }
 
@@ -348,6 +390,9 @@ Status SortOperator::Open() {
   size_t batch_bytes = 0;
   bool input_exhausted = false;
   bool first_batch = true;
+  // Spilled chunks awaiting sort + run write; flushed whenever dop chunks
+  // have accumulated, so at most dop sort spaces are held at once.
+  std::vector<std::vector<Tuple>> window;
 
   while (!input_exhausted) {
     Tuple raw;
@@ -386,13 +431,17 @@ Status SortOperator::Open() {
         break;
       }
       if (!batch.empty()) {
-        RELDIV_RETURN_NOT_OK(WriteRun(&batch));
+        window.push_back(std::move(batch));
+        batch.clear();
         batch_bytes = 0;
-        initial_runs_++;
+        if (window.size() >= ctx_->dop()) {
+          RELDIV_RETURN_NOT_OK(FlushChunkWindow(&window));
+        }
       }
       first_batch = false;
     }
   }
+  RELDIV_RETURN_NOT_OK(FlushChunkWindow(&window));
   // One Close() attempt settles the debt even if it fails — a second call
   // on an already-failed child is not owed anything.
   child_open_ = false;

@@ -37,6 +37,15 @@ struct SortSpec {
 /// intermediate merges until one merge step is left, and the final merge
 /// performed on demand by Next() (paper footnote 2). Inputs that fit in the
 /// sort space are sorted entirely in memory with no I/O.
+///
+/// Run formation is morsel-parallel: spilled chunks are collected into a
+/// window of up to ExecContext::dop() chunks, the window's chunks are
+/// quicksorted (and collapsed) concurrently on the TaskScheduler, then the
+/// runs are written serially in chunk order. Chunk boundaries come from the
+/// sort-space accounting alone, so the run contents, every Table 1 counter
+/// total, and the disk layout are identical at any worker count; dop only
+/// bounds how many chunks are held (and sorted) at once, so peak memory is
+/// up to dop sort spaces during formation.
 class SortOperator : public Operator {
  public:
   SortOperator(ExecContext* ctx, std::unique_ptr<Operator> child,
@@ -68,9 +77,19 @@ class SortOperator : public Operator {
   class RunReader;
 
   int CompareKeys(const Tuple& a, const Tuple& b) const;
+  /// CompareKeys charging an explicit context — the parallel run-formation
+  /// path, where each chunk's comparisons go to a private fragment context.
+  int CompareKeysOn(ExecContext* ctx, const Tuple& a, const Tuple& b) const;
   void Combine(Tuple* acc, const Tuple& next) const;
-  /// Sorts `batch`, applies collapse, and writes it as a new run.
-  Status WriteRun(std::vector<Tuple>* batch);
+  /// Quicksorts `chunk` in place and (with collapse) combines equal-key
+  /// groups, charging all comparisons to `ctx`. Pure CPU — safe to run
+  /// concurrently for distinct chunks.
+  Status SortChunk(ExecContext* ctx, std::vector<Tuple>* chunk) const;
+  /// Writes an already-sorted (and collapsed) chunk as a new run.
+  Status WriteSortedRun(std::vector<Tuple>* chunk);
+  /// Sorts the window's chunks concurrently, then writes their runs
+  /// serially in chunk order. Clears the window.
+  Status FlushChunkWindow(std::vector<std::vector<Tuple>>* window);
   /// Merges `inputs` into a single new run (with collapse).
   Status MergeRuns(std::vector<std::unique_ptr<Run>> inputs);
   Status OpenFinalMerge();

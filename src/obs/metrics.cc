@@ -65,6 +65,7 @@ DiskStats MetricsNode::self_io() const {
 }
 
 MetricsNode* QueryProfile::CreateNode(std::string label, size_t mark) {
+  std::lock_guard<std::mutex> lock(mu_);
   nodes_.push_back(std::make_unique<MetricsNode>(std::move(label)));
   MetricsNode* node = nodes_.back().get();
   // Bottom-up plan construction: every unsealed root created at or past the
@@ -80,9 +81,13 @@ MetricsNode* QueryProfile::CreateNode(std::string label, size_t mark) {
   return node;
 }
 
-void QueryProfile::SealRoots() { sealed_roots_ = roots_.size(); }
+void QueryProfile::SealRoots() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_roots_ = roots_.size();
+}
 
 void QueryProfile::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   nodes_.clear();
   roots_.clear();
   sealed_roots_ = 0;

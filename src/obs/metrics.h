@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,6 +79,13 @@ class MetricsNode {
 /// (called by plan builders once a plan root is wrapped) freezes the
 /// finished tree so a later plan on the same context becomes a sibling root
 /// instead of adopting it.
+///
+/// Structural mutation (CreateNode/Mark/SealRoots/Clear) is mutex-guarded so
+/// parallel sections may register nodes concurrently. Reading the tree
+/// (roots/ToString/ToJson) and mutating a node's OperatorMetrics are NOT
+/// synchronized here: reads happen after execution quiesces, and each
+/// MetricsNode has a single writer (its ProfiledOperator wrapper, or the
+/// one exchange fragment that owns the lane node — see exec/exchange.h).
 class QueryProfile {
  public:
   QueryProfile() = default;
@@ -96,7 +104,10 @@ class QueryProfile {
   MetricsNode* CreateNode(std::string label, size_t mark = 0);
 
   /// Position token for CreateNode's `mark` (the current root count).
-  size_t Mark() const { return roots_.size(); }
+  size_t Mark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return roots_.size();
+  }
 
   /// Marks every current root as a finished tree: future CreateNode() calls
   /// will not adopt them.
@@ -117,6 +128,8 @@ class QueryProfile {
   std::string ToJson() const;
 
  private:
+  /// Guards nodes_/roots_/sealed_roots_ (structural state; class comment).
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<MetricsNode>> nodes_;
   std::vector<MetricsNode*> roots_;
   size_t sealed_roots_ = 0;  ///< roots_[0 .. sealed_roots_) are frozen

@@ -1,13 +1,13 @@
 #include "parallel/parallel_hash_division.h"
 
 #include <chrono>
-#include <thread>
 
 #include "common/check.h"
 #include "common/row_codec.h"
 #include "cost/cost_model.h"
 #include "division/hash_division.h"
 #include "exec/mem_source.h"
+#include "exec/scheduler.h"
 #include "parallel/bit_vector_filter.h"
 #include "parallel/partitioner.h"
 
@@ -184,20 +184,18 @@ ParallelHashDivisionEngine::RunQuotientPartitioned(
   std::vector<std::vector<Tuple>> local_quotients(n);
   std::vector<NodeExecutionMetrics> node_metrics(n);
   std::vector<Status> local_status(n);
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      threads.emplace_back([&, i] {
+  // One scheduler morsel per node. Node failures land in local_status and
+  // are reported in node order below, so error precedence never depends on
+  // which lane ran which node.
+  RELDIV_RETURN_NOT_OK(
+      TaskScheduler::Global().ParallelFor(n, n, [&](size_t i) -> Status {
         local_status[i] = LocalDivision(
             nodes_[i].get(), dividend_schema, divisor_schema,
             std::move(incoming[i]), full_divisor, match_attrs, quotient_attrs,
             options_.division, &local_quotients[i], &node_metrics[i],
             options_.trace);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
+        return Status::OK();
+      }));
   // Quotient partitioning (§6): the clusters are disjoint by construction,
   // so the quotient of the whole division is their plain concatenation.
   // Executable form: every local quotient tuple must hash back to the node
@@ -293,19 +291,18 @@ ParallelHashDivisionEngine::RunDivisorPartitioned(
   for (size_t i = 0; i < n; ++i) {
     if (!divisor_in[i].empty()) participating.push_back(i);
   }
-  {
-    std::vector<std::thread> threads;
-    for (size_t i : participating) {
-      threads.emplace_back([&, i] {
+  // One scheduler morsel per participating node; statuses surface in node
+  // order during collection below.
+  RELDIV_RETURN_NOT_OK(TaskScheduler::Global().ParallelFor(
+      participating.size(), participating.size(), [&](size_t k) -> Status {
+        const size_t i = participating[k];
         local_status[i] = LocalDivision(
             nodes_[i].get(), dividend_schema, divisor_schema,
             std::move(dividend_in[i]), std::move(divisor_in[i]), match_attrs,
             quotient_attrs, options_.division, &local_quotients[i],
             &node_metrics[i], options_.trace);
-      });
-    }
-    for (std::thread& t : threads) t.join();
-  }
+        return Status::OK();
+      }));
 
   if (participating.empty()) {
     // Entire divisor empty: empty quotient by convention.

@@ -142,7 +142,14 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
          std::to_string(static_cast<uint64_t>(result.config.dividend_tuples)) +
          " m=" +
          std::to_string(static_cast<uint64_t>(result.config.memory_pages)) +
-         " pages\n\n";
+         " pages\n";
+  // The §4 formulas model one instruction stream. Intra-node lanes shrink
+  // wall_ms toward cpu_ms/dop but leave every counted column untouched —
+  // the fragment decompositions are worker-count-independent by design.
+  out += "  parallelism: dop=" + std::to_string(ctx->dop()) +
+         " worker lane" + (ctx->dop() == 1 ? "" : "s") +
+         " (predicted/cpu/io columns are single-stream model figures, "
+         "invariant under dop)\n\n";
 
   constexpr size_t kName = 24;
   constexpr size_t kCol = 13;

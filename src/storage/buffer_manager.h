@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -33,6 +34,14 @@ struct BufferStats {
 /// immediately or should go to the LRU list. The pool grows dynamically
 /// until the shared MemoryPool is exhausted and shrinks as frames are
 /// released.
+///
+/// Thread-safe: a recursive mutex serializes all public entry points, so
+/// concurrent morsels fixing the same page observe exactly-once read-in
+/// (one miss, then hits) and monotone, non-double-counted BufferStats. The
+/// mutex must be recursive because a miss re-enters the manager on the same
+/// thread: Fix → MemoryPool::Reserve → reclaimer → TryShedFrame. Lock
+/// ordering is buffer manager → pool / disk, never the reverse (the pool
+/// invokes its reclaimer unlocked — see storage/memory_manager.h).
 class BufferManager {
  public:
   /// `pool` may be nullptr for an unbounded pool.
@@ -69,9 +78,20 @@ class BufferManager {
   /// hash tables, sort space — need the memory (§5.1).
   bool TryShedFrame();
 
-  size_t num_frames() const { return frames_.size(); }
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats{}; }
+  size_t num_frames() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return frames_.size();
+  }
+  /// Snapshot of the statistics (by value: a reference would tear under
+  /// concurrent fixes).
+  BufferStats stats() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    stats_ = BufferStats{};
+  }
 
   /// Attaches a span recorder (obs/trace.h): page reads from disk, dirty
   /// write-backs, and evictions then emit instant trace events carrying the
@@ -94,6 +114,9 @@ class BufferManager {
   Result<bool> EvictOne();
   Status ReleaseFrame(uint64_t page_no);
 
+  /// Serializes all public entry points; recursive for the Fix → Reserve →
+  /// reclaimer → TryShedFrame re-entry on one thread (class comment).
+  mutable std::recursive_mutex mu_;
   SimDisk* disk_;
   MemoryPool* pool_;
   TraceRecorder* trace_ = nullptr;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,14 @@ struct DiskStats {
 /// whose first sector does not directly follow the previous transfer's last
 /// sector counts as a seek (the arm moved); contiguous transfers model
 /// read-ahead over physically clustered files.
+///
+/// Thread-safe: one mutex serializes allocation, transfers, and accounting,
+/// so concurrent morsels touching the disk keep DiskStats monotone and
+/// non-double-counted — each transfer is accounted exactly once, atomically
+/// with the arm movement that classifies it as a seek. (Seek COUNTS therefore
+/// depend on transfer interleaving under parallel execution, faithfully: the
+/// simulated arm is a shared resource. Tests pinning exact seek counts run
+/// with serial decomposition.)
 class SimDisk {
   /// Pass-key restricting the file-backed constructor to OpenFileBacked()
   /// while keeping std::make_unique usable.
@@ -101,20 +110,35 @@ class SimDisk {
   /// Writes `count` sectors starting at `sector` from `src`. One transfer.
   Status Write(uint64_t sector, uint64_t count, const char* src);
 
-  uint64_t num_sectors() const { return num_sectors_; }
+  uint64_t num_sectors() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_sectors_;
+  }
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  /// Snapshot of the statistics (by value: a reference would tear under
+  /// concurrent transfers).
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DiskStats{};
+  }
 
   /// Attaches a span recorder (obs/trace.h): every transfer then emits one
   /// trace event carrying its sector, length, direction, and whether the arm
-  /// moved (a seek). nullptr detaches.
+  /// moved (a seek). nullptr detaches. Not safe concurrently with transfers;
+  /// attach during setup.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
  private:
   Status CheckRange(uint64_t sector, uint64_t count) const;
+  /// Requires mu_ held: the seek classification reads and moves the arm.
   void Account(uint64_t sector, uint64_t count, bool is_read);
 
+  /// Serializes AllocateSectors/Read/Write/stats across worker lanes.
+  mutable std::mutex mu_;
   Backing backing_;
   TraceRecorder* trace_ = nullptr;
   uint64_t num_sectors_ = 0;

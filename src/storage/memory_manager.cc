@@ -6,11 +6,30 @@ namespace reldiv {
 
 bool MemoryPool::Reserve(size_t bytes) {
   if (RELDIV_FAILPOINT_DENIED("memory/reserve")) return false;
-  while (used_ + bytes > budget_) {
-    if (!reclaimer_ || !reclaimer_()) return false;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (used_ + bytes <= budget_) {
+        used_ += bytes;
+        return true;
+      }
+    }
+    // Reclaim with the pool unlocked: the reclaimer re-enters the buffer
+    // manager, whose lock the calling thread may already hold (Fix →
+    // Reserve → TryShedFrame). A concurrent lane may win the freed budget
+    // before this one re-checks — then the loop simply sheds again until
+    // the reclaimer runs dry (frames are finite, so this terminates).
+    if (!reclaimer_ || !reclaimer_()) {
+      // Last re-check: a concurrent Release may have freed enough between
+      // the failed check and the reclaimer running dry.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (used_ + bytes <= budget_) {
+        used_ += bytes;
+        return true;
+      }
+      return false;
+    }
   }
-  used_ += bytes;
-  return true;
 }
 
 void* Arena::Allocate(size_t bytes) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace reldiv {
@@ -14,6 +15,13 @@ namespace reldiv {
 /// bit maps and chain elements draw from the same pool through Arena. When
 /// Reserve() fails the requester must spill or partition — this is exactly
 /// the "hash table overflow" trigger of §3.4.
+///
+/// Thread-safe: the pool is shared by every worker lane. The accounting is
+/// mutex-guarded, but the reclaimer runs OUTSIDE the lock — it re-enters the
+/// buffer manager (TryShedFrame), which may already be held by the calling
+/// thread mid-Fix; invoking it under the pool mutex would deadlock any two
+/// lanes contending for memory. Register the reclaimer during setup, before
+/// concurrent use.
 class MemoryPool {
  public:
   explicit MemoryPool(size_t budget_bytes) : budget_(budget_bytes) {}
@@ -35,13 +43,25 @@ class MemoryPool {
     reclaimer_ = std::move(reclaimer);
   }
 
-  void Release(size_t bytes) { used_ = bytes > used_ ? 0 : used_ - bytes; }
+  void Release(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
 
   size_t budget() const { return budget_; }
-  size_t used() const { return used_; }
-  size_t available() const { return budget_ - used_; }
+  size_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  size_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_ - used_;
+  }
 
  private:
+  /// Guards used_ only; budget_ is immutable and reclaimer_ is set once at
+  /// setup (see class comment).
+  mutable std::mutex mu_;
   size_t budget_;
   size_t used_ = 0;
   std::function<bool()> reclaimer_;
@@ -52,6 +72,9 @@ class MemoryPool {
 /// is exhausted; callers translate that into hash-table-overflow handling.
 /// All memory is returned to the pool on Reset() or destruction; individual
 /// frees are not supported (matching the paper's per-operator memory use).
+/// NOT thread-safe by design: every arena is owned by exactly one operator
+/// core, and parallel sections give each fragment its own cores (only the
+/// pool underneath is shared).
 class Arena {
  public:
   /// `pool` may be nullptr for an unbounded arena (tests, tiny examples).

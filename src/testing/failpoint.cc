@@ -4,28 +4,22 @@ namespace reldiv {
 
 namespace {
 
-/// SplitMix64 expansion of a seed into xorshift128+ state (same scheme as
-/// common/rng.h, inlined here so the registry owns plain POD state).
-void SeedRngState(uint64_t seed, uint64_t* s0, uint64_t* s1) {
-  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+/// SplitMix64 finalizer over (seed, hit index) — the stateless per-hit draw
+/// behind WithProbability (same mixer family as common/rng.h's seeding).
+uint64_t MixSeedAndHit(uint64_t seed, uint64_t hit_index) {
+  uint64_t z = seed ^ (hit_index * 0x9e3779b97f4a7c15ull);
+  z += 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  *s0 = z ^ (z >> 27);
-  z = *s0 + 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  *s1 = z ^ (z >> 27);
-  if (*s0 == 0 && *s1 == 0) *s1 = 1;
-}
-
-uint64_t NextRng(uint64_t* s0, uint64_t* s1) {
-  uint64_t x = *s0;
-  const uint64_t y = *s1;
-  *s0 = y;
-  x ^= x << 23;
-  *s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
-  return *s1 + y;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
+
+bool FailpointPolicy::ProbabilityFiresOnHit(uint32_t percent, uint64_t seed,
+                                            uint64_t hit_index) {
+  return MixSeedAndHit(seed, hit_index) % 100 < percent;
+}
 
 std::atomic<int> FailpointRegistry::armed_count_{0};
 
@@ -43,9 +37,6 @@ void FailpointRegistry::Arm(const std::string& site, FailpointPolicy policy) {
   state.armed = true;
   state.hits = 0;
   state.fires = 0;
-  if (policy.trigger == FailpointPolicy::Trigger::kProbability) {
-    SeedRngState(policy.seed, &state.rng_s0, &state.rng_s1);
-  }
   state.policy = std::move(policy);
 }
 
@@ -90,8 +81,10 @@ bool FailpointRegistry::ShouldFire(SiteState* state) {
       fire = state->hits == state->policy.n;
       break;
     case FailpointPolicy::Trigger::kProbability:
-      fire = NextRng(&state->rng_s0, &state->rng_s1) % 100 <
-             state->policy.percent;
+      // Stateless hit-indexed draw: the set of firing hit indices is fixed
+      // by (percent, seed) alone, never by which thread hit the site when.
+      fire = FailpointPolicy::ProbabilityFiresOnHit(
+          state->policy.percent, state->policy.seed, state->hits);
       break;
   }
   if (fire) state->fires++;

@@ -24,10 +24,17 @@ namespace reldiv {
 /// The registry (map lookup, policy evaluation, hit/fire counters) is only
 /// entered while at least one site is armed anywhere in the process.
 ///
-/// Determinism: every policy is a pure function of the site's hit count and
-/// (for WithProbability) a seeded xorshift128+ stream, so a replayed
-/// schedule fires on exactly the same hits — stress failures reproduce from
-/// the printed seed alone.
+/// Determinism: every policy is a pure function of the site's hit index —
+/// WithProbability draws by HASHING (seed, hit index) rather than advancing
+/// a stateful stream, so which hits fire is fixed by the policy alone. Under
+/// concurrent traversal the ASSIGNMENT of hit indices to threads depends on
+/// the schedule, but the fired SET {k : draw(seed, k) < percent} and hence
+/// the total fire count for a given hit count do not — stress failures
+/// reproduce from the printed seed alone, and multi-threaded runs fire
+/// exactly as often as serial ones. (The earlier design advanced one
+/// xorshift stream per site; interleaved threads then consumed draws in
+/// schedule order, making fire placement — and with it, which thread's
+/// operation failed — irreproducible. That was the latent bug.)
 ///
 /// The full site catalog lives in kFailpointSites below; tools/lint.py
 /// rejects RELDIV_FAILPOINT invocations whose site string is not listed,
@@ -73,8 +80,9 @@ struct FailpointPolicy {
     return p;
   }
 
-  /// Fires on each hit independently with probability `percent`/100, from a
-  /// deterministic per-site stream seeded with `seed`.
+  /// Fires on each hit independently with probability `percent`/100. The
+  /// per-hit draw is ProbabilityFiresOnHit — a stateless hash of (seed, hit
+  /// index), schedule-independent by construction.
   static FailpointPolicy WithProbability(
       uint32_t percent, uint64_t seed,
       StatusCode code = StatusCode::kIOError, std::string message = "") {
@@ -86,6 +94,13 @@ struct FailpointPolicy {
     p.message = std::move(message);
     return p;
   }
+
+  /// Whether a WithProbability(percent, seed) policy fires on its
+  /// `hit_index`-th hit (1-based). Pure function of its arguments, so tests
+  /// can precompute the exact fire set a hammering run must observe — even
+  /// when the hits arrive from many threads at once.
+  static bool ProbabilityFiresOnHit(uint32_t percent, uint64_t seed,
+                                    uint64_t hit_index);
 };
 
 /// Process-wide failpoint registry. Thread-safe: sites are hit from worker
@@ -127,7 +142,6 @@ class FailpointRegistry {
     bool armed = false;
     uint64_t hits = 0;
     uint64_t fires = 0;
-    uint64_t rng_s0 = 0, rng_s1 = 0;  ///< kProbability stream state
   };
 
   FailpointRegistry() = default;

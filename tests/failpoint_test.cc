@@ -1,6 +1,7 @@
 #include "testing/failpoint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -156,6 +157,57 @@ TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
   }
   EXPECT_FALSE(FailpointRegistry::AnyArmed());
   ASSERT_OK(ReadSomething());
+}
+
+TEST_F(FailpointTest, ProbabilityFireCountIsScheduleIndependent) {
+  // The probability draw is a pure hash of (seed, hit index), so the set of
+  // firing hit indices is fixed before any thread runs. Concurrent
+  // traversal permutes WHICH thread receives an index, but indices 1..N are
+  // handed out exactly once each — the observed fire count must equal the
+  // precomputed one, serial or hammered. (The earlier design advanced one
+  // stateful RNG stream per site; interleaved threads then consumed draws
+  // in schedule order and the fire count itself became schedule-dependent.)
+  constexpr uint32_t kPercent = 35;
+  constexpr uint64_t kSeed = 4242;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kTotalHits = 4000;
+  uint64_t expected = 0;
+  for (uint64_t k = 1; k <= kTotalHits; ++k) {
+    if (FailpointPolicy::ProbabilityFiresOnHit(kPercent, kSeed, k)) {
+      ++expected;
+    }
+  }
+  ASSERT_GT(expected, 0u);
+  ASSERT_LT(expected, kTotalHits);
+
+  // Serial run: exactly the precomputed fires.
+  registry().Arm("sim_disk/read",
+                 FailpointPolicy::WithProbability(kPercent, kSeed));
+  uint64_t serial = 0;
+  for (uint64_t i = 0; i < kTotalHits; ++i) {
+    if (!ReadSomething().ok()) ++serial;
+  }
+  EXPECT_EQ(serial, expected);
+
+  // Hammered run (re-arming resets the hit counter): same count again.
+  registry().Arm("sim_disk/read",
+                 FailpointPolicy::WithProbability(kPercent, kSeed));
+  std::atomic<uint64_t> observed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&observed] {
+      for (uint64_t i = 0; i < kTotalHits / kThreads; ++i) {
+        if (!ReadSomething().ok()) {
+          observed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(observed.load(), expected);
+  EXPECT_EQ(registry().fires("sim_disk/read"), expected);
+  EXPECT_EQ(registry().hits("sim_disk/read"), kTotalHits);
 }
 
 TEST_F(FailpointTest, ConcurrentHitsAreCountedExactly) {

@@ -3,8 +3,11 @@
 // is off, trace-span emission, and EXPLAIN ANALYZE's predicted-vs-actual
 // agreement with the §4 cost model fixtures.
 
+#include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cost/cost_model.h"
@@ -188,6 +191,105 @@ TEST_F(ObservabilityTest, TraceRecorderEmitsOperatorSpans) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"operator\""), std::string::npos);
   EXPECT_NE(json.find("hash-division"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ProfiledParallelDivisionStaysConsistent) {
+  // Profiling + tracing attached while the hash-division operator runs its
+  // fragments on scheduler lanes: the tree must still account for the whole
+  // query and the quotient must be unchanged. (Run under TSan, this is the
+  // regression test for concurrent metric/trace emission.)
+  ExecContext* ctx = db_->ctx();
+  ctx->set_profiling(true);
+  ctx->set_dop(4);
+  TraceRecorder trace;
+  ctx->set_trace(&trace);
+  DivisionOptions options;
+  options.parallel_fragments = 4;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> plan,
+      MakeDivisionPlan(ctx, Query(), DivisionAlgorithm::kHashDivision,
+                       options));
+  const CpuCounters before = *ctx->counters();
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  const CpuCounters delta = *ctx->counters() - before;
+  ctx->set_trace(nullptr);
+  ctx->set_dop(1);
+  EXPECT_EQ(Sorted(std::move(quotient)), (std::vector<Tuple>{T(0), T(1)}));
+
+  ASSERT_NE(ctx->profile(), nullptr);
+  ASSERT_GE(ctx->profile()->roots().size(), 1u);
+  const MetricsNode* root = ctx->profile()->roots()[0];
+  EXPECT_EQ(root->metrics().tuples_out, 2u);
+  // Fragment counters merged back into the context inside Open(): the
+  // root's inclusive CPU delta still covers the whole query.
+  EXPECT_EQ(root->metrics().cpu.comparisons, delta.comparisons);
+  EXPECT_EQ(root->metrics().cpu.hashes, delta.hashes);
+  EXPECT_EQ(root->metrics().cpu.moves, delta.moves);
+  EXPECT_EQ(root->metrics().cpu.bit_ops, delta.bit_ops);
+  EXPECT_GT(trace.num_events(), 0u);
+}
+
+TEST(QueryProfileConcurrencyTest, ConcurrentNodeRegistrationLosesNothing) {
+  // Parallel sections register MetricsNodes while other lanes do the same.
+  // Structural mutation is mutexed; each node has a single metrics writer.
+  // Whatever adoption shape the interleaving produces, every node must be
+  // reachable from the roots exactly once with its metrics intact.
+  QueryProfile profile;
+  constexpr int kThreads = 4;
+  constexpr int kNodesPerThread = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profile, t] {
+      for (int i = 0; i < kNodesPerThread; ++i) {
+        MetricsNode* node = profile.CreateNode(
+            "lane" + std::to_string(t) + "-" + std::to_string(i),
+            profile.Mark());
+        node->metrics().opens = 1;
+        node->metrics().tuples_out = static_cast<uint64_t>(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  profile.SealRoots();
+
+  std::set<std::string> labels;
+  size_t nodes = 0;
+  std::function<void(const MetricsNode*)> visit =
+      [&](const MetricsNode* node) {
+        ++nodes;
+        EXPECT_TRUE(labels.insert(node->label()).second)
+            << "node reached twice: " << node->label();
+        EXPECT_EQ(node->metrics().opens, 1u);
+        for (const MetricsNode* child : node->children()) visit(child);
+      };
+  for (const MetricsNode* root : profile.roots()) visit(root);
+  EXPECT_EQ(nodes, static_cast<size_t>(kThreads) * kNodesPerThread);
+  EXPECT_NE(profile.ToString().find("lane0-0"), std::string::npos);
+  EXPECT_NE(profile.ToJson().find("lane3-0"), std::string::npos);
+}
+
+TEST(TraceRecorderConcurrencyTest, ConcurrentEmissionCountsEveryEvent) {
+  TraceRecorder trace;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const uint64_t start = trace.NowMicros();
+        trace.Complete("morsel", "scheduler", start, 1,
+                       static_cast<uint32_t>(100 + t),
+                       {{"morsel", static_cast<uint64_t>(i)}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.num_events(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+  EXPECT_NE(trace.ToJson().find("\"morsel\""), std::string::npos);
 }
 
 // EXPLAIN ANALYZE's prediction column is PredictAlgorithmCosts over the

@@ -1,0 +1,171 @@
+// Tests for the morsel scheduler (exec/scheduler.h): exactly-once morsel
+// dispatch, the deterministic serial fallback, first-error-wins Status
+// propagation with prompt draining, inline nesting, lane reporting, and
+// work stealing (an idle lane must take over a busy lane's queued morsels).
+// The multi-lane cases are the TSan regression surface for the intra-node
+// parallelism work; tools/check_all.sh runs this binary under the tsan
+// preset at several RELDIV_THREADS values.
+
+#include "exec/scheduler.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace reldiv {
+namespace {
+
+TEST(TaskSchedulerTest, LaneZeroOutsideAnyRegion) {
+  EXPECT_EQ(TaskScheduler::CurrentLane(), 0u);
+  EXPECT_FALSE(TaskScheduler::InParallelRegion());
+  EXPECT_GE(TaskScheduler::DefaultDop(), 1u);
+  EXPECT_LE(TaskScheduler::DefaultDop(), TaskScheduler::kMaxLanes);
+}
+
+TEST(TaskSchedulerTest, EmptyRegionIsANoOp) {
+  ASSERT_OK(TaskScheduler::Global().ParallelFor(
+      4, 0, [](size_t) -> Status { return Status::Internal("never"); }));
+}
+
+TEST(TaskSchedulerTest, SerialFallbackRunsInMorselOrder) {
+  std::vector<size_t> order;
+  ASSERT_OK(
+      TaskScheduler::Global().ParallelFor(1, 16, [&](size_t m) -> Status {
+        order.push_back(m);
+        EXPECT_EQ(TaskScheduler::CurrentLane(), 0u);
+        EXPECT_FALSE(TaskScheduler::InParallelRegion());
+        return Status::OK();
+      }));
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskSchedulerTest, SerialFallbackStopsAtTheFirstError) {
+  std::vector<size_t> executed;
+  Status status =
+      TaskScheduler::Global().ParallelFor(1, 10, [&](size_t m) -> Status {
+        executed.push_back(m);
+        if (m == 3) return Status::Internal("morsel 3 failed");
+        return Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(executed, (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(TaskSchedulerTest, EveryMorselRunsExactlyOnce) {
+  for (size_t dop : {2u, 4u, 8u}) {
+    constexpr size_t kMorsels = 500;
+    std::vector<std::atomic<int>> runs(kMorsels);
+    std::atomic<size_t> total{0};
+    ASSERT_OK(TaskScheduler::Global().ParallelFor(
+        dop, kMorsels, [&](size_t m) -> Status {
+          runs[m].fetch_add(1, std::memory_order_relaxed);
+          total.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_LT(TaskScheduler::CurrentLane(), dop);
+          EXPECT_TRUE(TaskScheduler::InParallelRegion());
+          return Status::OK();
+        }));
+    EXPECT_EQ(total.load(), kMorsels) << "dop " << dop;
+    for (size_t m = 0; m < kMorsels; ++m) {
+      ASSERT_EQ(runs[m].load(), 1) << "morsel " << m << " at dop " << dop;
+    }
+    EXPECT_FALSE(TaskScheduler::InParallelRegion());
+  }
+}
+
+TEST(TaskSchedulerTest, PoolGrowsToServeWideRegionsAndIsShared) {
+  ASSERT_OK(TaskScheduler::Global().ParallelFor(
+      8, 64, [](size_t) -> Status { return Status::OK(); }));
+  // The caller is lane 0, so a dop-8 region needs 7 pool workers; the pool
+  // never exceeds kMaxLanes - 1 threads no matter how many regions ran.
+  EXPECT_GE(TaskScheduler::Global().num_workers(), 7u);
+  EXPECT_LE(TaskScheduler::Global().num_workers(),
+            TaskScheduler::kMaxLanes - 1);
+}
+
+TEST(TaskSchedulerTest, IdleLanesStealFromABusyLane) {
+  // Morsels start round-robin: lane 0 owns {0, 2, 4, 6}, lane 1 owns
+  // {1, 3, 5, 7}. Morsel 0 holds lane 0 hostage until every other morsel —
+  // including 2, 4, 6 queued behind it on lane 0's own deque — has run.
+  // Only stealing by lane 1 can satisfy that; without it this test hangs.
+  constexpr size_t kMorsels = 8;
+  std::atomic<size_t> done{0};
+  ASSERT_OK(TaskScheduler::Global().ParallelFor(
+      2, kMorsels, [&](size_t m) -> Status {
+        if (m == 0) {
+          while (done.load(std::memory_order_acquire) < kMorsels - 1) {
+            std::this_thread::yield();
+          }
+        }
+        done.fetch_add(1, std::memory_order_acq_rel);
+        return Status::OK();
+      }));
+  EXPECT_EQ(done.load(), kMorsels);
+}
+
+TEST(TaskSchedulerTest, FirstErrorWinsAndTheRegionDrainsPromptly) {
+  constexpr size_t kMorsels = 300;
+  std::vector<std::atomic<int>> runs(kMorsels);
+  Status status = TaskScheduler::Global().ParallelFor(
+      4, kMorsels, [&](size_t m) -> Status {
+        runs[m].fetch_add(1, std::memory_order_relaxed);
+        if (m == 123) return Status::Internal("morsel 123 failed");
+        return Status::OK();
+      });
+  // A single failing morsel makes "first error" exact: its Status comes
+  // back verbatim.
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("morsel 123"), std::string::npos)
+      << status.ToString();
+  // No morsel ran twice, and the failing one did run.
+  for (size_t m = 0; m < kMorsels; ++m) {
+    ASSERT_LE(runs[m].load(), 1) << "morsel " << m;
+  }
+  EXPECT_EQ(runs[123].load(), 1);
+
+  // The failed region left no residue: the next region runs to completion.
+  std::atomic<size_t> after{0};
+  ASSERT_OK(TaskScheduler::Global().ParallelFor(
+      4, 100, [&](size_t) -> Status {
+        after.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  EXPECT_EQ(after.load(), 100u);
+}
+
+TEST(TaskSchedulerTest, NestedRegionsRunInlineOnTheCallerLane) {
+  std::atomic<size_t> inner_total{0};
+  ASSERT_OK(
+      TaskScheduler::Global().ParallelFor(4, 8, [&](size_t) -> Status {
+        const size_t lane = TaskScheduler::CurrentLane();
+        RELDIV_RETURN_NOT_OK(TaskScheduler::Global().ParallelFor(
+            4, 5, [&, lane](size_t) -> Status {
+              EXPECT_EQ(TaskScheduler::CurrentLane(), lane);
+              inner_total.fetch_add(1, std::memory_order_relaxed);
+              return Status::OK();
+            }));
+        return Status::OK();
+      }));
+  EXPECT_EQ(inner_total.load(), 40u);
+}
+
+TEST(TaskSchedulerTest, DopIsClampedToTheMorselCount) {
+  // dop beyond num_morsels or kMaxLanes must not allocate phantom lanes.
+  std::atomic<size_t> total{0};
+  ASSERT_OK(TaskScheduler::Global().ParallelFor(
+      64, 3, [&](size_t) -> Status {
+        EXPECT_LT(TaskScheduler::CurrentLane(), 3u);
+        total.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  EXPECT_EQ(total.load(), 3u);
+}
+
+}  // namespace
+}  // namespace reldiv

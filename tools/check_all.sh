@@ -13,6 +13,11 @@
 #                               sanitizer builds: injected disk/memory/
 #                               network faults must recover exactly or
 #                               unwind leak- and race-free — DESIGN.md §10)
+#   parallel                   (the division property + lane-equivalence +
+#                               scheduler suites at RELDIV_THREADS=1,4,8
+#                               under the TSan build: every worker count
+#                               must produce bit-identical quotients and
+#                               Table 1 counters, race-free — DESIGN.md §11)
 #   tools/lint.py              (repo-specific static lints)
 #   clang-tidy                 (when installed; skipped with a notice
 #                               otherwise so the matrix stays runnable on
@@ -111,6 +116,22 @@ if [[ "$QUICK" == "0" ]]; then
     return "$rc"
   }
   stage "faults" faults
+
+  # Parallel stage: the lane-equivalence contract (DESIGN.md §11) says the
+  # worker count must never change a quotient or a Table 1 counter total.
+  # Sweep the scheduler's default dop across the interesting worker counts
+  # with TSan watching the morsel traffic.
+  parallel_stage() {
+    local threads rc=0
+    for threads in 1 4 8; do
+      echo "-- parallel suites under tsan, RELDIV_THREADS=$threads"
+      RELDIV_THREADS="$threads" ctest --preset tsan \
+        -R '(division_property_test|intra_parallel_test|scheduler_test)' \
+        || rc=1
+    done
+    return "$rc"
+  }
+  stage "parallel" parallel_stage
 fi
 
 note "summary"

@@ -16,6 +16,12 @@ Checks that clang-tidy cannot express (or that must run without a compiler):
   no-rand           `rand()` / `srand()` / `std::rand` — experiments must be
                     reproducible; use common/rng.h (deterministic
                     xorshift128+) instead.
+  raw-thread        `std::thread` / `pthread_create` in src/ outside
+                    exec/scheduler.{h,cc}. All intra-node parallelism goes
+                    through TaskScheduler::ParallelFor (DESIGN.md §11) so
+                    worker counts, error propagation, and counter merging
+                    stay deterministic; a raw thread bypasses all three.
+                    Tests may spawn threads freely.
   batch-overrides   a class overriding `NextBatch` is a batch-native
                     operator and must also override `Open` and `Close`: a
                     batch-native stream carries state that Open must reset
@@ -100,8 +106,13 @@ class Linter:
     NEW_RE = re.compile(r"(?<![_\w.])new\b(?!\s*\()")  # `new (addr)` = placement
     DELETE_RE = re.compile(r"(?<![_\w.])delete\b(?!\s*;)")
     RAND_RE = re.compile(r"(?:std::)?\b(?:rand|srand)\s*\(")
+    # std::this_thread (yield/sleep) is fine; only thread CREATION is owned
+    # by the scheduler.
+    RAW_THREAD_RE = re.compile(r"\bstd::thread\b|\bpthread_create\b")
+    RAW_THREAD_ALLOWED = ("src/exec/scheduler.h", "src/exec/scheduler.cc")
 
     def lint_lines(self, path: Path, text: str):
+        rel = str(path.relative_to(self.root))
         carried: set[str] = set()
         for lineno, raw in enumerate(text.splitlines(), start=1):
             suppressed = set(NOLINT_RE.findall(raw)) | carried
@@ -127,6 +138,14 @@ class Linter:
                 self.report(path, lineno, "no-rand",
                             "non-deterministic libc RNG; use common/rng.h "
                             "(seeded xorshift128+) for reproducibility")
+            if (self.RAW_THREAD_RE.search(line)
+                    and rel not in self.RAW_THREAD_ALLOWED
+                    and "raw-thread" not in suppressed):
+                self.report(path, lineno, "raw-thread",
+                            "raw thread outside exec/scheduler; use "
+                            "TaskScheduler::ParallelFor so dop, error "
+                            "propagation, and counter merging stay "
+                            "deterministic (DESIGN.md §11)")
 
     # --- include guards --------------------------------------------------
 
