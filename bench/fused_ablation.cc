@@ -1,0 +1,362 @@
+// Fused-pipeline ablation: the same scan → filter → hash-division probe
+// pipeline executed three ways.
+//
+//   virtual-tuple   the classic Volcano chain (ScanOperator → FilterOperator
+//                   → HashDivisionOperator) drained through Next() — one
+//                   virtual-call round trip through every operator per tuple,
+//                   the paper's §5.1 execution model.
+//   virtual-batch   the identical chain drained through NextBatch() at the
+//                   default batch capacity — dispatch amortized per batch,
+//                   but each stage still materializes its output for the
+//                   next operator's input and the filter interprets its
+//                   predicate one tuple at a time.
+//   fused           fused::FusedHashDivision — scan decode, the compare-
+//                   kernel filter, and the staged divisor/quotient probes in
+//                   one NextBatch body (src/exec/fused/), kernels selected
+//                   by kernels::ActiveLevel().
+//
+// The three lanes must produce the identical quotient and identical Table 1
+// operation counts (fusion may never change what is counted, only how fast
+// it runs); the bench fails otherwise. The headline metric
+// `fused_vs_virtual_speedup` is probe-loop throughput of the fused lane over
+// the virtual-dispatch (tuple) lane; `fused_vs_virtual_batch_speedup`
+// isolates what fusion adds beyond batching alone.
+//
+// A second section times the division kernels in both variants directly —
+// scalar reference vs SIMD — on flat arrays, giving per-kernel
+// `simd_speedup` ratios independent of the pipeline around them.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "division/hash_division.h"
+#include "exec/filter.h"
+#include "exec/fused/fused_division.h"
+#include "exec/kernels/kernels.h"
+#include "exec/scan.h"
+
+namespace reldiv {
+namespace {
+
+struct Measurement {
+  std::string label;
+  double wall_ms = 1e300;  // best across repetitions
+  std::vector<double> wall_samples_ms;
+  double cpu_ms = 0;
+  CpuCounters counters;
+  std::vector<Tuple> quotient;
+};
+
+double Now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status RunPipelines(bench::BenchReporter* report) {
+  const int kRepetitions = bench::SmokeMode() ? 2 : 5;
+  // Scan-heavy regime (the one fusion targets): five sixths of the dividend
+  // fails the filter, so most tuples pay only the iteration protocol; the
+  // surviving sixth pays the division probes.
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 50;
+  spec.quotient_candidates = bench::SmokeMode() ? 80 : 2000;
+  spec.candidate_completeness = 1.0;
+  spec.nonmatching_tuples = bench::SmokeMode() ? 20000 : 500000;
+  spec.seed = 99;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+  const uint64_t dividend_tuples = workload.dividend.size();
+
+  DatabaseOptions db_options;
+  db_options.pool_bytes = 0;  // unbounded pool: keep the pipeline CPU-bound
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(db_options));
+  Relation dividend, divisor;
+  RELDIV_RETURN_NOT_OK(
+      LoadWorkload(db.get(), workload, "fa", &dividend, &divisor));
+  const int64_t divisor_count =
+      static_cast<int64_t>(spec.divisor_cardinality);
+
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+  RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved, ResolveDivision(query));
+  DivisionOptions options;
+  options.expected_divisor_cardinality = spec.divisor_cardinality;
+  options.expected_quotient_cardinality = spec.quotient_candidates;
+
+  // Dividend is (quotient_id, divisor_id); valid divisor values are
+  // [0, |S|), foreign ones lie above — both filters encode the same
+  // predicate `divisor_id < |S|`.
+  auto make_virtual = [&]() -> std::unique_ptr<Operator> {
+    auto scan = std::make_unique<ScanOperator>(db->ctx(), dividend);
+    auto filter = std::make_unique<FilterOperator>(
+        std::move(scan), [divisor_count](const Tuple& t) {
+          return t.value(1).int64() < divisor_count;
+        });
+    return std::make_unique<HashDivisionOperator>(
+        db->ctx(), std::move(filter),
+        std::make_unique<ScanOperator>(db->ctx(), divisor),
+        resolved.match_attrs, resolved.quotient_attrs, options);
+  };
+  auto make_fused = [&]() -> std::unique_ptr<Operator> {
+    fused::FusedFilter filter;
+    filter.enabled = true;
+    filter.column = 1;
+    filter.op = kernels::CmpOp::kLt;
+    filter.constant = divisor_count;
+    return fused::MakeFusedHashDivision(
+        db->ctx(), resolved,
+        std::make_unique<ScanOperator>(db->ctx(), divisor), options, filter);
+  };
+
+  enum Lane { kVirtualTuple, kVirtualBatch, kFused };
+  const struct {
+    Lane lane;
+    const char* label;
+  } kLanes[] = {{kVirtualTuple, "virtual-tuple"},
+                {kVirtualBatch, "virtual-batch"},
+                {kFused, "fused"}};
+
+  std::printf("=== Fused-pipeline ablation: scan -> filter(17%%) -> "
+              "hash-division ===\n\n");
+  std::printf("dividend %llu tuples, divisor %llu, quotient %llu; kernels: "
+              "%s; best of %d runs per lane\n\n",
+              static_cast<unsigned long long>(dividend_tuples),
+              static_cast<unsigned long long>(spec.divisor_cardinality),
+              static_cast<unsigned long long>(spec.quotient_candidates),
+              kernels::LevelName(kernels::ActiveLevel()), kRepetitions);
+
+  std::vector<Measurement> measurements;
+  for (const auto& lane : kLanes) {
+    Measurement m;
+    m.label = lane.label;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      RELDIV_RETURN_NOT_OK(db->buffer_manager()->FlushAll());
+      RELDIV_RETURN_NOT_OK(db->buffer_manager()->DropAll());
+      db->ctx()->ResetMoveAccumulator();
+      const CpuCounters before = *db->counters();
+      std::unique_ptr<Operator> plan =
+          lane.lane == kFused ? make_fused() : make_virtual();
+      const double t0 = Now();
+      std::vector<Tuple> quotient;
+      if (lane.lane == kVirtualTuple) {
+        db->ctx()->set_batch_capacity(1);
+        RELDIV_ASSIGN_OR_RETURN(quotient,
+                                CollectAllTupleAtATime(plan.get()));
+        db->ctx()->set_batch_capacity(kDefaultBatchCapacity);
+      } else {
+        RELDIV_ASSIGN_OR_RETURN(quotient, CollectAll(plan.get()));
+      }
+      const double wall_ms = Now() - t0;
+      CpuCounters delta = *db->counters();
+      delta.comparisons -= before.comparisons;
+      delta.hashes -= before.hashes;
+      delta.moves -= before.moves;
+      delta.bit_ops -= before.bit_ops;
+      if (rep == 0) {
+        m.counters = delta;
+        m.cpu_ms = CpuCostMs(delta);
+        std::sort(quotient.begin(), quotient.end());
+        m.quotient = std::move(quotient);
+      } else if (delta.comparisons != m.counters.comparisons ||
+                 delta.hashes != m.counters.hashes ||
+                 delta.moves != m.counters.moves ||
+                 delta.bit_ops != m.counters.bit_ops) {
+        return Status::Internal("cost counters drifted between repetitions");
+      }
+      m.wall_ms = std::min(m.wall_ms, wall_ms);
+      m.wall_samples_ms.push_back(wall_ms);
+    }
+    measurements.push_back(std::move(m));
+  }
+
+  // The ablation's contract: identical quotient, identical Table 1 totals,
+  // in every lane.
+  const Measurement& base = measurements[0];
+  for (const Measurement& m : measurements) {
+    if (m.quotient != base.quotient) {
+      return Status::Internal("quotient differs between " + base.label +
+                              " and " + m.label);
+    }
+    if (m.counters.comparisons != base.counters.comparisons ||
+        m.counters.hashes != base.counters.hashes ||
+        m.counters.moves != base.counters.moves ||
+        m.counters.bit_ops != base.counters.bit_ops) {
+      return Status::Internal("Table 1 counters differ between " +
+                              base.label + " and " + m.label);
+    }
+  }
+
+  std::printf("  %14s | %10s %12s %14s %10s\n", "lane", "wall ms",
+              "cpu-model ms", "tuples/sec", "speedup");
+  bench::Rule(70);
+  for (const Measurement& m : measurements) {
+    std::printf("  %14s | %10.2f %12.2f %14.0f %9.2fx\n", m.label.c_str(),
+                m.wall_ms, m.cpu_ms,
+                static_cast<double>(dividend_tuples) / (m.wall_ms / 1000.0),
+                base.wall_ms / m.wall_ms);
+  }
+  std::printf("\nquotient and Table 1 counters identical across all lanes "
+              "(Comp %llu, Hash %llu, Move %llu, Bit %llu)\n\n",
+              static_cast<unsigned long long>(base.counters.comparisons),
+              static_cast<unsigned long long>(base.counters.hashes),
+              static_cast<unsigned long long>(base.counters.moves),
+              static_cast<unsigned long long>(base.counters.bit_ops));
+
+  const double fused_wall = measurements[kFused].wall_ms;
+  const double vs_tuple = measurements[kVirtualTuple].wall_ms / fused_wall;
+  const double vs_batch = measurements[kVirtualBatch].wall_ms / fused_wall;
+  for (const Measurement& m : measurements) {
+    bench::BenchRow* row = report->AddRow(m.label);
+    for (double sample : m.wall_samples_ms) row->AddWallMs(sample);
+    row->counters = m.counters;
+    row->AddValue("best_wall_ms", m.wall_ms);
+    row->AddValue("cpu_ms", m.cpu_ms);
+    row->AddValue("tuples_per_sec", static_cast<double>(dividend_tuples) /
+                                        (m.wall_ms / 1000.0));
+    row->AddValue("quotient_tuples", static_cast<double>(m.quotient.size()));
+    if (&m == &measurements[kFused]) {
+      row->AddValue("fused_vs_virtual_speedup", vs_tuple);
+      row->AddValue("fused_vs_virtual_batch_speedup", vs_batch);
+    }
+  }
+  report->AddParam("dividend_tuples", static_cast<double>(dividend_tuples));
+  report->AddParam("kernel_level",
+                   std::string(kernels::LevelName(kernels::ActiveLevel())));
+  std::printf("fused vs virtual-dispatch (tuple) speedup: %.2fx\n"
+              "fused vs virtual-batch speedup:            %.2fx\n\n",
+              vs_tuple, vs_batch);
+  return Status::OK();
+}
+
+// --- SIMD vs scalar kernel micro-section -----------------------------------
+
+/// Best-of-reps milliseconds for `iters` runs of `fn`.
+template <typename Fn>
+double TimeMs(int reps, int iters, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = Now();
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, Now() - t0);
+  }
+  return best;
+}
+
+void RunKernelMicro(bench::BenchReporter* report) {
+  const size_t n = bench::SmokeMode() ? 1 << 12 : 1 << 20;
+  const int reps = bench::SmokeMode() ? 2 : 5;
+  const int iters = bench::SmokeMode() ? 2 : 8;
+  Rng rng(3);
+  std::vector<int64_t> keys(n);
+  for (int64_t& k : keys) k = static_cast<int64_t>(rng.Next());
+  std::vector<uint64_t> hashes(n);
+  std::vector<uint64_t> words(n / 64, ~uint64_t{0});
+  std::vector<uint8_t> mask(n);
+  volatile uint64_t sink = 0;  // defeats dead-code elimination
+
+  struct Kernel {
+    const char* name;
+    double scalar_ms;
+    double simd_ms;
+  };
+  std::vector<Kernel> kernels_run;
+
+  kernels_run.push_back(
+      {"hash_int64",
+       TimeMs(reps, iters,
+              [&] {
+                kernels::HashInt64KeysScalar(keys.data(), n, hashes.data());
+                sink = sink + hashes[0];
+              }),
+       !kernels::SimdAvailable()
+           ? 0
+           : TimeMs(reps, iters, [&] {
+               kernels::HashInt64KeysSimd(keys.data(), n, hashes.data());
+               sink = sink + hashes[0];
+             })});
+  kernels_run.push_back(
+      {"all_words_set",
+       TimeMs(reps, iters,
+              [&] {
+                sink = sink + (kernels::AllWordsSetScalar(words.data(), n)
+                                   ? 1
+                                   : 0);
+              }),
+       !kernels::SimdAvailable()
+           ? 0
+           : TimeMs(reps, iters, [&] {
+               sink = sink + (kernels::AllWordsSetSimd(words.data(), n)
+                                  ? 1
+                                  : 0);
+             })});
+  kernels_run.push_back(
+      {"popcount_words",
+       TimeMs(reps, iters,
+              [&] {
+                sink = sink + kernels::PopcountWordsScalar(words.data(),
+                                                     words.size());
+              }),
+       !kernels::SimdAvailable()
+           ? 0
+           : TimeMs(reps, iters, [&] {
+               sink = sink +
+                   kernels::PopcountWordsSimd(words.data(), words.size());
+             })});
+  kernels_run.push_back(
+      {"compare_int64",
+       TimeMs(reps, iters,
+              [&] {
+                sink = sink + kernels::CompareInt64Scalar(
+                    keys.data(), n, kernels::CmpOp::kLt, 0, mask.data());
+              }),
+       !kernels::SimdAvailable()
+           ? 0
+           : TimeMs(reps, iters, [&] {
+               sink = sink + kernels::CompareInt64Simd(
+                   keys.data(), n, kernels::CmpOp::kLt, 0, mask.data());
+             })});
+  (void)sink;
+
+  std::printf("=== Kernel micro: scalar vs SIMD, %zu elements ===\n\n", n);
+  std::printf("  %16s | %11s %11s %10s\n", "kernel", "scalar ms", "simd ms",
+              "speedup");
+  bench::Rule(56);
+  for (const Kernel& k : kernels_run) {
+    bench::BenchRow* row =
+        report->AddRow(std::string("kernel ") + k.name);
+    row->AddWallMs(k.scalar_ms);
+    row->AddValue("scalar_ms", k.scalar_ms);
+    row->AddValue("elements", static_cast<double>(n));
+    if (k.simd_ms > 0) {
+      row->AddValue("simd_ms", k.simd_ms);
+      row->AddValue("simd_speedup", k.scalar_ms / k.simd_ms);
+      std::printf("  %16s | %11.3f %11.3f %9.2fx\n", k.name, k.scalar_ms,
+                  k.simd_ms, k.scalar_ms / k.simd_ms);
+    } else {
+      std::printf("  %16s | %11.3f %11s %10s\n", k.name, k.scalar_ms, "n/a",
+                  "n/a");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  reldiv::bench::BenchReporter report("fused_ablation");
+  report.AddParam("smoke", reldiv::bench::SmokeMode() ? 1 : 0);
+  report.AddParam("simd_available",
+                  reldiv::kernels::SimdAvailable() ? 1 : 0);
+  const reldiv::Status status = reldiv::RunPipelines(&report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "fused_ablation failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  reldiv::RunKernelMicro(&report);
+  return report.WriteFile() ? 0 : 1;
+}

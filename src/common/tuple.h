@@ -38,6 +38,16 @@ class Tuple {
   /// New tuple with the values at `indices`, in that order.
   Tuple Project(const std::vector<size_t>& indices) const;
 
+  /// Project into an existing tuple, reusing its value buffer. The fused
+  /// pipelines project every passing tuple; this keeps that loop free of
+  /// per-call allocations.
+  void ProjectInto(const std::vector<size_t>& indices, Tuple* out) const {
+    out->values_.resize(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      out->values_[i] = values_[indices[i]];
+    }
+  }
+
   /// Lexicographic three-way comparison over all values.
   int Compare(const Tuple& other) const;
 
@@ -67,13 +77,18 @@ class Tuple {
     return 0;
   }
 
+  /// Seed of the HashAt combine chain. exec/kernels reproduces the
+  /// composition in closed form for batched hashing, so the seed is named
+  /// rather than buried in the loop.
+  static constexpr uint64_t kHashSeed = 0x51ed270b153a4d2full;
+
   /// Hash over all values.
   uint64_t Hash() const;
 
   /// Hash restricted to the values at `indices`. Inline: feeds every
   /// hash-table probe.
   uint64_t HashAt(const std::vector<size_t>& indices) const {
-    uint64_t h = 0x51ed270b153a4d2full;
+    uint64_t h = kHashSeed;
     for (size_t idx : indices) h = HashCombine(h, values_[idx].Hash());
     return h;
   }

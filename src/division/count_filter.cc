@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "exec/kernels/kernels.h"
 #include "exec/scalar_aggregate.h"
 #include "exec/scan.h"
 
@@ -63,6 +64,28 @@ Status GroupCountFilterOperator::Next(Tuple* tuple, bool* has_next) {
       return Status::OK();
     }
   }
+}
+
+Status GroupCountFilterOperator::NextBatch(TupleBatch* batch, bool* has_more) {
+  RELDIV_RETURN_NOT_OK(child_->NextBatch(batch, has_more));
+  const size_t n = batch->size();
+  if (n == 0) return Status::OK();
+  const size_t count_col = child_->output_schema().num_fields() - 1;
+  if (!kernels::ExtractInt64Column(*batch, count_col, &counts_)) {
+    return Status::InvalidArgument(
+        "group count filter: last column is not an int64 count");
+  }
+  // One counted Comp per input tuple, as in Next(); the kernel only decides
+  // them as one batched compare.
+  ctx_->CountComparisons(n);
+  mask_.resize(n);
+  kernels::CompareInt64(counts_.data(), n, kernels::CmpOp::kEq, divisor_count_,
+                        &mask_[0]);
+  batch->RetainMask(mask_.data());
+  for (Tuple& tuple : *batch) {
+    tuple.Resize(tuple.size() - 1);  // project the count column away
+  }
+  return Status::OK();
 }
 
 Status GroupCountFilterOperator::Close() { return child_->Close(); }

@@ -27,6 +27,12 @@ class GroupCountFilterOperator : public Operator {
   const Schema& output_schema() const override { return schema_; }
   Status Open() override;
   Status Next(Tuple* tuple, bool* has_next) override;
+  /// Batch-native count filtering: the count column is extracted once per
+  /// batch and compared by the kernels::CompareInt64 kernel, survivors
+  /// compacted in place. One counted Comp per input tuple, exactly like
+  /// Next().
+  Status NextBatch(TupleBatch* batch, bool* has_more) override;
+  bool IsBatchNative() const override { return child_->IsBatchNative(); }
   Status Close() override;
 
  private:
@@ -36,6 +42,8 @@ class GroupCountFilterOperator : public Operator {
   bool distinct_count_;
   Schema schema_;
   int64_t divisor_count_ = 0;
+  std::vector<int64_t> counts_;  ///< NextBatch scratch: extracted count column
+  std::vector<uint8_t> mask_;    ///< NextBatch scratch: compare-kernel output
 };
 
 }  // namespace reldiv

@@ -5,6 +5,7 @@
 #include "common/bitmap.h"
 #include "common/check.h"
 #include "exec/exchange.h"
+#include "exec/kernels/kernels.h"
 #include "exec/scheduler.h"
 
 namespace reldiv {
@@ -195,8 +196,7 @@ Status HashDivisionCore::ProbeQuotient(const Tuple& dividend,
             "hash-division: quotient bit map allocation failed");
       }
       quotient_entry->extra = storage;
-      Bitmap bitmap = Bitmap::MapOnto(storage, divisor_count_);
-      bitmap.ClearAll();
+      kernels::ClearWords(storage, words);
       pending->bit_ops += words;
       quotient_entry->num = 0;  // early-output counter (§3.3)
       RELDIV_RETURN_NOT_OK(CheckBudget("quotient table"));
@@ -273,16 +273,55 @@ Status HashDivisionCore::ConsumeBatch(const TupleBatch& batch,
   // tuple path, but the whole query fails then.)
   PendingCounts pending;
   staged_.clear();
-  for (const Tuple& dividend : batch) {
-    TupleHashTable::Entry* divisor_entry =
-        divisor_view_->FindCounted(ctx_, dividend, match_attrs_);
-    if (divisor_entry == nullptr) {
-      continue;  // immediate discard — no matching divisor tuple
+  // Kernelized pass 1 for the paper's workload shape (single int64 divisor
+  // attribute, single int64 quotient attribute): all probe hashes come from
+  // one batched kernel call. Eligibility is decided by UNCOUNTED column
+  // extraction before anything is charged, so an ineligible batch falls
+  // through to the generic loop with untouched counters. The kernel hash
+  // equals Tuple::HashAt bit for bit (kernels.h pins this), and the batched
+  // CountHashes charges — one per divisor probe, one per matched tuple's
+  // quotient probe — total exactly what the generic loop charges per tuple.
+  const bool kernel_path =
+      match_attrs_.size() == 1 && quotient_attrs_.size() == 1 &&
+      kernels::ExtractInt64Column(batch, match_attrs_[0], &match_keys_) &&
+      kernels::ExtractInt64Column(batch, quotient_attrs_[0], &quotient_col_);
+  if (kernel_path) {
+    const size_t n = batch.size();
+    match_hashes_.resize(n);
+    kernels::HashInt64Keys(match_keys_.data(), n, match_hashes_.data());
+    if (n != 0) ctx_->CountHashes(n);
+    quotient_keys_matched_.clear();
+    size_t i = 0;
+    for (const Tuple& dividend : batch) {
+      TupleHashTable::Entry* divisor_entry = divisor_view_->FindPrehashedCounted(
+          ctx_, dividend, match_attrs_, match_hashes_[i]);
+      if (divisor_entry != nullptr) {
+        staged_.push_back({&dividend, divisor_entry->num, 0});
+        quotient_keys_matched_.push_back(quotient_col_[i]);
+      }
+      ++i;
     }
-    const uint64_t quotient_hash =
-        quotient_table_->ProbeHash(dividend, quotient_attrs_);
-    quotient_table_->PrefetchBucket(quotient_hash);
-    staged_.push_back({&dividend, divisor_entry->num, quotient_hash});
+    const size_t matched = staged_.size();
+    quotient_hashes_.resize(matched);
+    kernels::HashInt64Keys(quotient_keys_matched_.data(), matched,
+                           quotient_hashes_.data());
+    if (matched != 0) ctx_->CountHashes(matched);
+    for (size_t j = 0; j < matched; ++j) {
+      staged_[j].quotient_hash = quotient_hashes_[j];
+      quotient_table_->PrefetchBucket(quotient_hashes_[j]);
+    }
+  } else {
+    for (const Tuple& dividend : batch) {
+      TupleHashTable::Entry* divisor_entry =
+          divisor_view_->FindCounted(ctx_, dividend, match_attrs_);
+      if (divisor_entry == nullptr) {
+        continue;  // immediate discard — no matching divisor tuple
+      }
+      const uint64_t quotient_hash =
+          quotient_table_->ProbeHash(dividend, quotient_attrs_);
+      quotient_table_->PrefetchBucket(quotient_hash);
+      staged_.push_back({&dividend, divisor_entry->num, quotient_hash});
+    }
   }
   for (const StagedProbe& staged : staged_) {
     TupleHashTable::Prefetch(quotient_table_->BucketHead(staged.quotient_hash));
@@ -307,9 +346,10 @@ Status HashDivisionCore::EmitComplete(std::vector<Tuple>* out) {
   PendingCounts pending;
   quotient_table_->ForEach([&](TupleHashTable::Entry* entry) {
     if (use_bitmaps()) {
-      Bitmap bitmap = Bitmap::MapOnto(entry->extra, divisor_count_);
       pending.bit_ops += Bitmap::WordsForBits(divisor_count_);
-      if (bitmap.AllSet()) out->push_back(*entry->tuple);
+      if (kernels::AllWordsSet(entry->extra, divisor_count_)) {
+        out->push_back(*entry->tuple);
+      }
     } else {
       pending.comparisons += 1;
       if (entry->num == divisor_count_) out->push_back(*entry->tuple);
@@ -372,6 +412,54 @@ Status HashDivisionOperator::Open() {
   return Status::OK();
 }
 
+Status RunDivisionFragments(ExecContext* ctx,
+                            const std::vector<size_t>& match_attrs,
+                            const std::vector<size_t>& quotient_attrs,
+                            const DivisionOptions& options,
+                            const HashDivisionCore& shared_core,
+                            const std::vector<std::vector<Tuple>>& buckets,
+                            std::vector<Tuple>* results) {
+  const size_t fragments = buckets.size();
+  // Fragment decomposition fixed by the repartitioning, independent of
+  // worker count; only the assignment of fragments to scheduler lanes varies
+  // with dop. Each fragment charges a private context, merged in fragment
+  // order below, so counter totals are reproducible at any thread count.
+  FragmentContexts fragment_ctxs(ctx, fragments);
+  std::vector<std::vector<Tuple>> outs(fragments);
+  Status status = TaskScheduler::Global().ParallelFor(
+      std::min(ctx->dop(), fragments), fragments, [&](size_t f) -> Status {
+        ExecContext* fctx = fragment_ctxs.fragment(f);
+        HashDivisionCore fragment_core(fctx, match_attrs, quotient_attrs,
+                                       options);
+        fragment_core.BorrowDivisorTable(shared_core);
+        // Size the fragment's quotient table from its own bucket — the
+        // query-wide hint would oversize every fragment F-fold.
+        uint64_t hint = buckets[f].size();
+        if (options.expected_quotient_cardinality != 0) {
+          hint = std::min<uint64_t>(hint,
+                                    options.expected_quotient_cardinality);
+        }
+        RELDIV_RETURN_NOT_OK(
+            fragment_core.ResetQuotientTable(hint == 0 ? 1 : hint));
+        for (const Tuple& dividend : buckets[f]) {
+          RELDIV_RETURN_NOT_OK(fragment_core.Consume(dividend, nullptr));
+        }
+        return fragment_core.EmitComplete(&outs[f]);
+      });
+  // Merge fragment counters even on failure — counters stay monotone over
+  // the work actually performed.
+  fragment_ctxs.MergeInto(ctx);
+  RELDIV_RETURN_NOT_OK(status);
+
+  size_t total = 0;
+  for (const std::vector<Tuple>& out : outs) total += out.size();
+  results->reserve(results->size() + total);
+  for (std::vector<Tuple>& out : outs) {
+    for (Tuple& tuple : out) results->push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
 Status HashDivisionOperator::OpenParallel() {
   // §6 quotient partitioning applied in-process: the divisor table is built
   // ONCE on the query context and shared read-only; the dividend is hash-
@@ -387,44 +475,8 @@ Status HashDivisionOperator::OpenParallel() {
                                                   quotient_attrs_, fragments));
   dividend_done_ = true;  // DrainAndHashRepartition closed the input
 
-  // Fragment decomposition fixed above, independent of worker count; only
-  // the assignment of fragments to scheduler lanes varies with dop. Each
-  // fragment charges a private context, merged in fragment order below, so
-  // counter totals are reproducible at any thread count.
-  FragmentContexts fragment_ctxs(ctx_, fragments);
-  std::vector<std::vector<Tuple>> outs(fragments);
-  Status status = TaskScheduler::Global().ParallelFor(
-      std::min(ctx_->dop(), fragments), fragments, [&](size_t f) -> Status {
-        ExecContext* fctx = fragment_ctxs.fragment(f);
-        HashDivisionCore fragment_core(fctx, match_attrs_, quotient_attrs_,
-                                       options_);
-        fragment_core.BorrowDivisorTable(*core_);
-        // Size the fragment's quotient table from its own bucket — the
-        // query-wide hint would oversize every fragment F-fold.
-        uint64_t hint = buckets[f].size();
-        if (options_.expected_quotient_cardinality != 0) {
-          hint = std::min<uint64_t>(hint,
-                                    options_.expected_quotient_cardinality);
-        }
-        RELDIV_RETURN_NOT_OK(
-            fragment_core.ResetQuotientTable(hint == 0 ? 1 : hint));
-        for (const Tuple& dividend : buckets[f]) {
-          RELDIV_RETURN_NOT_OK(fragment_core.Consume(dividend, nullptr));
-        }
-        return fragment_core.EmitComplete(&outs[f]);
-      });
-  // Merge fragment counters even on failure — counters stay monotone over
-  // the work actually performed.
-  fragment_ctxs.MergeInto(ctx_);
-  RELDIV_RETURN_NOT_OK(status);
-
-  size_t total = 0;
-  for (const std::vector<Tuple>& out : outs) total += out.size();
-  results_.reserve(total);
-  for (std::vector<Tuple>& out : outs) {
-    for (Tuple& tuple : out) results_.push_back(std::move(tuple));
-  }
-  return Status::OK();
+  return RunDivisionFragments(ctx_, match_attrs_, quotient_attrs_, options_,
+                              *core_, buckets, &results_);
 }
 
 Status HashDivisionOperator::Next(Tuple* tuple, bool* has_next) {

@@ -126,6 +126,15 @@ class HashDivisionCore {
   };
   std::vector<StagedProbe> staged_;
 
+  /// Scratch for the kernelized (single-int64-key) batch path: extracted key
+  /// columns and the batched probe hashes (exec/kernels). Reused across
+  /// batches, so the steady state allocates nothing.
+  std::vector<int64_t> match_keys_;
+  std::vector<int64_t> quotient_col_;
+  std::vector<int64_t> quotient_keys_matched_;
+  std::vector<uint64_t> match_hashes_;
+  std::vector<uint64_t> quotient_hashes_;
+
   ExecContext* ctx_;
   std::vector<size_t> match_attrs_;
   std::vector<size_t> quotient_attrs_;
@@ -147,6 +156,21 @@ class HashDivisionCore {
   uint64_t bits_set_ = 0;
   uint64_t early_emits_ = 0;
 };
+
+/// The fragment-parallel half of §6 quotient partitioning in-process, shared
+/// by HashDivisionOperator::OpenParallel and the fused hash-division
+/// pipeline: each bucket of the (already repartitioned) dividend is divided
+/// by a private core borrowing `shared_core`'s divisor table on a private
+/// counter context, and the fragment outputs are concatenated into `results`
+/// in fragment order — deterministic for any worker count. Fragment counters
+/// merge into `ctx` in fragment order even on failure.
+Status RunDivisionFragments(ExecContext* ctx,
+                            const std::vector<size_t>& match_attrs,
+                            const std::vector<size_t>& quotient_attrs,
+                            const DivisionOptions& options,
+                            const HashDivisionCore& shared_core,
+                            const std::vector<std::vector<Tuple>>& buckets,
+                            std::vector<Tuple>* results);
 
 /// Hash-division (§3): the paper's new algorithm. Two hash tables — the
 /// divisor table maps divisor tuples to dense divisor numbers; the quotient

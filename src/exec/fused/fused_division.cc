@@ -1,0 +1,40 @@
+#include "exec/fused/fused_division.h"
+
+namespace reldiv {
+namespace fused {
+
+std::unique_ptr<Operator> MakeFusedHashDivision(
+    ExecContext* ctx, const ResolvedDivision& resolved,
+    std::unique_ptr<Operator> divisor, const DivisionOptions& options,
+    const FusedFilter& filter) {
+  return std::make_unique<FusedHashDivision<RelationSource>>(
+      ctx, RelationSource(resolved.dividend), std::move(divisor),
+      resolved.match_attrs, resolved.quotient_attrs, options, filter);
+}
+
+std::unique_ptr<Operator> MakeFusedHashDivisionOverVector(
+    ExecContext* ctx, const Schema* dividend_schema,
+    const std::vector<Tuple>* dividend, std::unique_ptr<Operator> divisor,
+    std::vector<size_t> match_attrs, std::vector<size_t> quotient_attrs,
+    const DivisionOptions& options, const FusedFilter& filter) {
+  return std::make_unique<FusedHashDivision<VectorSource>>(
+      ctx, VectorSource(dividend_schema, dividend), std::move(divisor),
+      std::move(match_attrs), std::move(quotient_attrs), options, filter);
+}
+
+std::unique_ptr<Operator> MakeFusedScanFilterProject(
+    ExecContext* ctx, Relation relation, const FusedFilter& filter,
+    std::vector<size_t> projection) {
+  return std::make_unique<FusedScanFilterProject<RelationSource>>(
+      ctx, RelationSource(relation), filter, std::move(projection));
+}
+
+std::unique_ptr<Operator> MakeFusedScanFilterProjectOverVector(
+    ExecContext* ctx, const Schema* schema, const std::vector<Tuple>* tuples,
+    const FusedFilter& filter, std::vector<size_t> projection) {
+  return std::make_unique<FusedScanFilterProject<VectorSource>>(
+      ctx, VectorSource(schema, tuples), filter, std::move(projection));
+}
+
+}  // namespace fused
+}  // namespace reldiv

@@ -1,0 +1,195 @@
+#ifndef RELDIV_EXEC_FUSED_FUSED_PIPELINE_H_
+#define RELDIV_EXEC_FUSED_FUSED_PIPELINE_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "exec/kernels/kernels.h"
+#include "exec/operator.h"
+#include "exec/scan.h"
+
+namespace reldiv {
+namespace fused {
+
+/// Compile-time fused pipelines (DESIGN.md §12). A fused operator inlines a
+/// whole scan→filter→project→probe chain into a single NextBatch body: the
+/// stages are plain member calls on a concrete Source type and the kernels
+/// in exec/kernels, so the only virtual dispatch left is the one call into
+/// the pipeline itself. To the rest of the system a fused pipeline is an
+/// ordinary Operator — ContractCheckOperator, ProfiledOperator, and the
+/// morsel scheduler compose unchanged.
+///
+/// Counter contract: fusion may never change what is counted, only how fast
+/// it runs. The absorbed stages replicate the accounting of the operators
+/// they replace — scan decode via the shared RelationSource, filter and
+/// project which count nothing, probes via HashDivisionCore — so a fused
+/// plan's Table 1–4 totals are bit-identical to the equivalent virtual
+/// chain's.
+///
+/// Lint: loop bodies here must not touch tuple values one at a time
+/// (tools/lint.py `fused-value-access`); they go through the batch kernels
+/// and Tuple::ProjectInto instead.
+
+/// CRTP base supplying the Operator protocol around a derived pipeline.
+/// The derived class implements OpenImpl / NextBatchImpl / CloseImpl /
+/// BatchCapacity and inherits Next() via the standard TupleAdapter, so both
+/// protocol granularities observe the same stream.
+template <typename Derived>
+class FusedOperatorBase : public Operator {
+ public:
+  Status Open() override {
+    adapter_.Reset(derived()->BatchCapacity());
+    return derived()->OpenImpl();
+  }
+  Status Next(Tuple* tuple, bool* has_next) override {
+    return adapter_.Next(this, tuple, has_next);
+  }
+  Status NextBatch(TupleBatch* batch, bool* has_more) override {
+    batch->Clear();
+    return derived()->NextBatchImpl(batch, has_more);
+  }
+  bool IsBatchNative() const override { return true; }
+  Status Close() override { return derived()->CloseImpl(); }
+
+ private:
+  Derived* derived() { return static_cast<Derived*>(this); }
+
+  TupleAdapter adapter_;
+};
+
+/// A fusable selection: one int64 column compared against a constant — the
+/// predicate shape of the paper's workload filters. `enabled == false` makes
+/// the stage a no-op, so every pipeline carries one unconditionally.
+struct FusedFilter {
+  size_t column = 0;
+  kernels::CmpOp op = kernels::CmpOp::kEq;
+  int64_t constant = 0;
+  bool enabled = false;
+};
+
+/// Applies a FusedFilter to batches in place via the compare kernel.
+/// Counts nothing, exactly like FilterOperator, whose predicate evaluation
+/// is not a Table 1 operation.
+class FusedFilterRunner {
+ public:
+  FusedFilterRunner() = default;
+  explicit FusedFilterRunner(FusedFilter filter) : filter_(filter) {}
+
+  bool enabled() const { return filter_.enabled; }
+
+  Status Apply(TupleBatch* batch) {
+    if (!filter_.enabled || batch->empty()) return Status::OK();
+    if (!kernels::ExtractInt64Column(*batch, filter_.column, &column_)) {
+      return Status::InvalidArgument(
+          "fused filter: filter column is not an int64");
+    }
+    mask_.resize(batch->size());
+    kernels::CompareInt64(column_.data(), batch->size(), filter_.op,
+                          filter_.constant, mask_.data());
+    batch->RetainMask(mask_.data());
+    return Status::OK();
+  }
+
+ private:
+  FusedFilter filter_;
+  std::vector<int64_t> column_;  ///< scratch: extracted filter column
+  std::vector<uint8_t> mask_;    ///< scratch: compare-kernel output
+};
+
+/// Source over a borrowed in-memory tuple vector — MemSourceOperator minus
+/// the Operator protocol. The vector must outlive the pipeline.
+class VectorSource {
+ public:
+  VectorSource(const Schema* schema, const std::vector<Tuple>* tuples)
+      : schema_(schema), tuples_(tuples) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  Status Open() {
+    next_ = 0;
+    return Status::OK();
+  }
+
+  Status NextBatchInto(TupleBatch* batch, bool* has_more) {
+    const size_t n = std::min(batch->capacity(), tuples_->size() - next_);
+    for (size_t i = 0; i < n; ++i) batch->PushBack((*tuples_)[next_ + i]);
+    next_ += n;
+    *has_more = next_ < tuples_->size();
+    return Status::OK();
+  }
+
+  Status Close() { return Status::OK(); }
+
+ private:
+  const Schema* schema_;
+  const std::vector<Tuple>* tuples_;
+  size_t next_ = 0;
+};
+
+/// Fused scan→filter→project pipeline over any Source (RelationSource,
+/// VectorSource): one NextBatch body decodes a batch, compacts it through
+/// the compare kernel, and projects survivors with buffer-reusing
+/// Tuple::ProjectInto — no per-tuple operator hops, no per-call allocation.
+/// An empty `projection` means identity (no projection stage).
+template <typename Source>
+class FusedScanFilterProject final
+    : public FusedOperatorBase<FusedScanFilterProject<Source>> {
+ public:
+  FusedScanFilterProject(ExecContext* ctx, Source source, FusedFilter filter,
+                         std::vector<size_t> projection)
+      : ctx_(ctx),
+        source_(std::move(source)),
+        filter_(filter),
+        projection_(std::move(projection)),
+        schema_(projection_.empty() ? source_.schema()
+                                    : source_.schema().Project(projection_)) {}
+
+  const Schema& output_schema() const override { return schema_; }
+
+  size_t BatchCapacity() const { return ctx_->batch_capacity(); }
+
+  Status OpenImpl() {
+    RELDIV_RETURN_NOT_OK(source_.Open());
+    source_open_ = true;
+    return Status::OK();
+  }
+
+  Status NextBatchImpl(TupleBatch* batch, bool* has_more) {
+    if (projection_.empty()) {
+      RELDIV_RETURN_NOT_OK(source_.NextBatchInto(batch, has_more));
+      return filter_.Apply(batch);
+    }
+    if (scratch_.capacity() != batch->capacity()) {
+      scratch_.ResetCapacity(batch->capacity(), ctx_->pool());
+    }
+    scratch_.Clear();
+    RELDIV_RETURN_NOT_OK(source_.NextBatchInto(&scratch_, has_more));
+    RELDIV_RETURN_NOT_OK(filter_.Apply(&scratch_));
+    for (const Tuple& tuple : scratch_) {
+      tuple.ProjectInto(projection_, batch->AddSlotForOverwrite());
+    }
+    return Status::OK();
+  }
+
+  Status CloseImpl() {
+    if (!source_open_) return Status::OK();
+    source_open_ = false;
+    return source_.Close();
+  }
+
+ private:
+  ExecContext* ctx_;
+  Source source_;
+  FusedFilterRunner filter_;
+  std::vector<size_t> projection_;
+  Schema schema_;
+  TupleBatch scratch_{1};  ///< pre-projection staging, re-dimensioned lazily
+  bool source_open_ = false;
+};
+
+}  // namespace fused
+}  // namespace reldiv
+
+#endif  // RELDIV_EXEC_FUSED_FUSED_PIPELINE_H_

@@ -43,6 +43,8 @@ class HashAggregateOperator : public Operator {
 
   std::unique_ptr<Arena> arena_;
   std::unique_ptr<TupleHashTable> table_;
+  TupleBatch input_batch_{1};     ///< build-phase child pull buffer
+  std::vector<uint64_t> hashes_;  ///< staged-probe scratch, one per tuple
   std::vector<AggState> states_;
   std::vector<const Tuple*> group_order_;
   std::vector<std::pair<const Tuple*, size_t>> emit_entries_;

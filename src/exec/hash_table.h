@@ -144,6 +144,24 @@ class TupleHashTable {
 #endif
   }
 
+  /// FindCounted with the key hash computed (and counted) earlier — the
+  /// chain-walk half of a batched probe whose hashes came from a kernel
+  /// (kernels::HashInt64Keys) with one batched CountHashes charge. `hash`
+  /// MUST equal ProbeHash(probe, probe_indices); accounting here is the
+  /// remaining one Comp per chain element inspected.
+  Entry* FindPrehashedCounted(ExecContext* ctx, const Tuple& probe,
+                              const std::vector<size_t>& probe_indices,
+                              uint64_t hash) const {
+    for (Entry* e = buckets_[hash % buckets_.size()]; e != nullptr;
+         e = e->next) {
+      ctx->CountComparisons(1);
+      if (e->hash == hash && KeysEqualUncounted(probe, probe_indices, *e->tuple)) {
+        return e;
+      }
+    }
+    return nullptr;
+  }
+
   /// FindOrInsertWith with the key hash computed (and counted) earlier via
   /// ProbeHash. `hash` MUST be ProbeHash(probe, probe_indices) — it selects
   /// the bucket and is memoized in a newly inserted entry.

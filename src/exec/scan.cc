@@ -2,21 +2,15 @@
 
 namespace reldiv {
 
-Status ScanOperator::Open() {
+Status RelationSource::Open() {
   if (relation_.store == nullptr) {
     return Status::InvalidArgument("scan of relation without a store");
   }
   RELDIV_ASSIGN_OR_RETURN(scan_, relation_.store->OpenScan());
-  adapter_.Reset(ctx_->batch_capacity());
   return Status::OK();
 }
 
-Status ScanOperator::Next(Tuple* tuple, bool* has_next) {
-  return adapter_.Next(this, tuple, has_next);
-}
-
-Status ScanOperator::NextBatch(TupleBatch* batch, bool* has_more) {
-  batch->Clear();
+Status RelationSource::NextBatchInto(TupleBatch* batch, bool* has_more) {
   if (refs_.size() < batch->capacity()) refs_.resize(batch->capacity());
   while (!batch->full()) {
     size_t count = 0;
@@ -38,7 +32,7 @@ Status ScanOperator::NextBatch(TupleBatch* batch, bool* has_more) {
   return Status::OK();
 }
 
-Status ScanOperator::Close() {
+Status RelationSource::Close() {
   if (scan_ != nullptr) {
     RELDIV_RETURN_NOT_OK(scan_->Close());
     scan_.reset();

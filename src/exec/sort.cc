@@ -5,6 +5,7 @@
 
 #include "common/config.h"
 #include "exec/exchange.h"
+#include "exec/kernels/kernels.h"
 #include "exec/scheduler.h"
 
 namespace reldiv {
@@ -189,6 +190,18 @@ int SortOperator::CompareKeysOn(ExecContext* ctx, const Tuple& a,
   return a.CompareAt(spec_.keys, b);
 }
 
+uint64_t SortOperator::KeyCode(const Tuple& t) const {
+  return spec_.keys.empty() ? 0 : kernels::NormalizedKey(t.value(spec_.keys[0]));
+}
+
+int SortOperator::CompareCodedOn(ExecContext* ctx, uint64_t code_a,
+                                 const Tuple& a, uint64_t code_b,
+                                 const Tuple& b) const {
+  ctx->CountComparisons(1);
+  if (code_a != code_b) return code_a < code_b ? -1 : 1;
+  return a.CompareAt(spec_.keys, b);
+}
+
 void SortOperator::Combine(Tuple* acc, const Tuple& next) const {
   if (spec_.merge) {
     spec_.merge(acc, next);
@@ -197,7 +210,7 @@ void SortOperator::Combine(Tuple* acc, const Tuple& next) const {
 }
 
 bool SortOperator::HeapLess(const HeapEntry& a, const HeapEntry& b) const {
-  const int c = CompareKeys(a.tuple, b.tuple);
+  const int c = CompareCodedOn(ctx_, a.code, a.tuple, b.code, b.tuple);
   if (c != 0) return c < 0;
   return a.reader < b.reader;  // stable across runs: older run first
 }
@@ -233,31 +246,53 @@ SortOperator::HeapEntry SortOperator::HeapPop() {
 
 Status SortOperator::SortChunk(ExecContext* ctx,
                                std::vector<Tuple>* chunk) const {
-  std::sort(chunk->begin(), chunk->end(),
-            [this, ctx](const Tuple& a, const Tuple& b) {
-              return CompareKeysOn(ctx, a, b) < 0;
-            });
-  if (!spec_.collapse_equal_keys || chunk->empty()) return Status::OK();
-  // Combine each equal-key group down to one tuple. Comparison pattern:
-  // every tuple is compared once against its group's accumulator (the
-  // group-closing mismatch included), matching the merge paths' counting.
-  std::vector<Tuple> collapsed;
-  collapsed.reserve(chunk->size());
-  for (size_t i = 0; i < chunk->size(); ++i) {
-    if (i + 1 < chunk->size()) {
-      Tuple acc = std::move((*chunk)[i]);
-      size_t j = i + 1;
-      while (j < chunk->size() && CompareKeysOn(ctx, acc, (*chunk)[j]) == 0) {
-        Combine(&acc, (*chunk)[j]);
-        j++;
-      }
-      i = j - 1;
-      collapsed.push_back(std::move(acc));
-    } else {
-      collapsed.push_back(std::move((*chunk)[i]));
-    }
+  // Normalized-key quicksort (Do/Graefe/Naughton): each tuple's first sort
+  // key is encoded once into an order-preserving code, and most comparisons
+  // resolve on one integer compare; only code-equal pairs pay the full key
+  // comparison. CompareCodedOn is extensionally equal to CompareKeysOn and
+  // counts identically, so the sort's decision sequence, the run contents,
+  // and the Comp totals are those of the uncoded sort.
+  struct Keyed {
+    uint64_t code;
+    Tuple tuple;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(chunk->size());
+  for (Tuple& tuple : *chunk) {
+    const uint64_t code = KeyCode(tuple);
+    keyed.push_back(Keyed{code, std::move(tuple)});
   }
-  *chunk = std::move(collapsed);
+  std::sort(keyed.begin(), keyed.end(),
+            [this, ctx](const Keyed& a, const Keyed& b) {
+              return CompareCodedOn(ctx, a.code, a.tuple, b.code, b.tuple) < 0;
+            });
+  if (spec_.collapse_equal_keys && !keyed.empty()) {
+    // Combine each equal-key group down to one tuple, in stream. Comparison
+    // pattern: every tuple is compared once against its group's accumulator
+    // (the group-closing mismatch included), matching the merge paths'
+    // counting.
+    std::vector<Keyed> collapsed;
+    collapsed.reserve(keyed.size());
+    for (size_t i = 0; i < keyed.size(); ++i) {
+      if (i + 1 < keyed.size()) {
+        Keyed acc = std::move(keyed[i]);
+        size_t j = i + 1;
+        while (j < keyed.size() &&
+               CompareCodedOn(ctx, acc.code, acc.tuple, keyed[j].code,
+                              keyed[j].tuple) == 0) {
+          Combine(&acc.tuple, keyed[j].tuple);
+          j++;
+        }
+        i = j - 1;
+        collapsed.push_back(std::move(acc));
+      } else {
+        collapsed.push_back(std::move(keyed[i]));
+      }
+    }
+    keyed = std::move(collapsed);
+  }
+  chunk->clear();
+  for (Keyed& k : keyed) chunk->push_back(std::move(k.tuple));
   return Status::OK();
 }
 
@@ -316,6 +351,7 @@ Status SortOperator::MergeRuns(std::vector<std::unique_ptr<Run>> inputs) {
     HeapEntry entry;
     entry.reader = i;
     RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &entry.tuple));
+    entry.code = KeyCode(entry.tuple);
     HeapPush(std::move(entry));
   }
 
@@ -323,6 +359,7 @@ Status SortOperator::MergeRuns(std::vector<std::unique_ptr<Run>> inputs) {
   std::string encoded;
   bool have_acc = false;
   Tuple acc;
+  uint64_t acc_code = 0;
   auto flush_acc = [&]() -> Status {
     if (!have_acc) return Status::OK();
     encoded.clear();
@@ -339,14 +376,17 @@ Status SortOperator::MergeRuns(std::vector<std::unique_ptr<Run>> inputs) {
       HeapEntry refill;
       refill.reader = top.reader;
       RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &refill.tuple));
+      refill.code = KeyCode(refill.tuple);
       HeapPush(std::move(refill));
     }
     if (spec_.collapse_equal_keys) {
-      if (have_acc && CompareKeys(acc, top.tuple) == 0) {
+      if (have_acc &&
+          CompareCodedOn(ctx_, acc_code, acc, top.code, top.tuple) == 0) {
         Combine(&acc, top.tuple);
       } else {
         RELDIV_RETURN_NOT_OK(flush_acc());
         acc = std::move(top.tuple);
+        acc_code = top.code;
         have_acc = true;
       }
     } else {
@@ -377,6 +417,7 @@ Status SortOperator::OpenFinalMerge() {
     HeapEntry entry;
     entry.reader = i;
     RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &entry.tuple));
+    entry.code = KeyCode(entry.tuple);
     HeapPush(std::move(entry));
   }
   return Status::OK();
@@ -408,23 +449,11 @@ Status SortOperator::Open() {
     const bool batch_full = batch_bytes >= ctx_->sort_space_bytes();
     if ((input_exhausted || batch_full) && (!batch.empty() || first_batch)) {
       if (first_batch && input_exhausted) {
-        // Whole input fits in the sort space: in-memory quicksort, no I/O.
-        std::sort(batch.begin(), batch.end(),
-                  [this](const Tuple& a, const Tuple& b) {
-                    return CompareKeys(a, b) < 0;
-                  });
-        if (spec_.collapse_equal_keys && !batch.empty()) {
-          std::vector<Tuple> collapsed;
-          collapsed.push_back(std::move(batch.front()));
-          for (size_t i = 1; i < batch.size(); ++i) {
-            if (CompareKeys(collapsed.back(), batch[i]) == 0) {
-              Combine(&collapsed.back(), batch[i]);
-            } else {
-              collapsed.push_back(std::move(batch[i]));
-            }
-          }
-          batch = std::move(collapsed);
-        }
+        // Whole input fits in the sort space: the normalized-key in-memory
+        // sort (+ collapse), no I/O. SortChunk's collapse compares every
+        // tuple once against its group's accumulator — the same count as
+        // the adjacent-pair loop this path used before the kernelization.
+        RELDIV_RETURN_NOT_OK(SortChunk(ctx_, &batch));
         memory_tuples_ = std::move(batch);
         in_memory_ = true;
         memory_pos_ = 0;
@@ -466,7 +495,8 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Status SortOperator::RawMergeNext(Tuple* tuple, bool* has_next) {
+Status SortOperator::RawMergeNext(Tuple* tuple, uint64_t* code,
+                                  bool* has_next) {
   if (heap_.empty()) {
     *has_next = false;
     return Status::OK();
@@ -479,9 +509,11 @@ Status SortOperator::RawMergeNext(Tuple* tuple, bool* has_next) {
     HeapEntry refill;
     refill.reader = top.reader;
     RELDIV_RETURN_NOT_OK(codec_.Decode(Slice(record), &refill.tuple));
+    refill.code = KeyCode(refill.tuple);
     HeapPush(std::move(refill));
   }
   *tuple = std::move(top.tuple);
+  *code = top.code;
   *has_next = true;
   return Status::OK();
 }
@@ -498,13 +530,15 @@ Status SortOperator::Next(Tuple* tuple, bool* has_next) {
     return Status::OK();
   }
   if (!spec_.collapse_equal_keys) {
-    return RawMergeNext(tuple, has_next);
+    uint64_t code = 0;
+    return RawMergeNext(tuple, &code, has_next);
   }
   // Group-collapse on the final merge output.
   while (true) {
     Tuple next;
+    uint64_t next_code = 0;
     bool has = false;
-    RELDIV_RETURN_NOT_OK(RawMergeNext(&next, &has));
+    RELDIV_RETURN_NOT_OK(RawMergeNext(&next, &next_code, &has));
     if (!has) {
       if (have_pending_) {
         *tuple = std::move(pending_);
@@ -517,15 +551,17 @@ Status SortOperator::Next(Tuple* tuple, bool* has_next) {
     }
     if (!have_pending_) {
       pending_ = std::move(next);
+      pending_code_ = next_code;
       have_pending_ = true;
       continue;
     }
-    if (CompareKeys(pending_, next) == 0) {
+    if (CompareCodedOn(ctx_, pending_code_, pending_, next_code, next) == 0) {
       Combine(&pending_, next);
       continue;
     }
     *tuple = std::move(pending_);
     pending_ = std::move(next);
+    pending_code_ = next_code;
     *has_next = true;
     return Status::OK();
   }

@@ -80,6 +80,17 @@ class SortOperator : public Operator {
   /// CompareKeys charging an explicit context — the parallel run-formation
   /// path, where each chunk's comparisons go to a private fragment context.
   int CompareKeysOn(ExecContext* ctx, const Tuple& a, const Tuple& b) const;
+  /// Order-preserving code of `t`'s first sort key (kernels::NormalizedKey);
+  /// 0 when the sort has no keys. Computed once per tuple, uncounted — it is
+  /// encoding, not a key comparison.
+  uint64_t KeyCode(const Tuple& t) const;
+  /// CompareKeysOn resolved through memoized codes: one counted Comp per
+  /// invocation, the full key comparison only on code-equal pairs. By the
+  /// NormalizedKey invariant this is extensionally equal to CompareKeysOn,
+  /// so every sort/merge/collapse decision — and therefore every Table 1
+  /// total — matches the uncoded comparator bit for bit.
+  int CompareCodedOn(ExecContext* ctx, uint64_t code_a, const Tuple& a,
+                     uint64_t code_b, const Tuple& b) const;
   void Combine(Tuple* acc, const Tuple& next) const;
   /// Quicksorts `chunk` in place and (with collapse) combines equal-key
   /// groups, charging all comparisons to `ctx`. Pure CPU — safe to run
@@ -93,8 +104,9 @@ class SortOperator : public Operator {
   /// Merges `inputs` into a single new run (with collapse).
   Status MergeRuns(std::vector<std::unique_ptr<Run>> inputs);
   Status OpenFinalMerge();
-  /// Produces the next tuple of the final merge before collapse grouping.
-  Status RawMergeNext(Tuple* tuple, bool* has_next);
+  /// Produces the next tuple of the final merge before collapse grouping,
+  /// along with its memoized key code.
+  Status RawMergeNext(Tuple* tuple, uint64_t* code, bool* has_next);
 
   ExecContext* ctx_;
   std::unique_ptr<Operator> child_;
@@ -113,6 +125,7 @@ class SortOperator : public Operator {
   std::vector<std::unique_ptr<RunReader>> final_readers_;
   struct HeapEntry {
     Tuple tuple;
+    uint64_t code = 0;  ///< KeyCode(tuple), computed once at decode time
     size_t reader;
   };
   std::vector<HeapEntry> heap_;
@@ -123,6 +136,7 @@ class SortOperator : public Operator {
   // Collapse grouping state for the final merge.
   bool have_pending_ = false;
   Tuple pending_;
+  uint64_t pending_code_ = 0;
 
   size_t initial_runs_ = 0;
   size_t intermediate_merges_ = 0;

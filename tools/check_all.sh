@@ -79,7 +79,7 @@ bench_smoke() {
   out=$(mktemp -d) || return 1
   local benches=(table2_analytical table4_experimental selectivity_sweep
                  overflow_partitioning parallel_scaleup early_output
-                 algorithm_choice hbs_ablation batch_vs_tuple)
+                 algorithm_choice hbs_ablation batch_vs_tuple fused_ablation)
   local b
   for b in "${benches[@]}"; do
     echo "-- $b (smoke)"
@@ -116,6 +116,23 @@ if [[ "$QUICK" == "0" ]]; then
     return "$rc"
   }
   stage "faults" faults
+
+  # Fused stage: the fused pipelines and the kernels behind them must agree
+  # with the virtual operator chains — same quotients, same Table 1 totals —
+  # under both sanitizers and at every interesting worker count (the fused
+  # parallel-fragment path shares the morsel scheduler; DESIGN.md §12).
+  fused_stage() {
+    local preset threads rc=0
+    for preset in asan tsan; do
+      for threads in 1 4 8; do
+        echo "-- fused suites under $preset, RELDIV_THREADS=$threads"
+        RELDIV_THREADS="$threads" ctest --preset "$preset" \
+          -R '(kernels_test|fused_pipeline_test)' || rc=1
+      done
+    done
+    return "$rc"
+  }
+  stage "fused" fused_stage
 
   # Parallel stage: the lane-equivalence contract (DESIGN.md §11) says the
   # worker count must never change a quotient or a Table 1 counter total.

@@ -35,6 +35,19 @@ Checks that clang-tidy cannot express (or that must run without a compiler):
                     must keep their registered sites; losing one during a
                     refactor would quietly shrink what the fault-injection
                     suites exercise.
+  kernel-virtual-next  code under src/exec/kernels/ must not call the
+                    virtual Operator::NextBatch — kernels are the layer
+                    BELOW the operator tree (plain loops over plain arrays)
+                    and must stay linkable without exec/operator.h, so the
+                    fused pipelines can inline them without pulling in
+                    virtual dispatch.
+  fused-value-access  per-tuple Value access (`.value(i)` / `->value(i)`)
+                    inside src/exec/fused/ — fused loop bodies must go
+                    through the batched kernels (column extraction, batched
+                    compare/hash), not re-introduce a tuple-at-a-time
+                    interpreter under the fused label. Setup/fallback code
+                    may annotate NOLINT(reldiv/fused-value-access) with a
+                    reason.
 
 Usage: tools/lint.py [--root DIR]
 Exit status: 0 when clean, 1 when any finding is reported.
@@ -110,6 +123,8 @@ class Linter:
     # by the scheduler.
     RAW_THREAD_RE = re.compile(r"\bstd::thread\b|\bpthread_create\b")
     RAW_THREAD_ALLOWED = ("src/exec/scheduler.h", "src/exec/scheduler.cc")
+    KERNEL_NEXTBATCH_RE = re.compile(r"(?:\.|->)\s*NextBatch\s*\(")
+    FUSED_VALUE_RE = re.compile(r"(?:\.|->)\s*value\s*\(")
 
     def lint_lines(self, path: Path, text: str):
         rel = str(path.relative_to(self.root))
@@ -146,6 +161,22 @@ class Linter:
                             "TaskScheduler::ParallelFor so dop, error "
                             "propagation, and counter merging stay "
                             "deterministic (DESIGN.md §11)")
+            if (rel.startswith("src/exec/kernels/")
+                    and self.KERNEL_NEXTBATCH_RE.search(line)
+                    and "kernel-virtual-next" not in suppressed):
+                self.report(path, lineno, "kernel-virtual-next",
+                            "virtual NextBatch call inside the kernel "
+                            "layer; kernels sit below the operator tree "
+                            "and take plain arrays, never Operators")
+            if (rel.startswith("src/exec/fused/")
+                    and self.FUSED_VALUE_RE.search(line)
+                    and "fused-value-access" not in suppressed):
+                self.report(path, lineno, "fused-value-access",
+                            "per-tuple Value access in a fused pipeline; "
+                            "use the batched kernels (ExtractInt64Column, "
+                            "CompareInt64, HashInt64Keys) or annotate "
+                            "NOLINT(reldiv/fused-value-access) with a "
+                            "reason")
 
     # --- include guards --------------------------------------------------
 
