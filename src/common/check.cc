@@ -16,7 +16,10 @@ void AbortingCheckFailure(const char* file, int line,
 }
 
 /// Handler storage is atomic: parallel worker threads hit DCHECKs while a
-/// test on the main thread may have swapped the handler in at setup.
+/// test on the main thread may have swapped the handler in at setup. A
+/// lock-free exchange/load pair needs no capability annotation (DESIGN.md
+/// §13) — the atomic itself is the synchronization, and the failure path
+/// must stay callable from any lock context without risking deadlock.
 std::atomic<CheckFailureHandler> g_handler{&AbortingCheckFailure};
 
 }  // namespace

@@ -1,0 +1,116 @@
+#ifndef RELDIV_COMMON_MUTEX_H_
+#define RELDIV_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace reldiv {
+
+/// std::mutex wrapped as a Clang thread-safety "capability" so that
+/// GUARDED_BY / REQUIRES annotations are actually enforced (DESIGN.md §13).
+/// libstdc++'s std::mutex carries no capability attribute, which would make
+/// every annotation referencing it vacuous; this wrapper is a zero-cost
+/// shim that restores the contract. Satisfies Lockable, so it composes with
+/// std::unique_lock and std::condition_variable_any where needed.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex as a capability. Used only by BufferManager, whose
+/// Fix path re-enters through the MemoryPool reclaimer on the same thread
+/// (storage/buffer_manager.h); everything else uses the plain Mutex.
+class CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// std::lock_guard equivalent over Mutex: acquires for the whole scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::lock_guard equivalent over RecursiveMutex.
+class SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~RecursiveMutexLock() RELEASE() { mu_.unlock(); }
+
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+ private:
+  RecursiveMutex& mu_;
+};
+
+/// std::unique_lock equivalent over Mutex: a scoped acquisition that can be
+/// dropped and re-taken mid-scope (the scheduler's worker loop) and that
+/// satisfies BasicLockable, so CondVar::wait(lock) below can park on it.
+/// The destructor releases only if currently held.
+class SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~UniqueMutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable compatible with reldiv::Mutex via UniqueMutexLock.
+/// wait() releases and re-acquires the lock internally; from the caller's
+/// (and the analysis') point of view the capability is held throughout, which
+/// matches the wait postcondition.
+using CondVar = std::condition_variable_any;
+
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_MUTEX_H_

@@ -12,8 +12,9 @@ namespace reldiv {
 /// A value-or-error carrier: either holds a `T` or a non-OK Status.
 /// Mirrors arrow::Result. Constructing from an OK status is a programming
 /// error (DCHECKed in debug builds, degraded to Internal otherwise).
+/// [[nodiscard]] like Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value)  // NOLINT(google-explicit-constructor)
       : value_(std::move(value)) {}

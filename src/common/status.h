@@ -22,7 +22,14 @@ enum class StatusCode : int {
 
 /// Lightweight status object in the RocksDB/Arrow style: a code plus an
 /// optional human-readable message. The OK status carries no allocation.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// makes the caller handle it — propagate (RELDIV_RETURN_NOT_OK), check, or
+/// discard EXPLICITLY with a `(void)` cast plus a comment saying why the
+/// error cannot matter (builds run -Werror=unused-result; DESIGN.md §13).
+/// PR 4 found silently-dropped Status in Close paths by hand; this makes
+/// the bug class unrepresentable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -56,12 +56,15 @@ class Operator {
   virtual ~Operator() = default;
 
   virtual const Schema& output_schema() const = 0;
-  virtual Status Open() = 0;
-  virtual Status Next(Tuple* tuple, bool* has_next) = 0;
+  // Status is a [[nodiscard]] class, so these are enforced at every call
+  // site already; the explicit attributes document the protocol's intent
+  // at its definition point.
+  [[nodiscard]] virtual Status Open() = 0;
+  [[nodiscard]] virtual Status Next(Tuple* tuple, bool* has_next) = 0;
 
   /// Batch-at-a-time pull. The base implementation adapts Next(); batch-
   /// native operators override it. See the class comment for the contract.
-  virtual Status NextBatch(TupleBatch* batch, bool* has_more);
+  [[nodiscard]] virtual Status NextBatch(TupleBatch* batch, bool* has_more);
 
   /// True when this operator and its entire input pipeline produce batches
   /// natively, i.e. no tuple-at-a-time adapter runs anywhere underneath.
@@ -76,7 +79,7 @@ class Operator {
   /// operators forward to their child; the default exports nothing.
   virtual void ExportGauges(GaugeList* gauges) const { (void)gauges; }
 
-  virtual Status Close() = 0;
+  [[nodiscard]] virtual Status Close() = 0;
 };
 
 /// Turns a batch-native operator's NextBatch() stream back into the

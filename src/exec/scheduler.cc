@@ -41,21 +41,26 @@ bool TaskScheduler::InParallelRegion() { return tls_in_region; }
 TaskScheduler::TaskScheduler() = default;
 
 TaskScheduler::~TaskScheduler() {
+  // Swap the worker vector out under the lock, join outside it: joining
+  // under pool_mu_ would deadlock a worker trying to re-take the lock, and
+  // touching workers_ unlocked would break its GUARDED_BY contract.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
   pool_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers) worker.join();
 }
 
 size_t TaskScheduler::num_workers() const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   return workers_.size();
 }
 
 void TaskScheduler::EnsureWorkers(size_t want) {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   want = std::min(want, kMaxLanes - 1);
   while (workers_.size() < want) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -78,7 +83,7 @@ Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
   EnsureWorkers(dop - 1);
 
   // One top-level region at a time.
-  std::lock_guard<std::mutex> region_lock(region_mu_);
+  MutexLock region_lock(region_mu_);
 
   Region region;
   region.fn = &fn;
@@ -95,7 +100,7 @@ Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
   region.remaining.store(num_morsels, std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     current_ = &region;
     ++region_seq_;
   }
@@ -108,11 +113,11 @@ Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
   // under pool_mu_, so after this block no late-waking worker can claim a
   // lane (and bump active_workers) behind the wait below.
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     current_ = nullptr;
   }
 
-  std::unique_lock<std::mutex> lock(region.mu);
+  UniqueMutexLock lock(region.mu);
   region.done_cv.wait(lock, [&region] {
     return region.remaining.load(std::memory_order_acquire) == 0 &&
            region.active_workers.load(std::memory_order_acquire) == 0;
@@ -122,11 +127,14 @@ Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
 
 void TaskScheduler::WorkerLoop() {
   uint64_t served_seq = 0;
-  std::unique_lock<std::mutex> lock(pool_mu_);
+  UniqueMutexLock lock(pool_mu_);
   while (true) {
-    pool_cv_.wait(lock, [this, served_seq] {
-      return stop_ || (current_ != nullptr && region_seq_ != served_seq);
-    });
+    // Open-coded wait predicate (not a lambda) so the guarded reads of
+    // stop_/current_/region_seq_ happen in this annotated scope, where the
+    // analysis can see pool_mu_ is held.
+    while (!stop_ && (current_ == nullptr || region_seq_ == served_seq)) {
+      pool_cv_.wait(lock);
+    }
     if (stop_) return;
     Region* region = current_;
     served_seq = region_seq_;
@@ -145,7 +153,7 @@ void TaskScheduler::WorkerLoop() {
       // worker must not touch it after releasing the mutex. The waiter can
       // only re-check its predicate once the mutex is free, i.e. after the
       // last region access here.
-      std::lock_guard<std::mutex> done_lock(region->mu);
+      MutexLock done_lock(region->mu);
       region->active_workers.fetch_sub(1, std::memory_order_acq_rel);
       region->done_cv.notify_all();
     }
@@ -164,7 +172,7 @@ void TaskScheduler::RunLane(Region* region, size_t lane) {
   while (true) {
     size_t morsel = 0;
     {
-      std::lock_guard<std::mutex> lock(own->mu);
+      MutexLock lock(own->mu);
       if (own->morsels.empty()) break;
       morsel = own->morsels.front();
       own->morsels.pop_front();
@@ -179,7 +187,7 @@ void TaskScheduler::RunLane(Region* region, size_t lane) {
       LaneQueue* victim = region->lanes[(lane + i) % region->dop].get();
       size_t morsel = 0;
       {
-        std::lock_guard<std::mutex> lock(victim->mu);
+        MutexLock lock(victim->mu);
         if (victim->morsels.empty()) continue;
         morsel = victim->morsels.back();
         victim->morsels.pop_back();
@@ -201,7 +209,7 @@ void TaskScheduler::ExecuteMorsel(Region* region, size_t morsel) {
   if (!region->failed.load(std::memory_order_acquire)) {
     Status status = (*region->fn)(morsel);
     if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(region->mu);
+      MutexLock lock(region->mu);
       if (region->first_error.ok()) {
         region->first_error = std::move(status);
       }
@@ -214,7 +222,7 @@ void TaskScheduler::ExecuteMorsel(Region* region, size_t morsel) {
     // the caller's predicate check and its wait (and so a worker retiring
     // the final morsel never touches the Region after the caller could
     // have destroyed it — see WorkerLoop).
-    std::lock_guard<std::mutex> lock(region->mu);
+    MutexLock lock(region->mu);
     region->done_cv.notify_all();
   }
 }

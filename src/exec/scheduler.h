@@ -2,16 +2,16 @@
 #define RELDIV_EXEC_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace reldiv {
 
@@ -94,8 +94,8 @@ class TaskScheduler {
   /// One lane's deque. The owner pops from the front (cache-friendly
   /// sequential order); thieves pop from the back.
   struct LaneQueue {
-    std::mutex mu;
-    std::deque<size_t> morsels;
+    Mutex mu;
+    std::deque<size_t> morsels GUARDED_BY(mu);
   };
 
   /// State of one active parallel region, stack-allocated in ParallelFor.
@@ -109,9 +109,9 @@ class TaskScheduler {
     std::atomic<size_t> remaining{0};
     std::atomic<bool> failed{false};
     /// Guards first_error and backs done_cv.
-    std::mutex mu;
-    std::condition_variable done_cv;
-    Status first_error;
+    Mutex mu;
+    CondVar done_cv;
+    Status first_error GUARDED_BY(mu);
     /// Pool workers currently holding a lane of this region. The caller
     /// waits for 0 before the Region leaves scope.
     std::atomic<size_t> active_workers{0};
@@ -124,18 +124,19 @@ class TaskScheduler {
   /// Runs (or, after a failure, skips) one morsel and retires it.
   void ExecuteMorsel(Region* region, size_t morsel);
 
-  /// Serializes top-level regions.
-  std::mutex region_mu_;
+  /// Serializes top-level regions. Protects no data of its own — it is a
+  /// pure turnstile, so nothing is GUARDED_BY it.
+  Mutex region_mu_;  // NOLINT(reldiv/mutex-guarded-by): turnstile only, guards no members
 
   /// Pool state: guards current_/region_seq_/stop_/workers_.
-  mutable std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  Region* current_ = nullptr;
+  mutable Mutex pool_mu_;
+  CondVar pool_cv_;
+  Region* current_ GUARDED_BY(pool_mu_) = nullptr;
   /// Bumped per region so a worker never re-joins a region it already
   /// served (its lane claim is single-use).
-  uint64_t region_seq_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  uint64_t region_seq_ GUARDED_BY(pool_mu_) = 0;
+  bool stop_ GUARDED_BY(pool_mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(pool_mu_);
 };
 
 }  // namespace reldiv

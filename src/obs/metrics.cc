@@ -65,7 +65,7 @@ DiskStats MetricsNode::self_io() const {
 }
 
 MetricsNode* QueryProfile::CreateNode(std::string label, size_t mark) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_.push_back(std::make_unique<MetricsNode>(std::move(label)));
   MetricsNode* node = nodes_.back().get();
   // Bottom-up plan construction: every unsealed root created at or past the
@@ -82,12 +82,12 @@ MetricsNode* QueryProfile::CreateNode(std::string label, size_t mark) {
 }
 
 void QueryProfile::SealRoots() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sealed_roots_ = roots_.size();
 }
 
 void QueryProfile::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   nodes_.clear();
   roots_.clear();
   sealed_roots_ = 0;
@@ -167,6 +167,9 @@ void RenderNodeJson(const MetricsNode& node, std::string* out) {
 }  // namespace
 
 std::string QueryProfile::ToString() const {
+  // Rendering is a quiesced-phase read, but taking the structural lock is
+  // free here and keeps the GUARDED_BY contract intact.
+  MutexLock lock(mu_);
   std::string out;
   for (const MetricsNode* root : roots_) {
     RenderNode(*root, 0, &out);
@@ -175,6 +178,7 @@ std::string QueryProfile::ToString() const {
 }
 
 std::string QueryProfile::ToJson() const {
+  MutexLock lock(mu_);
   std::string out = "[";
   bool first = true;
   for (const MetricsNode* root : roots_) {

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/disk.h"
 
 namespace reldiv {
@@ -105,7 +106,7 @@ class QueryProfile {
 
   /// Position token for CreateNode's `mark` (the current root count).
   size_t Mark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return roots_.size();
   }
 
@@ -114,7 +115,12 @@ class QueryProfile {
   void SealRoots();
 
   /// All tree roots, in creation order. Typically one per profiled query.
-  const std::vector<MetricsNode*>& roots() const { return roots_; }
+  /// Outside the analysis: hands out a reference to guarded structure, which
+  /// is only legal under the class's quiesced-read contract (callers read
+  /// the tree after execution ends; see the class comment).
+  const std::vector<MetricsNode*>& roots() const NO_THREAD_SAFETY_ANALYSIS {
+    return roots_;
+  }
 
   /// Drops every node (invalidates all MetricsNode pointers).
   void Clear();
@@ -129,10 +135,11 @@ class QueryProfile {
 
  private:
   /// Guards nodes_/roots_/sealed_roots_ (structural state; class comment).
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<MetricsNode>> nodes_;
-  std::vector<MetricsNode*> roots_;
-  size_t sealed_roots_ = 0;  ///< roots_[0 .. sealed_roots_) are frozen
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<MetricsNode>> nodes_ GUARDED_BY(mu_);
+  std::vector<MetricsNode*> roots_ GUARDED_BY(mu_);
+  /// roots_[0 .. sealed_roots_) are frozen.
+  size_t sealed_roots_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace reldiv

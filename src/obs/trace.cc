@@ -42,7 +42,7 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 std::string TraceRecorder::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const Event& e : events_) {

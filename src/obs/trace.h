@@ -3,12 +3,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace reldiv {
 
@@ -61,16 +62,16 @@ class TraceRecorder {
   }
 
   size_t num_events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return events_.size();
   }
   uint64_t dropped_events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dropped_;
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.clear();
     dropped_ = 0;
   }
@@ -95,7 +96,7 @@ class TraceRecorder {
   static constexpr size_t kMaxEvents = 1u << 20;
 
   void Append(Event event) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (events_.size() >= kMaxEvents) {
       dropped_++;
       return;
@@ -104,9 +105,10 @@ class TraceRecorder {
   }
 
   std::chrono::steady_clock::time_point origin_;
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  uint64_t dropped_ = 0;
+  /// Guards the bounded event buffer against concurrent appenders.
+  mutable Mutex mu_;
+  std::vector<Event> events_ GUARDED_BY(mu_);
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace reldiv

@@ -70,7 +70,7 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
   // fixing the same non-resident page serialize into exactly one miss+read
   // followed by hits, never a double read-in or a torn counter. The pool's
   // reclaimer re-enters through TryShedFrame on this thread (recursive).
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   RELDIV_FAILPOINT("buffer/fix");
   stats_.fixes++;
   auto it = frames_.find(page_no);
@@ -113,7 +113,7 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
 
 Status BufferManager::Unfix(uint64_t page_no, bool dirty,
                             bool replace_immediately) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = frames_.find(page_no);
   if (it == frames_.end()) {
     return Status::InvalidArgument("unfix of non-resident page " +
@@ -139,7 +139,7 @@ Status BufferManager::Unfix(uint64_t page_no, bool dirty,
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   for (auto& [page_no, frame] : frames_) {
     RELDIV_RETURN_NOT_OK(WriteBack(&frame));
   }
@@ -147,7 +147,7 @@ Status BufferManager::FlushAll() {
 }
 
 Status BufferManager::DropAll() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   for (const auto& [page_no, frame] : frames_) {
     if (frame.pin_count > 0) {
       return Status::Internal("DropAll with page " + std::to_string(page_no) +
@@ -161,13 +161,13 @@ Status BufferManager::DropAll() {
 }
 
 bool BufferManager::TryShedFrame() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto evicted = EvictOne();
   return evicted.ok() && *evicted;
 }
 
 int BufferManager::PinCount(uint64_t page_no) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(mu_);
   auto it = frames_.find(page_no);
   return it == frames_.end() ? 0 : it->second.pin_count;
 }

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/disk.h"
 #include "storage/memory_manager.h"
 
@@ -79,17 +80,17 @@ class BufferManager {
   bool TryShedFrame();
 
   size_t num_frames() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     return frames_.size();
   }
   /// Snapshot of the statistics (by value: a reference would tear under
   /// concurrent fixes).
   BufferStats stats() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    RecursiveMutexLock lock(mu_);
     stats_ = BufferStats{};
   }
 
@@ -108,21 +109,22 @@ class BufferManager {
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  Status WriteBack(Frame* frame);
-  Status ReadIn(Frame* frame);
+  Status WriteBack(Frame* frame) REQUIRES(mu_);
+  Status ReadIn(Frame* frame) REQUIRES(mu_);
   /// Evicts one unfixed frame (LRU head); false if none exists.
-  Result<bool> EvictOne();
-  Status ReleaseFrame(uint64_t page_no);
+  Result<bool> EvictOne() REQUIRES(mu_);
+  Status ReleaseFrame(uint64_t page_no) REQUIRES(mu_);
 
   /// Serializes all public entry points; recursive for the Fix → Reserve →
   /// reclaimer → TryShedFrame re-entry on one thread (class comment).
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
   SimDisk* disk_;
   MemoryPool* pool_;
-  TraceRecorder* trace_ = nullptr;
-  std::unordered_map<uint64_t, Frame> frames_;
-  std::list<uint64_t> lru_;  ///< unfixed pages, least recent first
-  BufferStats stats_;
+  TraceRecorder* trace_ = nullptr;  ///< attached during setup (see set_trace)
+  std::unordered_map<uint64_t, Frame> frames_ GUARDED_BY(mu_);
+  /// Unfixed pages, least recent first.
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);
+  BufferStats stats_ GUARDED_BY(mu_);
 };
 
 /// RAII pin over a buffer page: unfixes on destruction.
@@ -156,7 +158,10 @@ class PageGuard {
 
   void Release() {
     if (bm_ != nullptr && frame_ != nullptr) {
-      bm_->Unfix(page_no_, dirty_);  // best-effort in a destructor
+      // Best-effort in a destructor: an Unfix failure here means the page
+      // was already released or the guard was misused, and a destructor has
+      // no error channel — the write-back path re-reports on FlushAll.
+      (void)bm_->Unfix(page_no_, dirty_);
     }
     bm_ = nullptr;
     frame_ = nullptr;

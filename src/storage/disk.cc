@@ -45,7 +45,7 @@ SimDisk::~SimDisk() {
 }
 
 uint64_t SimDisk::AllocateSectors(uint64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t first = num_sectors_;
   num_sectors_ += count;
   if (backing_ == Backing::kMemory) {
@@ -93,7 +93,7 @@ Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {
   // One lock spans range check, failpoints, accounting, and the copy: the
   // seek failpoint and the seek counter must observe the same arm position,
   // and a transfer must never be torn between them.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
   RELDIV_FAILPOINT("sim_disk/read");
   if (!arm_valid_ || sector != arm_position_) {
@@ -122,7 +122,7 @@ Status SimDisk::Read(uint64_t sector, uint64_t count, char* dst) {
 }
 
 Status SimDisk::Write(uint64_t sector, uint64_t count, const char* src) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RELDIV_RETURN_NOT_OK(CheckRange(sector, count));
   RELDIV_FAILPOINT("sim_disk/write");
   if (!arm_valid_ || sector != arm_position_) {

@@ -5,13 +5,14 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace reldiv {
 
@@ -111,18 +112,18 @@ class SimDisk {
   Status Write(uint64_t sector, uint64_t count, const char* src);
 
   uint64_t num_sectors() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return num_sectors_;
   }
 
   /// Snapshot of the statistics (by value: a reference would tear under
   /// concurrent transfers).
   DiskStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_ = DiskStats{};
   }
 
@@ -133,22 +134,23 @@ class SimDisk {
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
  private:
-  Status CheckRange(uint64_t sector, uint64_t count) const;
+  Status CheckRange(uint64_t sector, uint64_t count) const REQUIRES(mu_);
   /// Requires mu_ held: the seek classification reads and moves the arm.
-  void Account(uint64_t sector, uint64_t count, bool is_read);
+  void Account(uint64_t sector, uint64_t count, bool is_read) REQUIRES(mu_);
 
   /// Serializes AllocateSectors/Read/Write/stats across worker lanes.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   Backing backing_;
-  TraceRecorder* trace_ = nullptr;
-  uint64_t num_sectors_ = 0;
-  uint64_t arm_position_ = 0;  ///< sector just past the last transfer
-  bool arm_valid_ = false;
-  DiskStats stats_;
+  TraceRecorder* trace_ = nullptr;  ///< attached during setup (see set_trace)
+  uint64_t num_sectors_ GUARDED_BY(mu_) = 0;
+  /// Sector just past the last transfer.
+  uint64_t arm_position_ GUARDED_BY(mu_) = 0;
+  bool arm_valid_ GUARDED_BY(mu_) = false;
+  DiskStats stats_ GUARDED_BY(mu_);
 
   // Memory backing: sectors in fixed-size chunks to avoid giant reallocs.
   static constexpr uint64_t kSectorsPerChunk = 1024;  // 1 MB chunks
-  std::deque<std::vector<char>> chunks_;
+  std::deque<std::vector<char>> chunks_ GUARDED_BY(mu_);
 
   // File backing.
   std::FILE* file_ = nullptr;

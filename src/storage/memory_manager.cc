@@ -8,7 +8,7 @@ bool MemoryPool::Reserve(size_t bytes) {
   if (RELDIV_FAILPOINT_DENIED("memory/reserve")) return false;
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (used_ + bytes <= budget_) {
         used_ += bytes;
         return true;
@@ -22,7 +22,7 @@ bool MemoryPool::Reserve(size_t bytes) {
     if (!reclaimer_ || !reclaimer_()) {
       // Last re-check: a concurrent Release may have freed enough between
       // the failed check and the reclaimer running dry.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (used_ + bytes <= budget_) {
         used_ += bytes;
         return true;

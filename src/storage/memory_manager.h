@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace reldiv {
 
@@ -44,26 +46,26 @@ class MemoryPool {
   }
 
   void Release(size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     used_ = bytes > used_ ? 0 : used_ - bytes;
   }
 
   size_t budget() const { return budget_; }
   size_t used() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return used_;
   }
   size_t available() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return budget_ - used_;
   }
 
  private:
   /// Guards used_ only; budget_ is immutable and reclaimer_ is set once at
   /// setup (see class comment).
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t budget_;
-  size_t used_ = 0;
+  size_t used_ GUARDED_BY(mu_) = 0;
   std::function<bool()> reclaimer_;
 };
 

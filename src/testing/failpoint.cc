@@ -26,12 +26,12 @@ std::atomic<int> FailpointRegistry::armed_count_{0};
 FailpointRegistry& FailpointRegistry::Global() {
   // Intentionally leaked so late-destroyed threads can still consult it.
   static FailpointRegistry* registry =
-      new FailpointRegistry();  // NOLINT(reldiv/naked-new)
+      new FailpointRegistry();  // NOLINT(reldiv/naked-new): intentional static leak, see comment above
   return *registry;
 }
 
 void FailpointRegistry::Arm(const std::string& site, FailpointPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SiteState& state = sites_[site];
   if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   state.armed = true;
@@ -41,7 +41,7 @@ void FailpointRegistry::Arm(const std::string& site, FailpointPolicy policy) {
 }
 
 void FailpointRegistry::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -49,7 +49,7 @@ void FailpointRegistry::Disarm(const std::string& site) {
 }
 
 void FailpointRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [site, state] : sites_) {
     if (state.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -57,13 +57,13 @@ void FailpointRegistry::DisarmAll() {
 }
 
 uint64_t FailpointRegistry::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FailpointRegistry::fires(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fires;
 }
@@ -92,7 +92,7 @@ bool FailpointRegistry::ShouldFire(SiteState* state) {
 }
 
 Status FailpointRegistry::Check(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return Status::OK();
   SiteState& state = it->second;
@@ -103,7 +103,7 @@ Status FailpointRegistry::Check(const char* site) {
 }
 
 bool FailpointRegistry::CheckDeny(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return false;
   return ShouldFire(&it->second);

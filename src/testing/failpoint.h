@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace reldiv {
 
@@ -145,11 +146,14 @@ class FailpointRegistry {
   };
 
   FailpointRegistry() = default;
-  bool ShouldFire(SiteState* state);
+  /// Mutates the hit/fire counters of a site in sites_, so the registry
+  /// lock must be held.
+  bool ShouldFire(SiteState* state) REQUIRES(mu_);
 
   static std::atomic<int> armed_count_;
-  mutable std::mutex mu_;
-  std::map<std::string, SiteState> sites_;
+  /// Guards the site map (policies and hit/fire counters).
+  mutable Mutex mu_;
+  std::map<std::string, SiteState> sites_ GUARDED_BY(mu_);
 };
 
 /// RAII arming: arms `site` on construction, disarms it on destruction.

@@ -1,0 +1,62 @@
+// Compile-only fixture proving the -Wthread-safety gate has teeth.
+//
+// Built two ways by tests/CMakeLists.txt (Clang only; GCC ignores the
+// annotations entirely):
+//
+//   thread_safety_positive_compile  — compiled as-is with
+//       -Wthread-safety -Werror: every access below is correctly locked,
+//       so the translation unit MUST be accepted. This is the control
+//       that keeps the negative test honest (a broken include path or a
+//       syntax error would otherwise "fail" for the wrong reason).
+//
+//   thread_safety_negative_compile  — compiled with
+//       -DRELDIV_EXPECT_TSA_ERROR, which adds an unguarded write to a
+//       GUARDED_BY member. The compile MUST fail (ctest WILL_FAIL): if
+//       it ever starts succeeding, the analysis has been silently
+//       disabled — the macros expanded to nothing, the warning flag got
+//       dropped, or the wrapper types lost their capability attributes —
+//       and the whole DESIGN.md §13 contract is rotting unchecked.
+//
+// This file is never linked into a test binary; both targets use
+// -fsyntax-only via add_test compiler invocations.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace reldiv {
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    value_++;
+  }
+
+  int value() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+#ifdef RELDIV_EXPECT_TSA_ERROR
+  // Unguarded write to a GUARDED_BY member: -Wthread-safety must reject
+  // this function ("writing variable 'value_' requires holding mutex
+  // 'mu_' exclusively").
+  void IncrementRacy() { value_++; }
+#endif
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+// The file is compiled with -fsyntax-only, but keep a use so the class
+// is instantiated even if a build rule ever links it.
+[[maybe_unused]] int Use() {
+  Counter c;
+  c.Increment();
+  return c.value();
+}
+
+}  // namespace
+}  // namespace reldiv

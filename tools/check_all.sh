@@ -1,50 +1,95 @@
 #!/usr/bin/env bash
 # One-command verification matrix for the reldiv tree:
 #
+#   analyze                    (tools/lint.py syntactic lints, the
+#                               tools/analyze.py semantic contract rules —
+#                               physical-op accounting, kernel purity,
+#                               mutex GUARDED_BY coverage, failpoint
+#                               catalog sync — and tools/tools_test.py,
+#                               the unit tests for both tools' rules)
+#   clang-tidy                 (when installed; skipped with a notice
+#                               otherwise so the matrix stays runnable on
+#                               minimal containers)
+#   thread-safety              (clang++ -Wthread-safety -Werror over src/
+#                               via the clang-tsa preset, plus the
+#                               positive/negative compile-fail tests;
+#                               skipped with a notice when clang++ is
+#                               absent — GCC ignores the annotations)
 #   release build + ctest      (the tier-1 gate)
 #   bench smoke                (every bench binary on a shrunken workload,
 #                               BENCH_*.json schema validation and a
 #                               bench_report.py self-diff — fails on
 #                               schema drift)
 #   asan build + ctest         (address + UB sanitizers, DCHECKs forced on)
+#   ubsan build + ctest        (standalone UBSan: catches UB whose
+#                               detection the address instrumentation
+#                               perturbs)
 #   tsan build + ctest         (data races in the shared-nothing layer)
 #   faults                     (the failpoint suites with the schedule
 #                               fuzzer iteration count raised, under BOTH
 #                               sanitizer builds: injected disk/memory/
 #                               network faults must recover exactly or
 #                               unwind leak- and race-free — DESIGN.md §10)
+#   fused                      (fused pipelines vs virtual chains, both
+#                               sanitizers, worker counts 1/4/8)
 #   parallel                   (the division property + lane-equivalence +
 #                               scheduler suites at RELDIV_THREADS=1,4,8
 #                               under the TSan build: every worker count
 #                               must produce bit-identical quotients and
 #                               Table 1 counters, race-free — DESIGN.md §11)
-#   tools/lint.py              (repo-specific static lints)
-#   clang-tidy                 (when installed; skipped with a notice
-#                               otherwise so the matrix stays runnable on
-#                               minimal containers)
 #
-# Exits nonzero if ANY stage fails, so it can gate CI directly.
+# Every stage is timed; the summary prints a per-stage wall-clock table.
+# Exits nonzero if ANY stage fails, so it can gate CI directly. Stage
+# bodies run inside the stage() harness, which captures the exit code
+# explicitly — no stage result is ever swallowed by a pipeline or a
+# conditional.
 #
 # Usage: tools/check_all.sh [--quick]
-#   --quick   release + lint only (inner-loop use)
+#   --quick   analyze + release + bench smoke only (inner-loop use)
 
-set -u
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-[[ "${1:-}" == "--quick" ]] && QUICK=1
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
 
 FAILURES=()
-note()  { printf '\n==== %s ====\n' "$*"; }
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_RESULTS=()
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+record() { # name seconds result
+  STAGE_NAMES+=("$1")
+  STAGE_SECS+=("$2")
+  STAGE_RESULTS+=("$3")
+}
+
 stage() {
   local name="$1"; shift
   note "$name"
-  if "$@"; then
-    printf '%s: OK\n' "$name"
+  local t0=$SECONDS rc=0
+  # `|| rc=$?` keeps errexit from killing the harness while still
+  # capturing the stage's real exit code.
+  "$@" || rc=$?
+  local dt=$((SECONDS - t0))
+  if [[ "$rc" -eq 0 ]]; then
+    printf '%s: OK (%ds)\n' "$name" "$dt"
+    record "$name" "$dt" "OK"
   else
-    printf '%s: FAILED\n' "$name"
+    printf '%s: FAILED (exit %d, %ds)\n' "$name" "$rc" "$dt"
+    record "$name" "$dt" "FAILED"
     FAILURES+=("$name")
   fi
+}
+
+skip_stage() { # name reason
+  note "$1"
+  echo "$1: skipped — $2"
+  record "$1" 0 "skipped"
 }
 
 build_and_test() {
@@ -54,7 +99,14 @@ build_and_test() {
   ctest --preset "$preset" || return 1
 }
 
-stage "lint" python3 tools/lint.py
+# Static analysis: syntactic lints, semantic contract rules, and the unit
+# tests that keep both rule engines honest.
+analyze_stage() {
+  python3 tools/lint.py || return 1
+  python3 tools/analyze.py || return 1
+  python3 tools/tools_test.py || return 1
+}
+stage "analyze" analyze_stage
 
 if command -v clang-tidy >/dev/null 2>&1; then
   run_tidy() {
@@ -64,8 +116,23 @@ if command -v clang-tidy >/dev/null 2>&1; then
   }
   stage "clang-tidy" run_tidy
 else
-  note "clang-tidy"
-  echo "clang-tidy: not installed, skipping (config: .clang-tidy)"
+  skip_stage "clang-tidy" "not installed (config: .clang-tidy)"
+fi
+
+# Thread-safety gate: compile src/ under clang++ -Wthread-safety -Werror
+# (the clang-tsa preset) and run the positive/negative compile-fail tests
+# proving the analysis actually rejects an unguarded GUARDED_BY access.
+if command -v clang++ >/dev/null 2>&1; then
+  thread_safety_stage() {
+    cmake --preset clang-tsa >/dev/null || return 1
+    cmake --build --preset clang-tsa -j "$(nproc)" || return 1
+    ctest --test-dir build-clang-tsa -R 'thread_safety_' \
+      --output-on-failure || return 1
+  }
+  stage "thread-safety" thread_safety_stage
+else
+  skip_stage "thread-safety" \
+    "clang++ not installed (annotations are no-ops under GCC; see DESIGN.md §13)"
 fi
 
 stage "release build+ctest" build_and_test release
@@ -90,9 +157,11 @@ bench_smoke() {
   RELDIV_BENCH_DIR="$out" build/bench/micro_kernels \
     --benchmark_filter='BM_BitmapSet/64' --benchmark_min_time=0.01 \
     >/dev/null || { rm -rf "$out"; return 1; }
-  python3 tools/bench_report.py validate "$out" &&
-    python3 tools/bench_report.py diff "$out" "$out"
-  local status=$?
+  local status=0
+  python3 tools/bench_report.py validate "$out" || status=1
+  if [[ "$status" -eq 0 ]]; then
+    python3 tools/bench_report.py diff "$out" "$out" || status=1
+  fi
   rm -rf "$out"
   return "$status"
 }
@@ -100,6 +169,7 @@ stage "bench smoke" bench_smoke
 
 if [[ "$QUICK" == "0" ]]; then
   stage "asan build+ctest" build_and_test asan
+  stage "ubsan build+ctest" build_and_test ubsan
   stage "tsan build+ctest" build_and_test tsan
 
   # Fault stage: rerun the fault-injection layer with the randomized
@@ -152,6 +222,11 @@ if [[ "$QUICK" == "0" ]]; then
 fi
 
 note "summary"
+printf '%-24s %8s  %s\n' "stage" "wall" "result"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-24s %7ds  %s\n' \
+    "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "${STAGE_RESULTS[$i]}"
+done
 if [[ "${#FAILURES[@]}" -gt 0 ]]; then
   echo "FAILED stages: ${FAILURES[*]}"
   exit 1

@@ -1,40 +1,24 @@
 #!/usr/bin/env python3
 """Repo-specific lints for the reldiv tree.
 
-Checks that clang-tidy cannot express (or that must run without a compiler):
+Purely syntactic hygiene checks that clang-tidy cannot express (or that
+must run without a compiler). Semantic project contracts — physical-op
+accounting, kernel purity, mutex GUARDED_BY coverage, failpoint catalog
+sync, raw-thread and naked-new ownership rules — live in tools/analyze.py,
+whose suppressions additionally require a written rationale.
 
   bare-assert       `assert(...)` in src/ — use RELDIV_CHECK / RELDIV_DCHECK
                     (common/check.h) so the intent survives NDEBUG builds
                     deliberately. static_assert is fine.
-  naked-new         `new` / `delete` expressions in src/. The codebase uses
-                    RAII (unique_ptr, arenas, vectors); the few legitimate
-                    sites (private constructors, placement new into arenas,
-                    intentional static leaks) carry a
-                    `NOLINT(reldiv/naked-new)` comment with a reason.
   include-guard     every header under src/ must open with the canonical
                     `RELDIV_<DIR>_<FILE>_H_` guard (#ifndef + #define).
   no-rand           `rand()` / `srand()` / `std::rand` — experiments must be
                     reproducible; use common/rng.h (deterministic
                     xorshift128+) instead.
-  raw-thread        `std::thread` / `pthread_create` in src/ outside
-                    exec/scheduler.{h,cc}. All intra-node parallelism goes
-                    through TaskScheduler::ParallelFor (DESIGN.md §11) so
-                    worker counts, error propagation, and counter merging
-                    stay deterministic; a raw thread bypasses all three.
-                    Tests may spawn threads freely.
   batch-overrides   a class overriding `NextBatch` is a batch-native
                     operator and must also override `Open` and `Close`: a
                     batch-native stream carries state that Open must reset
                     and Close must release (see exec/operator.h).
-  failpoint-site    every `RELDIV_FAILPOINT("...")` /
-                    `RELDIV_FAILPOINT_DENIED("...")` site literal in src/
-                    must be listed in `kFailpointSites`
-                    (testing/failpoint.h): an unlisted site can be armed by
-                    name yet silently never fire after a typo or a rename.
-  failpoint-coverage  the files wired for fault injection (DESIGN.md §10.1)
-                    must keep their registered sites; losing one during a
-                    refactor would quietly shrink what the fault-injection
-                    suites exercise.
   kernel-virtual-next  code under src/exec/kernels/ must not call the
                     virtual Operator::NextBatch — kernels are the layer
                     BELOW the operator tree (plain loops over plain arrays)
@@ -116,13 +100,7 @@ class Linter:
     # --- per-line checks -------------------------------------------------
 
     BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
-    NEW_RE = re.compile(r"(?<![_\w.])new\b(?!\s*\()")  # `new (addr)` = placement
-    DELETE_RE = re.compile(r"(?<![_\w.])delete\b(?!\s*;)")
     RAND_RE = re.compile(r"(?:std::)?\b(?:rand|srand)\s*\(")
-    # std::this_thread (yield/sleep) is fine; only thread CREATION is owned
-    # by the scheduler.
-    RAW_THREAD_RE = re.compile(r"\bstd::thread\b|\bpthread_create\b")
-    RAW_THREAD_ALLOWED = ("src/exec/scheduler.h", "src/exec/scheduler.cc")
     KERNEL_NEXTBATCH_RE = re.compile(r"(?:\.|->)\s*NextBatch\s*\(")
     FUSED_VALUE_RE = re.compile(r"(?:\.|->)\s*value\s*\(")
 
@@ -138,29 +116,10 @@ class Linter:
                     self.report(path, lineno, "bare-assert",
                                 "use RELDIV_CHECK/RELDIV_DCHECK from "
                                 "common/check.h instead of assert()")
-            if "naked-new" not in suppressed:
-                if self.NEW_RE.search(line):
-                    self.report(path, lineno, "naked-new",
-                                "naked new; use make_unique/arena or "
-                                "annotate NOLINT(reldiv/naked-new) with a "
-                                "reason")
-                # `= delete;` (deleted members) is idiomatic and allowed.
-                if self.DELETE_RE.search(re.sub(r"=\s*delete\b", "", line)):
-                    self.report(path, lineno, "naked-new",
-                                "naked delete; owning raw pointers are not "
-                                "used in this codebase")
             if self.RAND_RE.search(line) and "no-rand" not in suppressed:
                 self.report(path, lineno, "no-rand",
                             "non-deterministic libc RNG; use common/rng.h "
                             "(seeded xorshift128+) for reproducibility")
-            if (self.RAW_THREAD_RE.search(line)
-                    and rel not in self.RAW_THREAD_ALLOWED
-                    and "raw-thread" not in suppressed):
-                self.report(path, lineno, "raw-thread",
-                            "raw thread outside exec/scheduler; use "
-                            "TaskScheduler::ParallelFor so dop, error "
-                            "propagation, and counter merging stay "
-                            "deterministic (DESIGN.md §11)")
             if (rel.startswith("src/exec/kernels/")
                     and self.KERNEL_NEXTBATCH_RE.search(line)
                     and "kernel-virtual-next" not in suppressed):
@@ -238,82 +197,20 @@ class Linter:
                             f"{'/'.join(missing)}; batch-native operators "
                             "must manage their stream state explicitly")
 
-    # --- failpoint sites --------------------------------------------------
-
-    FAILPOINT_USE_RE = re.compile(
-        r'RELDIV_FAILPOINT(?:_DENIED)?\s*\(\s*"([^"]+)"')
-    FAILPOINT_CATALOG_RE = re.compile(
-        r"kFailpointSites\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
-
-    # The fault-injection wiring (DESIGN.md §10.1): these files must keep
-    # these sites registered.
-    FAILPOINT_COVERAGE = {
-        "src/storage/disk.cc": ("sim_disk/read", "sim_disk/write",
-                                "sim_disk/seek"),
-        "src/storage/buffer_manager.cc": ("buffer/fix",),
-        "src/storage/memory_manager.cc": ("memory/reserve",),
-        "src/storage/virtual_device.cc": ("virtual_device/append",),
-        "src/storage/record_file.cc": ("extent_file/append",),
-        "src/parallel/network.cc": ("network/send", "network/recv"),
-    }
-
-    def failpoint_catalog(self) -> set[str]:
-        header = self.root / "src" / "testing" / "failpoint.h"
-        if not header.is_file():
-            return set()
-        match = self.FAILPOINT_CATALOG_RE.search(
-            header.read_text(encoding="utf-8"))
-        if match is None:
-            self.report(header, 1, "failpoint-site",
-                        "kFailpointSites catalog not found")
-            return set()
-        return set(re.findall(r'"([^"]+)"', match.group(1)))
-
-    def lint_failpoints(self, texts: dict[Path, str]):
-        catalog = self.failpoint_catalog()
-        sites_by_file: dict[str, set[str]] = {}
-        for path, text in texts.items():
-            rel = str(path.relative_to(self.root))
-            for lineno, raw in enumerate(text.splitlines(), start=1):
-                for site in self.FAILPOINT_USE_RE.findall(raw):
-                    sites_by_file.setdefault(rel, set()).add(site)
-                    if site not in catalog:
-                        self.report(path, lineno, "failpoint-site",
-                                    f"site '{site}' is not listed in "
-                                    "kFailpointSites (testing/failpoint.h); "
-                                    "arming it by name would never fire")
-        for rel, required in self.FAILPOINT_COVERAGE.items():
-            path = self.root / rel
-            if not path.is_file():
-                self.report(path if path.exists() else self.root / rel, 1,
-                            "failpoint-coverage",
-                            f"wired file {rel} is missing")
-                continue
-            present = sites_by_file.get(rel, set())
-            for site in required:
-                if site not in present:
-                    self.report(path, 1, "failpoint-coverage",
-                                f"expected failpoint site '{site}' is no "
-                                "longer registered in this file (see "
-                                "DESIGN.md §10.1)")
-
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
         files = []
         for d in SOURCE_DIRS:
             files.extend(sorted((self.root / d).rglob("*")))
-        texts: dict[Path, str] = {}
         for path in files:
             if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
                 continue
             text = mask_block_comments(path.read_text(encoding="utf-8"))
-            texts[path] = text
             self.lint_lines(path, text)
             if path.suffix == HEADER_SUFFIX:
                 self.lint_include_guard(path, text)
                 self.lint_batch_overrides(path, text)
-        self.lint_failpoints(texts)
         for finding in self.findings:
             print(finding)
         print(f"lint.py: {len(self.findings)} finding(s)")
