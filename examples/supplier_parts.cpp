@@ -9,14 +9,22 @@
 //   3. when memory is capped, the partitioned form of hash-division (§3.4)
 //      computes the same result where the plain operator reports overflow;
 //   4. the observability layer: EXPLAIN ANALYZE prints the §4 cost-model
-//      predictions beside measured per-operator metrics, and a TraceRecorder
-//      writes a chrome://tracing timeline to supplier_parts_trace.json.
+//      predictions beside measured per-operator metrics (with the
+//      cost-drift line comparing this run against the model), and a
+//      TraceRecorder writes a chrome://tracing timeline to
+//      supplier_parts_trace.json;
+//   5. the process-telemetry layer (DESIGN.md §14): the metric registry
+//      dumped in Prometheus exposition format, and the flight recorder
+//      replaying the structured events around an injected disk fault.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "reldiv/reldiv.h"
+#include "testing/failpoint.h"
 
 using namespace reldiv;
 
@@ -59,7 +67,33 @@ Status LoadCatalog(Database* db, Relation* supplies, Relation* parts) {
   return Status::OK();
 }
 
+// Prints the registry's Prometheus exposition filtered to a few headline
+// series, with histogram bucket lines elided (a full dump is one
+// ToPrometheusText() call; this keeps the example output readable).
+void PrintPrometheusExcerpt() {
+  static const char* kSeries[] = {"reldiv_disk_", "reldiv_buffer_",
+                                  "reldiv_query_", "reldiv_fallbacks_total"};
+  const std::string text = MetricRegistry::Global().ToPrometheusText();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    for (const char* series : kSeries) {
+      if (line.find(series) != std::string::npos) {
+        std::printf("  %s\n", line.c_str());
+        break;
+      }
+    }
+  }
+}
+
 Status Run() {
+  // Full sampling so the per-algorithm wall-time histograms fill in; the
+  // default (counting) mode would populate only counters and gauges.
+  Telemetry::SetMode(TelemetryMode::kSampling);
   RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db, Database::Open());
   Relation supplies, parts;
   RELDIV_RETURN_NOT_OK(LoadCatalog(db.get(), &supplies, &parts));
@@ -161,6 +195,43 @@ Status Run() {
   std::printf("\nwrote %zu trace events to %s "
               "(load in chrome://tracing or https://ui.perfetto.dev)\n",
               trace.num_events(), trace_path);
+
+  // 5a: every run above also updated the process-wide metric registry;
+  // this is what a scrape endpoint would serve.
+  std::printf("\nProcess metrics (Prometheus exposition, excerpt):\n");
+  PrintPrometheusExcerpt();
+
+  // 5b: inject a disk fault and replay the flight recorder — the same ring
+  // the RELDIV_CHECK failure handler dumps on a crash, here read back after
+  // a query that failed cleanly.
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Clear();
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->FlushAll());
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->DropAll());
+  Status injected;
+  {
+    ScopedFailpoint fault(
+        "sim_disk/read",
+        FailpointPolicy::Always(StatusCode::kIOError, "injected head crash"));
+    Result<std::vector<Tuple>> crashed =
+        Divide(db->ctx(), query, DivisionAlgorithm::kHashDivision);
+    if (crashed.ok()) {
+      return Status::Internal("injected fault did not surface");
+    }
+    injected = crashed.status();
+  }
+  std::printf("\nInjected fault: query failed with: %s\n",
+              injected.ToString().c_str());
+  std::printf("Flight recorder (%zu events retained, oldest first):\n",
+              recorder.size());
+  for (const FlightEvent& event : recorder.Events()) {
+    std::printf("  #%llu +%lluus [%s] %s %s value=%llu\n",
+                static_cast<unsigned long long>(event.seq),
+                static_cast<unsigned long long>(event.ts_us),
+                FlightEventCategoryName(event.category), event.label.c_str(),
+                event.detail.c_str(),
+                static_cast<unsigned long long>(event.value));
+  }
   return Status::OK();
 }
 

@@ -8,10 +8,17 @@ namespace reldiv {
 
 namespace {
 
+/// Last-words hook (see SetCheckFailureDumpHook). Same lock-free atomic
+/// pattern as the handler below, and for the same reason: the failure path
+/// runs from arbitrary lock contexts.
+std::atomic<CheckFailureDumpHook> g_dump_hook{nullptr};
+
 void AbortingCheckFailure(const char* file, int line,
                           const std::string& message) {
   std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
   std::fflush(stderr);
+  CheckFailureDumpHook hook = g_dump_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook();
   std::abort();
 }
 
@@ -27,6 +34,10 @@ std::atomic<CheckFailureHandler> g_handler{&AbortingCheckFailure};
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
   if (handler == nullptr) handler = &AbortingCheckFailure;
   return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+CheckFailureDumpHook SetCheckFailureDumpHook(CheckFailureDumpHook hook) {
+  return g_dump_hook.exchange(hook, std::memory_order_acq_rel);
 }
 
 namespace check_internal {

@@ -1,19 +1,33 @@
 #include "common/counters.h"
 
+#include "common/metric_names.h"
+
 namespace reldiv {
 
+namespace {
+
+std::string Field(const char* name, uint64_t value) {
+  return std::string(name) + "=" + std::to_string(value);
+}
+
+std::string JsonField(const char* name, uint64_t value) {
+  return "\"" + std::string(name) + "\":" + std::to_string(value);
+}
+
+}  // namespace
+
 std::string CpuCounters::ToString() const {
-  return "comparisons=" + std::to_string(comparisons) +
-         " hashes=" + std::to_string(hashes) +
-         " moves=" + std::to_string(moves) +
-         " bit_ops=" + std::to_string(bit_ops);
+  return Field(metric_names::kComparisons, comparisons) + " " +
+         Field(metric_names::kHashes, hashes) + " " +
+         Field(metric_names::kMoves, moves) + " " +
+         Field(metric_names::kBitOps, bit_ops);
 }
 
 std::string CpuCounters::ToJson() const {
-  return "{\"comparisons\":" + std::to_string(comparisons) +
-         ",\"hashes\":" + std::to_string(hashes) +
-         ",\"moves\":" + std::to_string(moves) +
-         ",\"bit_ops\":" + std::to_string(bit_ops) + "}";
+  return "{" + JsonField(metric_names::kComparisons, comparisons) + "," +
+         JsonField(metric_names::kHashes, hashes) + "," +
+         JsonField(metric_names::kMoves, moves) + "," +
+         JsonField(metric_names::kBitOps, bit_ops) + "}";
 }
 
 }  // namespace reldiv

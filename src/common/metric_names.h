@@ -1,0 +1,104 @@
+#ifndef RELDIV_COMMON_METRIC_NAMES_H_
+#define RELDIV_COMMON_METRIC_NAMES_H_
+
+namespace reldiv {
+
+/// Single source of truth for every metric, gauge, and counter field name
+/// emitted by the tree. Three consumers keep each other honest:
+///
+///   - serializers (CpuCounters::ToJson, DiskStats::ToJson, ExportGauges
+///     implementations, the telemetry exporters) reference these constants
+///     instead of repeating string literals;
+///   - tools/bench_report.py parses the `bench-schema:` blocks below and
+///     fails validate/diff when its COUNTER_KEYS/IO_KEYS drift from them;
+///   - tools/analyze.py (telemetry-names rule) rejects MetricRegistry
+///     registration sites that pass a raw string literal instead of a
+///     constant from this header.
+///
+/// The bench-schema blocks are machine-parsed: keep one `inline constexpr
+/// char kX[] = "name";` per line between a `// bench-schema: <section>`
+/// marker and the following `// bench-schema: end`.
+namespace metric_names {
+
+// bench-schema: counters
+inline constexpr char kComparisons[] = "comparisons";
+inline constexpr char kHashes[] = "hashes";
+inline constexpr char kMoves[] = "moves";
+inline constexpr char kBitOps[] = "bit_ops";
+// bench-schema: end
+
+// bench-schema: io
+inline constexpr char kTransfers[] = "transfers";
+inline constexpr char kSeeks[] = "seeks";
+inline constexpr char kKbytes[] = "kbytes";
+inline constexpr char kReads[] = "reads";
+inline constexpr char kWrites[] = "writes";
+// bench-schema: end
+
+// ---- Per-operator gauges (Operator::ExportGauges keys; rendered by the
+// QueryProfile tree and EXPLAIN ANALYZE). ----
+inline constexpr char kGaugeFusedPipeline[] = "fused_pipeline";
+inline constexpr char kGaugeSimdKernels[] = "simd_kernels";
+inline constexpr char kGaugeBitmapFillRatio[] = "bitmap_fill_ratio";
+inline constexpr char kGaugeDivisorCount[] = "divisor_count";
+inline constexpr char kGaugeQuotientCandidates[] = "quotient_candidates";
+inline constexpr char kGaugeHashMemoryBytes[] = "hash_memory_bytes";
+inline constexpr char kGaugeEarlyOutputHits[] = "early_output_hits";
+inline constexpr char kGaugeParallelFragments[] = "parallel_fragments";
+inline constexpr char kGaugeInMemory[] = "in_memory";
+inline constexpr char kGaugeInitialRuns[] = "initial_runs";
+inline constexpr char kGaugeIntermediateMerges[] = "intermediate_merges";
+inline constexpr char kGaugeExchangeFragments[] = "exchange_fragments";
+inline constexpr char kGaugeExchangeDop[] = "exchange_dop";
+inline constexpr char kGaugePhasesRun[] = "phases_run";
+inline constexpr char kGaugeRepartitions[] = "repartitions";
+inline constexpr char kGaugeEscalations[] = "escalations";
+inline constexpr char kGaugeRestarts[] = "restarts";
+inline constexpr char kGaugeFallbackTaken[] = "fallback_taken";
+
+// ---- Process-wide telemetry (obs/telemetry.h MetricRegistry). Prometheus
+// naming conventions: `_total` suffix on monotone counters, unit suffix on
+// histograms. ----
+
+// TaskScheduler (exec/scheduler.cc).
+inline constexpr char kSchedTasksTotal[] = "reldiv_scheduler_tasks_total";
+inline constexpr char kSchedStealsTotal[] = "reldiv_scheduler_steals_total";
+inline constexpr char kSchedQueueDepthHighWater[] =
+    "reldiv_scheduler_queue_depth_high_water";
+inline constexpr char kSchedBusyMicros[] = "reldiv_scheduler_busy_us";
+inline constexpr char kSchedIdleMicros[] = "reldiv_scheduler_idle_us";
+
+// MemoryPool (storage/memory_manager.cc).
+inline constexpr char kMemGrantDenialsTotal[] =
+    "reldiv_mem_grant_denials_total";
+inline constexpr char kMemHighWaterBytes[] = "reldiv_mem_high_water_bytes";
+inline constexpr char kMemGrantLatencyMicros[] = "reldiv_mem_grant_latency_us";
+
+// SimDisk / BufferManager (storage/disk.cc, storage/buffer_manager.cc).
+inline constexpr char kDiskTransfersTotal[] = "reldiv_disk_transfers_total";
+inline constexpr char kDiskSeeksTotal[] = "reldiv_disk_seeks_total";
+inline constexpr char kDiskTransferSectors[] = "reldiv_disk_transfer_sectors";
+inline constexpr char kBufferHitsTotal[] = "reldiv_buffer_hits_total";
+inline constexpr char kBufferMissesTotal[] = "reldiv_buffer_misses_total";
+inline constexpr char kBufferEvictionsTotal[] = "reldiv_buffer_evictions_total";
+
+// Interconnect (parallel/network.cc); labelled per sending node.
+inline constexpr char kNetMessagesTotal[] = "reldiv_net_messages_total";
+inline constexpr char kNetBytesTotal[] = "reldiv_net_bytes_total";
+inline constexpr char kNetRetriesTotal[] = "reldiv_net_retries_total";
+
+// Query layer (exec/operator.cc, planner/explain.cc); labelled per
+// algorithm where noted.
+inline constexpr char kQueryWallMicros[] = "reldiv_query_wall_us";
+inline constexpr char kQueryFailuresTotal[] = "reldiv_query_failures_total";
+
+// Observability internals.
+inline constexpr char kTraceSpansDropped[] = "reldiv_trace_spans_dropped";
+inline constexpr char kFailpointFiresTotal[] = "reldiv_failpoint_fires_total";
+inline constexpr char kFallbacksTotal[] = "reldiv_fallbacks_total";
+inline constexpr char kRepartitionsTotal[] = "reldiv_repartitions_total";
+
+}  // namespace metric_names
+}  // namespace reldiv
+
+#endif  // RELDIV_COMMON_METRIC_NAMES_H_

@@ -1,5 +1,8 @@
 #include "division/division.h"
 
+#include <chrono>
+
+#include "common/metric_names.h"
 #include "division/fallback_division.h"
 #include "division/hash_agg_division.h"
 #include "division/hash_division.h"
@@ -12,6 +15,7 @@
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "obs/profiled_operator.h"
+#include "obs/telemetry.h"
 #include "storage/record_file.h"
 
 namespace reldiv {
@@ -271,9 +275,25 @@ Result<std::vector<Tuple>> Divide(ExecContext* ctx,
                                   const DivisionQuery& query,
                                   DivisionAlgorithm algorithm,
                                   const DivisionOptions& options) {
+  // End-to-end wall time per algorithm feeds the process-wide latency
+  // percentiles (clock reads only under Telemetry::sampling()).
+  const bool sample = Telemetry::sampling();
+  std::chrono::steady_clock::time_point start;
+  if (sample) start = std::chrono::steady_clock::now();
   RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> plan,
                           MakeDivisionPlan(ctx, query, algorithm, options));
-  return CollectAll(plan.get(), ctx->batch_capacity());
+  Result<std::vector<Tuple>> result =
+      CollectAll(plan.get(), ctx->batch_capacity());
+  if (sample && result.ok()) {
+    Histogram* wall = MetricRegistry::Global().FindOrCreateHistogram(
+        metric_names::kQueryWallMicros, "algorithm",
+        DivisionAlgorithmName(algorithm));
+    wall->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  return result;
 }
 
 }  // namespace reldiv

@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include "common/metric_names.h"
 #include "division/hash_division.h"
 #include "division/partitioned_hash_division.h"
 #include "exec/scan.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 
 namespace reldiv {
 
@@ -44,6 +47,15 @@ Status FallbackDivisionOperator::Open() {
   primary.reset();
 
   fallback_taken_ = true;
+  if (Telemetry::counting()) {
+    static TelemetryCounter* fallbacks =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kFallbacksTotal);
+    fallbacks->Add(1);
+    FlightRecorder::Global().Record(FlightEventCategory::kFallback,
+                                    "fallback_to_partitioned",
+                                    status.message());
+  }
   auto secondary = std::make_unique<PartitionedHashDivisionOperator>(
       ctx_, resolved_, options_);
   RELDIV_RETURN_NOT_OK(secondary->Open());
@@ -69,7 +81,8 @@ Status FallbackDivisionOperator::Close() {
 }
 
 void FallbackDivisionOperator::ExportGauges(GaugeList* gauges) const {
-  gauges->emplace_back("fallback_taken", fallback_taken_ ? 1.0 : 0.0);
+  gauges->emplace_back(metric_names::kGaugeFallbackTaken,
+                       fallback_taken_ ? 1.0 : 0.0);
   if (active_ != nullptr) active_->ExportGauges(gauges);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/bitmap.h"
 #include "common/check.h"
+#include "common/metric_names.h"
 #include "exec/exchange.h"
 #include "exec/kernels/kernels.h"
 #include "exec/scheduler.h"
@@ -540,22 +541,22 @@ void HashDivisionOperator::ExportGauges(GaugeList* gauges) const {
   if (core_ == nullptr) return;
   const double divisor = static_cast<double>(core_->divisor_count());
   const double candidates = static_cast<double>(core_->quotient_candidates());
-  gauges->emplace_back("divisor_count", divisor);
-  gauges->emplace_back("quotient_candidates", candidates);
-  gauges->emplace_back("hash_memory_bytes",
+  gauges->emplace_back(metric_names::kGaugeDivisorCount, divisor);
+  gauges->emplace_back(metric_names::kGaugeQuotientCandidates, candidates);
+  gauges->emplace_back(metric_names::kGaugeHashMemoryBytes,
                        static_cast<double>(core_->memory_bytes()));
   const double cells = divisor * candidates;
   gauges->emplace_back(
-      "bitmap_fill_ratio",
+      metric_names::kGaugeBitmapFillRatio,
       cells == 0 ? 0.0 : static_cast<double>(core_->bits_set()) / cells);
   if (options_.early_output) {
-    gauges->emplace_back("early_output_hits",
+    gauges->emplace_back(metric_names::kGaugeEarlyOutputHits,
                          static_cast<double>(core_->early_emits()));
   }
   if (options_.parallel_fragments > 0) {
     // Fragment-local quotient tables are gone by now; the shared divisor
     // table and the fragment count are what remain observable.
-    gauges->emplace_back("parallel_fragments",
+    gauges->emplace_back(metric_names::kGaugeParallelFragments,
                          static_cast<double>(options_.parallel_fragments));
   }
 }

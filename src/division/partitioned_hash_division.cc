@@ -4,12 +4,15 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/metric_names.h"
 #include "common/row_codec.h"
 #include "division/hash_division.h"
 #include "exec/exchange.h"
 #include "exec/mem_source.h"
 #include "exec/scan.h"
 #include "exec/scheduler.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "storage/record_file.h"
 
 namespace reldiv {
@@ -204,6 +207,14 @@ Status PartitionedHashDivisionOperator::DivideQuotientCluster(
   // Splitting on the quotient attrs keeps every candidate's dividend
   // tuples together, so per-half quotients concatenate correctly.
   ++*repartitions;
+  if (Telemetry::counting()) {
+    static TelemetryCounter* repartitions_total =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kRepartitionsTotal);
+    repartitions_total->Add(1);
+    FlightRecorder::Global().Record(FlightEventCategory::kFallback,
+                                    "repartition", label, depth + 1);
+  }
   RELDIV_ASSIGN_OR_RETURN(
       auto halves,
       PartitionRelation(
@@ -631,6 +642,11 @@ Status PartitionedHashDivisionOperator::Open() {
     // budget; quotient partitioning alone cannot recover, so escalate to
     // the combined strategy, which also shrinks the divisor table.
     escalations_++;
+    if (Telemetry::counting()) {
+      FlightRecorder::Global().Record(FlightEventCategory::kFallback,
+                                      "escalate_to_combined",
+                                      "partitioned_hash_division");
+    }
     strategy = PartitionStrategy::kCombined;
   } else if (strategy != PartitionStrategy::kDivisor &&
              strategy != PartitionStrategy::kCombined) {
@@ -649,6 +665,11 @@ Status PartitionedHashDivisionOperator::Open() {
     // A cluster outgrew the budget at this partition count: restart with
     // twice the partitions, which halves every cluster in expectation.
     restarts_++;
+    if (Telemetry::counting()) {
+      FlightRecorder::Global().Record(FlightEventCategory::kFallback,
+                                      "restart_doubled_partitions",
+                                      "partitioned_hash_division", parts * 2);
+    }
     parts *= 2;
   }
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metric_names.h"
 #include "division/division.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
@@ -85,10 +86,14 @@ class PartitionedHashDivisionOperator : public Operator {
   /// Partition passes executed over the spooled clusters, plus the overflow
   /// recovery counters (see the class comment).
   void ExportGauges(GaugeList* gauges) const override {
-    gauges->emplace_back("phases_run", static_cast<double>(phases_run_));
-    gauges->emplace_back("repartitions", static_cast<double>(repartitions_));
-    gauges->emplace_back("escalations", static_cast<double>(escalations_));
-    gauges->emplace_back("restarts", static_cast<double>(restarts_));
+    gauges->emplace_back(metric_names::kGaugePhasesRun,
+                         static_cast<double>(phases_run_));
+    gauges->emplace_back(metric_names::kGaugeRepartitions,
+                         static_cast<double>(repartitions_));
+    gauges->emplace_back(metric_names::kGaugeEscalations,
+                         static_cast<double>(escalations_));
+    gauges->emplace_back(metric_names::kGaugeRestarts,
+                         static_cast<double>(restarts_));
   }
 
  private:

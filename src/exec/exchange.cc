@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/metric_names.h"
 #include "common/mutex.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
@@ -204,9 +205,10 @@ Status ExchangeOperator::Close() {
 }
 
 void ExchangeOperator::ExportGauges(GaugeList* gauges) const {
-  gauges->emplace_back("exchange_fragments",
+  gauges->emplace_back(metric_names::kGaugeExchangeFragments,
                        static_cast<double>(num_fragments_));
-  gauges->emplace_back("exchange_dop", static_cast<double>(last_dop_));
+  gauges->emplace_back(metric_names::kGaugeExchangeDop,
+                       static_cast<double>(last_dop_));
 }
 
 Result<std::vector<std::vector<Tuple>>> DrainAndHashRepartition(

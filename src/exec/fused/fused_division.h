@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metric_names.h"
 #include "division/division.h"
 #include "division/hash_division.h"
 #include "exec/fused/fused_pipeline.h"
@@ -129,28 +130,28 @@ class FusedHashDivision final
   }
 
   void ExportGauges(GaugeList* gauges) const override {
-    gauges->emplace_back("fused_pipeline", 1.0);
+    gauges->emplace_back(metric_names::kGaugeFusedPipeline, 1.0);
     gauges->emplace_back(
-        "simd_kernels",
+        metric_names::kGaugeSimdKernels,
         kernels::ActiveLevel() == kernels::Level::kSimd ? 1.0 : 0.0);
     if (core_ == nullptr) return;
     const double divisor = static_cast<double>(core_->divisor_count());
     const double candidates =
         static_cast<double>(core_->quotient_candidates());
-    gauges->emplace_back("divisor_count", divisor);
-    gauges->emplace_back("quotient_candidates", candidates);
-    gauges->emplace_back("hash_memory_bytes",
+    gauges->emplace_back(metric_names::kGaugeDivisorCount, divisor);
+    gauges->emplace_back(metric_names::kGaugeQuotientCandidates, candidates);
+    gauges->emplace_back(metric_names::kGaugeHashMemoryBytes,
                          static_cast<double>(core_->memory_bytes()));
     const double cells = divisor * candidates;
     gauges->emplace_back(
-        "bitmap_fill_ratio",
+        metric_names::kGaugeBitmapFillRatio,
         cells == 0 ? 0.0 : static_cast<double>(core_->bits_set()) / cells);
     if (options_.early_output) {
-      gauges->emplace_back("early_output_hits",
+      gauges->emplace_back(metric_names::kGaugeEarlyOutputHits,
                            static_cast<double>(core_->early_emits()));
     }
     if (options_.parallel_fragments > 0) {
-      gauges->emplace_back("parallel_fragments",
+      gauges->emplace_back(metric_names::kGaugeParallelFragments,
                            static_cast<double>(options_.parallel_fragments));
     }
   }

@@ -1,7 +1,11 @@
 #include "exec/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "common/metric_names.h"
+#include "obs/telemetry.h"
 
 namespace reldiv {
 
@@ -14,6 +18,43 @@ thread_local size_t tls_lane = 0;
 /// nested ParallelFor calls detect the region through this flag, not the
 /// lane number.
 thread_local bool tls_in_region = false;
+
+/// Cached registry handles — registered once, then every update is a
+/// relaxed atomic op. Per-lane task counters are a labelled family
+/// (lane="0".."15"); the busy/idle histograms are only recorded under
+/// Telemetry::sampling().
+struct SchedulerTelemetry {
+  TelemetryCounter* tasks[TaskScheduler::kMaxLanes];
+  TelemetryCounter* steals;
+  TelemetryGauge* queue_depth_high_water;
+  Histogram* busy_us;
+  Histogram* idle_us;
+
+  static const SchedulerTelemetry& Get() {
+    static const SchedulerTelemetry t = [] {
+      SchedulerTelemetry s;
+      MetricRegistry& reg = MetricRegistry::Global();
+      for (size_t lane = 0; lane < TaskScheduler::kMaxLanes; ++lane) {
+        s.tasks[lane] = reg.FindOrCreateCounter(
+            metric_names::kSchedTasksTotal, "lane", std::to_string(lane));
+      }
+      s.steals = reg.FindOrCreateCounter(metric_names::kSchedStealsTotal);
+      s.queue_depth_high_water =
+          reg.FindOrCreateGauge(metric_names::kSchedQueueDepthHighWater);
+      s.busy_us = reg.FindOrCreateHistogram(metric_names::kSchedBusyMicros);
+      s.idle_us = reg.FindOrCreateHistogram(metric_names::kSchedIdleMicros);
+      return s;
+    }();
+    return t;
+  }
+};
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
 
 }  // namespace
 
@@ -98,6 +139,11 @@ Status TaskScheduler::ParallelFor(size_t dop, size_t num_morsels,
     region.lanes[m % dop]->morsels.push_back(m);
   }
   region.remaining.store(num_morsels, std::memory_order_relaxed);
+  if (Telemetry::counting()) {
+    // Round-robin placement makes the deepest lane ceil(num_morsels/dop).
+    SchedulerTelemetry::Get().queue_depth_high_water->UpdateMax(
+        (num_morsels + dop - 1) / dop);
+  }
 
   {
     MutexLock lock(pool_mu_);
@@ -132,8 +178,14 @@ void TaskScheduler::WorkerLoop() {
     // Open-coded wait predicate (not a lambda) so the guarded reads of
     // stop_/current_/region_seq_ happen in this annotated scope, where the
     // analysis can see pool_mu_ is held.
+    const bool sample_idle = Telemetry::sampling();
+    std::chrono::steady_clock::time_point idle_start;
+    if (sample_idle) idle_start = std::chrono::steady_clock::now();
     while (!stop_ && (current_ == nullptr || region_seq_ == served_seq)) {
       pool_cv_.wait(lock);
+    }
+    if (sample_idle) {
+      SchedulerTelemetry::Get().idle_us->Record(ElapsedMicros(idle_start));
     }
     if (stop_) return;
     Region* region = current_;
@@ -166,6 +218,9 @@ void TaskScheduler::RunLane(Region* region, size_t lane) {
   const bool saved_in_region = tls_in_region;
   tls_lane = lane;
   tls_in_region = true;
+  const bool sample_busy = Telemetry::sampling();
+  std::chrono::steady_clock::time_point busy_start;
+  if (sample_busy) busy_start = std::chrono::steady_clock::now();
 
   // Own lane first, front-to-back (sequential morsel order).
   LaneQueue* own = region->lanes[lane].get();
@@ -193,6 +248,7 @@ void TaskScheduler::RunLane(Region* region, size_t lane) {
         victim->morsels.pop_back();
       }
       stole = true;
+      if (Telemetry::counting()) SchedulerTelemetry::Get().steals->Add(1);
       ExecuteMorsel(region, morsel);
       break;
     }
@@ -201,11 +257,17 @@ void TaskScheduler::RunLane(Region* region, size_t lane) {
     if (!stole) break;
   }
 
+  if (sample_busy) {
+    SchedulerTelemetry::Get().busy_us->Record(ElapsedMicros(busy_start));
+  }
   tls_lane = saved_lane;
   tls_in_region = saved_in_region;
 }
 
 void TaskScheduler::ExecuteMorsel(Region* region, size_t morsel) {
+  if (Telemetry::counting()) {
+    SchedulerTelemetry::Get().tasks[tls_lane]->Add(1);
+  }
   if (!region->failed.load(std::memory_order_acquire)) {
     Status status = (*region->fn)(morsel);
     if (!status.ok()) {

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metric_names.h"
 #include "common/row_codec.h"
 #include "exec/exec_context.h"
 #include "exec/operator.h"
@@ -66,9 +67,11 @@ class SortOperator : public Operator {
   /// Spill behavior: whether the input fit in the sort space, and if not,
   /// how many runs were written and how many intermediate merges ran.
   void ExportGauges(GaugeList* gauges) const override {
-    gauges->emplace_back("in_memory", in_memory_ ? 1.0 : 0.0);
-    gauges->emplace_back("initial_runs", static_cast<double>(initial_runs_));
-    gauges->emplace_back("intermediate_merges",
+    gauges->emplace_back(metric_names::kGaugeInMemory,
+                         in_memory_ ? 1.0 : 0.0);
+    gauges->emplace_back(metric_names::kGaugeInitialRuns,
+                         static_cast<double>(initial_runs_));
+    gauges->emplace_back(metric_names::kGaugeIntermediateMerges,
                          static_cast<double>(intermediate_merges_));
   }
 

@@ -1,0 +1,85 @@
+#include "obs/cost_drift.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace reldiv {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CostDriftTracker& CostDriftTracker::Global() {
+  // Intentionally leaked (mirrors FailpointRegistry::Global).
+  static CostDriftTracker* tracker =
+      new CostDriftTracker();  // NOLINT(reldiv/naked-new): intentional static leak, see comment above
+  return *tracker;
+}
+
+void CostDriftTracker::Record(CostDriftSample sample) {
+  sample.relative_error =
+      sample.predicted_ms == 0
+          ? 0
+          : (sample.measured_total_ms() - sample.predicted_ms) /
+                sample.predicted_ms;
+  MutexLock lock(mu_);
+  CostDriftAggregate& agg = aggregates_[sample.algorithm];
+  agg.runs++;
+  agg.sum_error += sample.relative_error;
+  agg.sum_abs_error += std::fabs(sample.relative_error);
+  samples_.push_back(std::move(sample));
+  if (samples_.size() > kMaxSamples) samples_.pop_front();
+}
+
+size_t CostDriftTracker::num_samples() const {
+  MutexLock lock(mu_);
+  return samples_.size();
+}
+
+CostDriftAggregate CostDriftTracker::AggregateFor(
+    const std::string& algorithm) const {
+  MutexLock lock(mu_);
+  auto it = aggregates_.find(algorithm);
+  return it == aggregates_.end() ? CostDriftAggregate{} : it->second;
+}
+
+std::string CostDriftTracker::ToJson() const {
+  MutexLock lock(mu_);
+  std::string out = "{\"cost_drift\":{\"samples\":[";
+  bool first = true;
+  for (const CostDriftSample& s : samples_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"algorithm\":\"" + s.algorithm +
+           "\",\"predicted_ms\":" + Num(s.predicted_ms) +
+           ",\"measured_cpu_ms\":" + Num(s.measured_cpu_ms) +
+           ",\"measured_io_ms\":" + Num(s.measured_io_ms) +
+           ",\"wall_ms\":" + Num(s.wall_ms) +
+           ",\"relative_error\":" + Num(s.relative_error) + "}";
+  }
+  out += "],\"aggregates\":{";
+  first = true;
+  for (const auto& [algorithm, agg] : aggregates_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + algorithm + "\":{\"runs\":" + std::to_string(agg.runs) +
+           ",\"mean_error\":" + Num(agg.mean_error()) +
+           ",\"mean_abs_error\":" + Num(agg.mean_abs_error()) + "}";
+  }
+  out += "}}}";
+  return out;
+}
+
+void CostDriftTracker::Clear() {
+  MutexLock lock(mu_);
+  samples_.clear();
+  aggregates_.clear();
+}
+
+}  // namespace reldiv

@@ -1,0 +1,86 @@
+#ifndef RELDIV_OBS_COST_DRIFT_H_
+#define RELDIV_OBS_COST_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace reldiv {
+
+/// One profiled division run's predicted-vs-measured comparison: the §4
+/// analytical model's total (PredictAlgorithmCosts) against the cost of the
+/// observed Table 1 counters + Table 3 I/O statistics.
+struct CostDriftSample {
+  std::string algorithm;     ///< DivisionAlgorithmName of the run
+  double predicted_ms = 0;   ///< analytical-model total
+  double measured_cpu_ms = 0;
+  double measured_io_ms = 0;
+  double wall_ms = 0;        ///< host wall time, for reference only
+  /// Signed relative error (measured_total - predicted) / predicted;
+  /// 0 when the prediction is 0.
+  double relative_error = 0;
+
+  double measured_total_ms() const { return measured_cpu_ms + measured_io_ms; }
+};
+
+/// Persistent per-algorithm drift aggregate — survives ring eviction, so
+/// the historical mean reflects every run since process start (or Clear).
+struct CostDriftAggregate {
+  uint64_t runs = 0;
+  double sum_error = 0;      ///< signed, for bias
+  double sum_abs_error = 0;  ///< magnitude, for the EXPLAIN drift line
+
+  double mean_error() const {
+    return runs == 0 ? 0 : sum_error / static_cast<double>(runs);
+  }
+  double mean_abs_error() const {
+    return runs == 0 ? 0 : sum_abs_error / static_cast<double>(runs);
+  }
+};
+
+/// Bounded in-memory store of cost-model drift: every profiled division run
+/// (EXPLAIN ANALYZE, the bench harnesses) records where the §4 predictions
+/// diverged from the measured Table 1/Table 3 costs. The raw material for
+/// ROADMAP item 1's cost-based adaptive re-planning: the future optimizer
+/// reads the per-algorithm historical error to recalibrate its unit times.
+///
+/// Storage is a ring of the last kMaxSamples samples plus per-algorithm
+/// aggregates that are never evicted. Thread-safe (profiled runs may come
+/// from concurrent service threads); all entry points are cold.
+class CostDriftTracker {
+ public:
+  static constexpr size_t kMaxSamples = 512;
+
+  static CostDriftTracker& Global();
+
+  /// Records one run; computes relative_error from the sample's fields
+  /// (any value already in `relative_error` is overwritten).
+  void Record(CostDriftSample sample);
+
+  size_t num_samples() const;
+  /// Aggregate for `algorithm` (zero-valued when never recorded).
+  CostDriftAggregate AggregateFor(const std::string& algorithm) const;
+
+  /// JSON export:
+  /// {"cost_drift":{"samples":[{...},...],"aggregates":{"alg":{...}}}}
+  /// with samples oldest-first.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  CostDriftTracker() = default;
+
+  /// Guards the sample ring and the aggregates (cold paths only).
+  mutable Mutex mu_;
+  std::deque<CostDriftSample> samples_ GUARDED_BY(mu_);
+  std::map<std::string, CostDriftAggregate> aggregates_ GUARDED_BY(mu_);
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_OBS_COST_DRIFT_H_

@@ -1,0 +1,148 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace reldiv {
+
+const char* FlightEventCategoryName(FlightEventCategory category) {
+  switch (category) {
+    case FlightEventCategory::kOperator:
+      return "operator";
+    case FlightEventCategory::kFailpoint:
+      return "failpoint";
+    case FlightEventCategory::kFallback:
+      return "fallback";
+    case FlightEventCategory::kMemory:
+      return "memory";
+    case FlightEventCategory::kStatus:
+      return "status";
+    case FlightEventCategory::kScheduler:
+      return "scheduler";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Minimal JSON string escape for event labels/details (status messages can
+/// carry quotes from file paths).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void DumpGlobalRecorder() { FlightRecorder::Global().DumpToStderr(); }
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // Intentionally leaked (mirrors FailpointRegistry::Global); the
+  // constructor wires the recorder into the RELDIV_CHECK failure path.
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();  // NOLINT(reldiv/naked-new): intentional static leak, see comment above
+    SetCheckFailureDumpHook(&DumpGlobalRecorder);
+    return r;
+  }();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder()
+    : origin_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::Record(FlightEventCategory category, std::string label,
+                            std::string detail, uint64_t value) {
+  const uint64_t ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+  MutexLock lock(mu_);
+  FlightEvent event;
+  event.seq = next_seq_++;
+  event.ts_us = ts_us;
+  event.category = category;
+  event.label = std::move(label);
+  event.detail = std::move(detail);
+  event.value = value;
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_slot_] = std::move(event);
+    next_slot_ = (next_slot_ + 1) % kCapacity;
+  }
+}
+
+size_t FlightRecorder::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  MutexLock lock(mu_);
+  return next_seq_;
+}
+
+void FlightRecorder::Clear() {
+  MutexLock lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  // next_seq_ keeps counting: sequence numbers identify events across
+  // clears in a long-running process.
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  MutexLock lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  const std::vector<FlightEvent> events = Events();
+  std::string out = "{\"flight_recorder\":{\"total\":" +
+                    std::to_string(total_recorded()) + ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq) +
+           ",\"ts_us\":" + std::to_string(e.ts_us) + ",\"category\":\"" +
+           FlightEventCategoryName(e.category) + "\",\"label\":\"" +
+           JsonEscape(e.label) + "\",\"detail\":\"" + JsonEscape(e.detail) +
+           "\",\"value\":" + std::to_string(e.value) + "}";
+  }
+  out += "]}}";
+  return out;
+}
+
+void FlightRecorder::DumpToStderr() const {
+  const std::vector<FlightEvent> events = Events();
+  std::fprintf(stderr, "--- flight recorder (%zu event%s) ---\n",
+               events.size(), events.size() == 1 ? "" : "s");
+  for (const FlightEvent& e : events) {
+    std::fprintf(stderr, "  #%llu +%lluus [%s] %s %s value=%llu\n",
+                 static_cast<unsigned long long>(e.seq),
+                 static_cast<unsigned long long>(e.ts_us),
+                 FlightEventCategoryName(e.category), e.label.c_str(),
+                 e.detail.c_str(), static_cast<unsigned long long>(e.value));
+  }
+  std::fprintf(stderr, "--- end flight recorder ---\n");
+  std::fflush(stderr);
+}
+
+}  // namespace reldiv

@@ -1,0 +1,93 @@
+#ifndef RELDIV_OBS_FLIGHT_RECORDER_H_
+#define RELDIV_OBS_FLIGHT_RECORDER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace reldiv {
+
+/// What kind of decision/failure a flight-recorder event captures.
+enum class FlightEventCategory : int {
+  kOperator = 0,    ///< profiled operator open/close
+  kFailpoint = 1,   ///< an armed failpoint fired
+  kFallback = 2,    ///< fallback/repartition/escalation decision
+  kMemory = 3,      ///< memory grant denial
+  kStatus = 4,      ///< non-OK status at a query root
+  kScheduler = 5,   ///< parallel region lifecycle
+};
+
+const char* FlightEventCategoryName(FlightEventCategory category);
+
+/// One recorded event. `label` says what happened ("failpoint_fire",
+/// "operator_open", ...), `detail` names the subject (site, operator label,
+/// status message), `value` carries one number (bytes, morsel count, ...).
+struct FlightEvent {
+  uint64_t seq = 0;    ///< global sequence number (never wraps in practice)
+  uint64_t ts_us = 0;  ///< microseconds since recorder construction
+  FlightEventCategory category = FlightEventCategory::kStatus;
+  std::string label;
+  std::string detail;
+  uint64_t value = 0;
+};
+
+/// Crash/fault flight recorder: a fixed-size ring of the most recent
+/// structured events — operator open/close, failpoint fires,
+/// fallback/repartition decisions, grant denials, non-OK root statuses.
+/// When a RELDIV_CHECK fails, the default failure handler dumps the ring to
+/// stderr through the SetCheckFailureDumpHook hook (installed on first use
+/// of Global()), so the events leading up to an invariant violation are in
+/// the crash output.
+///
+/// Every Record call is a cold-path event by construction (faults,
+/// decisions, operator lifecycle — never per-tuple), so a mutex-guarded
+/// ring is appropriate; recording is gated on Telemetry::counting() at the
+/// call sites so kOff disables it entirely.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  /// The process recorder; first call installs the check-failure dump hook.
+  static FlightRecorder& Global();
+
+  void Record(FlightEventCategory category, std::string label,
+              std::string detail, uint64_t value = 0);
+
+  /// Number of events currently retained (<= kCapacity).
+  size_t size() const;
+  /// Total events ever recorded (size() plus overwritten ones).
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> Events() const;
+
+  /// JSON dump: {"flight_recorder":{"total":N,"events":[{...},...]}} with
+  /// events oldest-first. Schema asserted by tests/telemetry_test.cc and
+  /// the fault-injection differential tests.
+  std::string DumpJson() const;
+
+  /// Writes a human-readable dump to stderr (called by the check-failure
+  /// hook; must not allocate its way into another failure, so it prints
+  /// line by line with fprintf).
+  void DumpToStderr() const;
+
+ private:
+  FlightRecorder();
+
+  std::chrono::steady_clock::time_point origin_;
+  /// Guards the ring; every entry point is cold (see class comment).
+  mutable Mutex mu_;
+  std::vector<FlightEvent> ring_ GUARDED_BY(mu_);  ///< ring storage
+  size_t next_slot_ GUARDED_BY(mu_) = 0;  ///< ring_[next_slot_] is oldest
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace reldiv
+
+#endif  // RELDIV_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,88 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace reldiv {
+
+HistogramSnapshot& HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  return *this;
+}
+
+uint64_t HistogramSnapshot::ValueAtPercentile(double percentile) const {
+  if (count == 0) return 0;
+  if (percentile < 0) percentile = 0;
+  if (percentile > 100) percentile = 100;
+  // Rank of the target value (1-based): ceil(p/100 * count), at least 1 so
+  // p=0 reports the smallest recorded bucket.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return Histogram::BucketUpperBound(i);
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets, 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets[i] = c;
+    total += c;
+  }
+  // Derive count from the buckets actually read so the snapshot is
+  // self-consistent even when records are in flight.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string HistogramSnapshotToJson(const HistogramSnapshot& snapshot) {
+  std::string out = "{\"count\":" + std::to_string(snapshot.count) +
+                    ",\"sum\":" + std::to_string(snapshot.sum) +
+                    ",\"max\":" + std::to_string(snapshot.max);
+  constexpr struct {
+    const char* label;
+    double pct;
+  } kPercentiles[] = {{"p50", 50.0}, {"p90", 90.0}, {"p99", 99.0}};
+  for (const auto& p : kPercentiles) {
+    out += ",\"" + std::string(p.label) +
+           "\":" + std::to_string(snapshot.ValueAtPercentile(p.pct));
+  }
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    if (snapshot.buckets[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "[" + std::to_string(Histogram::BucketLowerBound(i)) + "," +
+           std::to_string(snapshot.buckets[i]) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace reldiv

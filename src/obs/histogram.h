@@ -1,0 +1,123 @@
+#ifndef RELDIV_OBS_HISTOGRAM_H_
+#define RELDIV_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reldiv {
+
+/// Mergeable point-in-time copy of a Histogram. Plain integers: snapshots
+/// are taken once per export/assertion and merged off the hot path.
+struct HistogramSnapshot {
+  uint64_t count = 0;  ///< recorded values
+  uint64_t sum = 0;    ///< sum of recorded values (saturating in practice)
+  uint64_t max = 0;    ///< largest recorded value (0 when count == 0)
+  /// Per-bucket counts, indexed by Histogram::BucketIndex. Always
+  /// Histogram::kNumBuckets long once any value was recorded; empty for a
+  /// default-constructed snapshot (the merge identity).
+  std::vector<uint64_t> buckets;
+
+  /// Element-wise merge. Associative and commutative by construction —
+  /// every field is a sum or a max — so per-lane snapshots can be combined
+  /// in any grouping (asserted by tests/telemetry_test.cc).
+  HistogramSnapshot& Merge(const HistogramSnapshot& other);
+
+  /// Smallest recorded value `v` such that at least `percentile` percent of
+  /// all recorded values are <= the upper bound of v's bucket; reported as
+  /// that bucket's inclusive upper bound (the HDR "highest equivalent
+  /// value" convention — exact wherever buckets have width 1, i.e. for all
+  /// values below 64). Returns 0 on an empty snapshot.
+  uint64_t ValueAtPercentile(double percentile) const;
+};
+
+/// Log-linear ("HDR-style") histogram of uint64 values with a lock-free
+/// record path: bucket selection is shift/mask arithmetic and the update is
+/// three relaxed atomic adds plus one relaxed max — no locks, no
+/// allocation, safe from any thread (tests override operator new to prove
+/// the no-allocation claim).
+///
+/// Bucketing: 32 linear sub-buckets per power-of-two octave (kLinearBits =
+/// 5). Values below 64 land in width-1 buckets — exact; above that, the
+/// relative bucket width is bounded by 1/32 (~3.1%), which is tighter than
+/// any latency assertion this codebase makes. The full uint64 range maps
+/// into kNumBuckets = 1920 buckets, so a histogram is ~15 KB of atomics.
+class Histogram {
+ public:
+  static constexpr int kLinearBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kLinearBits;  // 32
+  /// Octaves 5..63 each contribute kSubBuckets buckets on top of the two
+  /// exact low groups (values 0..63): (64 - kLinearBits + 1) * 32.
+  static constexpr size_t kNumBuckets = (64 - kLinearBits + 1) * kSubBuckets;
+
+  Histogram() = default;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one value. Lock-free, allocation-free, wait-free on x86.
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // Relaxed max: racy in ordering but monotone in value, which is all a
+    // high-water mark needs.
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Copies the current state. Buckets are read with relaxed loads while
+  /// recorders may still be running; the snapshot is internally consistent
+  /// up to in-flight records (count is re-derived from the bucket sum so
+  /// count/buckets never disagree).
+  HistogramSnapshot Snapshot() const;
+
+  /// Clears every bucket (test/bench isolation; not linearizable against
+  /// concurrent recorders).
+  void Reset();
+
+  /// Bucket index for `value`; pure arithmetic, exposed for tests.
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets * 2) return static_cast<size_t>(value);
+    const int msb = 63 - __builtin_clzll(value);
+    const int shift = msb - kLinearBits;
+    return ((static_cast<size_t>(msb - kLinearBits + 1)) << kLinearBits) |
+           (static_cast<size_t>(value >> shift) & (kSubBuckets - 1));
+  }
+
+  /// Smallest value mapping to bucket `index` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(size_t index) {
+    const size_t group = index >> kLinearBits;
+    const uint64_t sub = index & (kSubBuckets - 1);
+    if (group == 0) return sub;
+    return (kSubBuckets + sub) << (group - 1);
+  }
+
+  /// Largest value mapping to bucket `index` (inclusive).
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index + 1 >= kNumBuckets) return ~uint64_t{0};
+    return BucketLowerBound(index + 1) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Renders a snapshot as a JSON object: count/sum/max, selected
+/// percentiles, and the non-empty buckets as [lower_bound, count] pairs.
+std::string HistogramSnapshotToJson(const HistogramSnapshot& snapshot);
+
+}  // namespace reldiv
+
+#endif  // RELDIV_OBS_HISTOGRAM_H_

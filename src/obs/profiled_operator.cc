@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace reldiv {
@@ -14,6 +16,15 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Operator lifecycle transitions are rare (two per operator per query), so
+/// the flight recorder notes them even in counting mode — a post-mortem dump
+/// then shows how far the plan got before dying.
+void RecordLifecycle(const char* transition, const std::string& label) {
+  if (!Telemetry::counting()) return;
+  FlightRecorder::Global().Record(FlightEventCategory::kOperator, transition,
+                                  label);
 }
 
 }  // namespace
@@ -63,6 +74,7 @@ Status ProfiledOperator::Open() {
   m.gauges.clear();  // a re-opened plan replays; stale gauges would double
   drain_started_ = false;
   gauges_collected_ = false;
+  RecordLifecycle("open", label_);
   TraceRecorder* trace = ctx_->trace();
   if (trace != nullptr) open_start_us_ = trace->NowMicros();
   Status status;
@@ -137,6 +149,7 @@ Status ProfiledOperator::Close() {
   // shortcuts); the child's state is still live here, so this is the last
   // chance to read its gauges.
   CollectGauges();
+  RecordLifecycle("close", label_);
   TraceRecorder* trace = ctx_->trace();
   const uint64_t start_us = trace != nullptr ? trace->NowMicros() : 0;
   Status status;

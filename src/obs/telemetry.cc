@@ -1,0 +1,194 @@
+#include "obs/telemetry.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace reldiv {
+
+std::atomic<int> Telemetry::mode_{static_cast<int>(TelemetryMode::kCounting)};
+
+namespace {
+
+/// RELDIV_TELEMETRY=off|count|sample (anything else keeps the default).
+TelemetryMode ModeFromEnv() {
+  const char* env = std::getenv("RELDIV_TELEMETRY");
+  if (env == nullptr) return TelemetryMode::kCounting;
+  if (std::strcmp(env, "off") == 0) return TelemetryMode::kOff;
+  if (std::strcmp(env, "sample") == 0) return TelemetryMode::kSampling;
+  return TelemetryMode::kCounting;
+}
+
+/// Instrument key as it appears in both exporters: `name` or
+/// `name{key="value"}`.
+std::string InstrumentKey(const std::string& name,
+                          const std::string& label_key,
+                          const std::string& label_value) {
+  if (label_key.empty()) return name;
+  return name + "{" + label_key + "=\"" + label_value + "\"}";
+}
+
+/// Splits an instrument key back into base name and the `key="value"`
+/// fragment (empty when unlabelled).
+void SplitKey(const std::string& key, std::string* base, std::string* label) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *base = key;
+    label->clear();
+    return;
+  }
+  *base = key.substr(0, brace);
+  *label = key.substr(brace + 1, key.size() - brace - 2);
+}
+
+/// Emits one `# TYPE` header per base name, in map order.
+void MaybeEmitType(const std::string& base, const char* type,
+                   std::string* last_base, std::string* out) {
+  if (base == *last_base) return;
+  *last_base = base;
+  *out += "# TYPE " + base + " " + type + "\n";
+}
+
+}  // namespace
+
+TelemetryMode Telemetry::SetMode(TelemetryMode mode) {
+  // Force the one-time RELDIV_TELEMETRY application (part of the registry's
+  // first-touch initialization) to happen before the explicit store, so an
+  // early SetMode cannot be clobbered by a later first registry touch.
+  MetricRegistry::Global();
+  return static_cast<TelemetryMode>(
+      mode_.exchange(static_cast<int>(mode), std::memory_order_relaxed));
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  // Intentionally leaked so late-destroyed threads can still record
+  // (mirrors FailpointRegistry::Global).
+  static MetricRegistry* registry = [] {
+    Telemetry::mode_.store(static_cast<int>(ModeFromEnv()),
+                           std::memory_order_relaxed);
+    return new MetricRegistry();  // NOLINT(reldiv/naked-new): intentional static leak, see comment above
+  }();
+  return *registry;
+}
+
+TelemetryCounter* MetricRegistry::FindOrCreateCounter(
+    const std::string& name, const std::string& label_key,
+    const std::string& label_value) {
+  const std::string key = InstrumentKey(name, label_key, label_value);
+  MutexLock lock(mu_);
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot.reset(new TelemetryCounter());  // NOLINT(reldiv/naked-new): private ctor, make_unique has no access
+  return slot.get();
+}
+
+TelemetryGauge* MetricRegistry::FindOrCreateGauge(
+    const std::string& name, const std::string& label_key,
+    const std::string& label_value) {
+  const std::string key = InstrumentKey(name, label_key, label_value);
+  MutexLock lock(mu_);
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot.reset(new TelemetryGauge());  // NOLINT(reldiv/naked-new): private ctor, make_unique has no access
+  return slot.get();
+}
+
+Histogram* MetricRegistry::FindOrCreateHistogram(
+    const std::string& name, const std::string& label_key,
+    const std::string& label_value) {
+  const std::string key = InstrumentKey(name, label_key, label_value);
+  MutexLock lock(mu_);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+size_t MetricRegistry::size() const {
+  MutexLock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricRegistry::ToPrometheusText() const {
+  MutexLock lock(mu_);
+  std::string out;
+  std::string base, label, last_base;
+  for (const auto& [key, counter] : counters_) {
+    SplitKey(key, &base, &label);
+    MaybeEmitType(base, "counter", &last_base, &out);
+    out += key + " " + std::to_string(counter->value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [key, gauge] : gauges_) {
+    SplitKey(key, &base, &label);
+    MaybeEmitType(base, "gauge", &last_base, &out);
+    out += key + " " + std::to_string(gauge->value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [key, histogram] : histograms_) {
+    SplitKey(key, &base, &label);
+    MaybeEmitType(base, "histogram", &last_base, &out);
+    const HistogramSnapshot snap = histogram->Snapshot();
+    const std::string label_prefix = label.empty() ? "" : label + ",";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      out += base + "_bucket{" + label_prefix + "le=\"" +
+             std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    const std::string label_suffix = label.empty() ? "" : "{" + label + "}";
+    out += base + "_bucket{" + label_prefix + "le=\"+Inf\"} " +
+           std::to_string(snap.count) + "\n";
+    out += base + "_sum" + label_suffix + " " + std::to_string(snap.sum) +
+           "\n";
+    out += base + "_count" + label_suffix + " " +
+           std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  MutexLock lock(mu_);
+  std::string out = "{\"schema_version\":2,\"mode\":";
+  switch (Telemetry::mode()) {
+    case TelemetryMode::kOff:
+      out += "\"off\"";
+      break;
+    case TelemetryMode::kCounting:
+      out += "\"count\"";
+      break;
+    case TelemetryMode::kSampling:
+      out += "\"sample\"";
+      break;
+  }
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + std::to_string(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + HistogramSnapshotToJson(histogram->Snapshot());
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricRegistry::ResetAllForTest() {
+  MutexLock lock(mu_);
+  for (auto& [key, counter] : counters_) counter->ResetForTest();
+  for (auto& [key, gauge] : gauges_) gauge->ResetForTest();
+  for (auto& [key, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace reldiv

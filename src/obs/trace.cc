@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "common/metric_names.h"
+#include "obs/telemetry.h"
+
 namespace reldiv {
 
 namespace {
@@ -41,6 +44,20 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+void TraceRecorder::Append(Event event) {
+  MutexLock lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_++;
+    if (Telemetry::counting()) {
+      static TelemetryCounter* drops = MetricRegistry::Global().FindOrCreateCounter(
+          metric_names::kTraceSpansDropped);
+      drops->Add(1);
+    }
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
 std::string TraceRecorder::ToJson() const {
   MutexLock lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -65,6 +82,14 @@ std::string TraceRecorder::ToJson() const {
       out += "}";
     }
     out += "}";
+  }
+  // Trailing metadata event: a truncated trace declares how many spans it
+  // lost instead of silently looking complete.
+  if (dropped_ > 0) {
+    if (!first) out += ",";
+    out += "{\"name\":\"trace_spans_dropped\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"dropped\":" +
+           std::to_string(dropped_) + "}}";
   }
   out += "]}";
   return out;

@@ -76,6 +76,13 @@ class TraceRecorder {
     dropped_ = 0;
   }
 
+  /// Shrinks the event bound so tests can exercise the drop path without
+  /// recording kMaxEvents real spans.
+  void SetMaxEventsForTest(size_t n) {
+    MutexLock lock(mu_);
+    max_events_ = n;
+  }
+
   /// The full trace as a chrome://tracing-loadable JSON document.
   std::string ToJson() const;
 
@@ -95,20 +102,18 @@ class TraceRecorder {
 
   static constexpr size_t kMaxEvents = 1u << 20;
 
-  void Append(Event event) {
-    MutexLock lock(mu_);
-    if (events_.size() >= kMaxEvents) {
-      dropped_++;
-      return;
-    }
-    events_.push_back(std::move(event));
-  }
+  /// Appends within the bound; past it the event is dropped, counted here
+  /// AND in the process-wide `reldiv_trace_spans_dropped` telemetry counter
+  /// (obs/telemetry.h), and reported as a trailing metadata event by
+  /// ToJson() so a truncated trace file is self-describing.
+  void Append(Event event);
 
   std::chrono::steady_clock::time_point origin_;
   /// Guards the bounded event buffer against concurrent appenders.
   mutable Mutex mu_;
   std::vector<Event> events_ GUARDED_BY(mu_);
   uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  size_t max_events_ GUARDED_BY(mu_) = kMaxEvents;
 };
 
 }  // namespace reldiv

@@ -1,5 +1,7 @@
 #include "parallel/network.h"
 
+#include "common/metric_names.h"
+#include "obs/telemetry.h"
 #include "testing/failpoint.h"
 
 namespace reldiv {
@@ -13,6 +15,39 @@ bool IsTransient(StatusCode code) {
          code == StatusCode::kResourceExhausted;
 }
 
+/// Per-sending-node counter family, cached after one registration pass.
+/// Simulated clusters are small; nodes past the tracked range share the
+/// last label ("15") rather than growing the family unboundedly.
+struct NetTelemetry {
+  static constexpr size_t kMaxTrackedNodes = 16;
+
+  TelemetryCounter* messages[kMaxTrackedNodes];
+  TelemetryCounter* bytes[kMaxTrackedNodes];
+  TelemetryCounter* retries[kMaxTrackedNodes];
+
+  static const NetTelemetry& Get() {
+    static const NetTelemetry t = [] {
+      NetTelemetry s;
+      MetricRegistry& reg = MetricRegistry::Global();
+      for (size_t node = 0; node < kMaxTrackedNodes; ++node) {
+        const std::string label = std::to_string(node);
+        s.messages[node] = reg.FindOrCreateCounter(
+            metric_names::kNetMessagesTotal, "node", label);
+        s.bytes[node] = reg.FindOrCreateCounter(metric_names::kNetBytesTotal,
+                                                "node", label);
+        s.retries[node] = reg.FindOrCreateCounter(
+            metric_names::kNetRetriesTotal, "node", label);
+      }
+      return s;
+    }();
+    return t;
+  }
+
+  static size_t Clamp(size_t node) {
+    return node < kMaxTrackedNodes ? node : kMaxTrackedNodes - 1;
+  }
+};
+
 }  // namespace
 
 Status Interconnect::TrySend(size_t from, size_t to, uint64_t bytes) {
@@ -22,6 +57,12 @@ Status Interconnect::TrySend(size_t from, size_t to, uint64_t bytes) {
   messages_++;
   bytes_ += bytes;
   sent_matrix_[from * num_nodes_ + to] += bytes;
+  if (Telemetry::counting()) {
+    const NetTelemetry& t = NetTelemetry::Get();
+    const size_t node = NetTelemetry::Clamp(from);
+    t.messages[node]->Add(1);
+    t.bytes[node]->Add(bytes);
+  }
   if (trace_ != nullptr) {
     // Sender's timeline lane (tid = 1 + node_id; 0 is the query thread).
     trace_->Instant("ship", "network", static_cast<uint32_t>(1 + from),
@@ -44,6 +85,9 @@ Status Interconnect::Ship(size_t from, size_t to, uint64_t bytes) {
       // deterministic: 1, 2, 4, ... per successive retry of this shipment.
       retries_++;
       backoff_units_ += uint64_t{1} << (attempt - 1);
+      if (Telemetry::counting()) {
+        NetTelemetry::Get().retries[NetTelemetry::Clamp(from)]->Add(1);
+      }
     }
     last = TrySend(from, to, bytes);
     if (last.ok()) return last;

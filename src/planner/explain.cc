@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "exec/operator.h"
+#include "obs/cost_drift.h"
 #include "obs/metrics.h"
 
 namespace reldiv {
@@ -35,6 +36,18 @@ namespace {
 std::string Ms(double ms) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.1f", ms);
+  return buf;
+}
+
+std::string SignedPercent(double fraction) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string Percent(double fraction) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
   return buf;
 }
 
@@ -117,6 +130,24 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
             .count();
     run.quotient_tuples = rows_result.value().size();
     run.operator_tree = ctx->profile()->ToString();
+
+    // Feed the drift tracker, then read back the historical aggregate so
+    // the report can put this run's error in context.
+    CostDriftSample sample;
+    sample.algorithm = DivisionAlgorithmName(algorithm);
+    sample.predicted_ms = run.predicted_ms;
+    sample.measured_cpu_ms = run.measured.cpu_ms;
+    sample.measured_io_ms = run.measured.io_ms;
+    sample.wall_ms = run.measured.wall_ms;
+    CostDriftTracker::Global().Record(sample);
+    const CostDriftAggregate aggregate =
+        CostDriftTracker::Global().AggregateFor(sample.algorithm);
+    run.drift_relative_error =
+        run.predicted_ms == 0
+            ? 0
+            : (run.measured.total_ms() - run.predicted_ms) / run.predicted_ms;
+    run.drift_historical_mean_abs_error = aggregate.mean_abs_error();
+    run.drift_historical_runs = aggregate.runs;
     result.runs.push_back(std::move(run));
   }
   ctx->set_profiling(was_profiling);
@@ -174,6 +205,11 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
            Ms(run.measured.cpu_ms) + " + io " + Ms(run.measured.io_ms) +
            ", wall " + Ms(run.measured.wall_ms) + " ms, " +
            std::to_string(run.quotient_tuples) + " rows]\n";
+    out += "  drift: " + SignedPercent(run.drift_relative_error) +
+           " vs model; historical mean |error| " +
+           Percent(run.drift_historical_mean_abs_error) + " over " +
+           std::to_string(run.drift_historical_runs) + " run" +
+           (run.drift_historical_runs == 1 ? "" : "s") + "\n";
     AppendIndented(run.operator_tree, &out);
   }
   return result;

@@ -31,6 +31,14 @@ struct ExplainedRun {
   /// statistics (Table 4 entry), with host wall time for reference.
   ExperimentalCost measured;
   uint64_t quotient_tuples = 0;
+  /// Cost-model drift of this run: signed (measured - predicted) / predicted,
+  /// 0 when the prediction is 0. Also recorded in CostDriftTracker::Global().
+  double drift_relative_error = 0;
+  /// Historical mean |relative error| for this algorithm over every profiled
+  /// run since process start, this run included (CostDriftAggregate).
+  double drift_historical_mean_abs_error = 0;
+  /// Runs contributing to the historical mean, this run included.
+  uint64_t drift_historical_runs = 0;
   /// Per-operator metrics tree of the profiled run (QueryProfile render):
   /// rows, call counts, inclusive/self time, counters, I/O, gauges.
   std::string operator_tree;

@@ -1,5 +1,7 @@
 #include "storage/buffer_manager.h"
 
+#include "common/metric_names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "testing/failpoint.h"
 
@@ -48,6 +50,12 @@ Result<bool> BufferManager::EvictOne() {
   const uint64_t victim = lru_.front();
   RELDIV_RETURN_NOT_OK(ReleaseFrame(victim));
   stats_.evictions++;
+  if (Telemetry::counting()) {
+    static TelemetryCounter* evictions_total =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kBufferEvictionsTotal);
+    evictions_total->Add(1);
+  }
   if (trace_ != nullptr) {
     trace_->Instant("page-evict", "buffer", /*tid=*/0, {{"page", victim}});
   }
@@ -76,6 +84,12 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {
     stats_.hits++;
+    if (Telemetry::counting()) {
+      static TelemetryCounter* hits_total =
+          MetricRegistry::Global().FindOrCreateCounter(
+              metric_names::kBufferHitsTotal);
+      hits_total->Add(1);
+    }
     Frame& frame = it->second;
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
@@ -85,6 +99,12 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
     return frame.data.get();
   }
   stats_.misses++;
+  if (Telemetry::counting()) {
+    static TelemetryCounter* misses_total =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kBufferMissesTotal);
+    misses_total->Add(1);
+  }
 
   // Grow the pool if possible; otherwise evict an unfixed frame.
   while (pool_ != nullptr && !pool_->Reserve(kPageSize)) {

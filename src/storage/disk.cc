@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/metric_names.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "testing/failpoint.h"
 
@@ -16,11 +18,14 @@ std::string DiskStats::ToString() const {
 }
 
 std::string DiskStats::ToJson() const {
-  return "{\"transfers\":" + std::to_string(transfers) +
-         ",\"seeks\":" + std::to_string(seeks) +
-         ",\"kbytes\":" + std::to_string(sectors_transferred) +
-         ",\"reads\":" + std::to_string(read_transfers) +
-         ",\"writes\":" + std::to_string(write_transfers) + "}";
+  const auto field = [](const char* name, uint64_t value) {
+    return "\"" + std::string(name) + "\":" + std::to_string(value);
+  };
+  return "{" + field(metric_names::kTransfers, transfers) + "," +
+         field(metric_names::kSeeks, seeks) + "," +
+         field(metric_names::kKbytes, sectors_transferred) + "," +
+         field(metric_names::kReads, read_transfers) + "," +
+         field(metric_names::kWrites, write_transfers) + "}";
 }
 
 SimDisk::SimDisk() : backing_(Backing::kMemory) {}
@@ -70,6 +75,27 @@ Status SimDisk::CheckRange(uint64_t sector, uint64_t count) const {
 }
 
 void SimDisk::Account(uint64_t sector, uint64_t count, bool is_read) {
+  // Process-wide telemetry beside the per-disk stats: counters under
+  // kCounting (relaxed adds), the transfer-size histogram only under
+  // kSampling (overhead contract, DESIGN.md §14).
+  if (Telemetry::counting()) {
+    static TelemetryCounter* transfers_total =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kDiskTransfersTotal);
+    transfers_total->Add(1);
+    if (!arm_valid_ || sector != arm_position_) {
+      static TelemetryCounter* seeks_total =
+          MetricRegistry::Global().FindOrCreateCounter(
+              metric_names::kDiskSeeksTotal);
+      seeks_total->Add(1);
+    }
+    if (Telemetry::sampling()) {
+      static Histogram* transfer_sectors =
+          MetricRegistry::Global().FindOrCreateHistogram(
+              metric_names::kDiskTransferSectors);
+      transfer_sectors->Record(count);
+    }
+  }
   stats_.transfers++;
   if (is_read) {
     stats_.read_transfers++;

@@ -1,16 +1,22 @@
 #include "storage/memory_manager.h"
 
+#include <chrono>
+
+#include "common/metric_names.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "testing/failpoint.h"
 
 namespace reldiv {
 
-bool MemoryPool::Reserve(size_t bytes) {
+bool MemoryPool::ReserveInner(size_t bytes, size_t* used_after) {
   if (RELDIV_FAILPOINT_DENIED("memory/reserve")) return false;
   while (true) {
     {
       MutexLock lock(mu_);
       if (used_ + bytes <= budget_) {
         used_ += bytes;
+        *used_after = used_;
         return true;
       }
     }
@@ -25,11 +31,48 @@ bool MemoryPool::Reserve(size_t bytes) {
       MutexLock lock(mu_);
       if (used_ + bytes <= budget_) {
         used_ += bytes;
+        *used_after = used_;
         return true;
       }
       return false;
     }
   }
+}
+
+bool MemoryPool::Reserve(size_t bytes) {
+  // Grant latency covers the whole decision including reclaimer passes —
+  // the §3.4 pressure signal. Clock reads only under kSampling.
+  const bool sample = Telemetry::sampling();
+  std::chrono::steady_clock::time_point start;
+  if (sample) start = std::chrono::steady_clock::now();
+
+  size_t used_after = 0;
+  const bool granted = ReserveInner(bytes, &used_after);
+
+  if (Telemetry::counting()) {
+    if (granted) {
+      static TelemetryGauge* high_water =
+          MetricRegistry::Global().FindOrCreateGauge(
+              metric_names::kMemHighWaterBytes);
+      high_water->UpdateMax(used_after);
+    } else {
+      static TelemetryCounter* denials =
+          MetricRegistry::Global().FindOrCreateCounter(
+              metric_names::kMemGrantDenialsTotal);
+      denials->Add(1);
+      FlightRecorder::Global().Record(FlightEventCategory::kMemory,
+                                      "grant_denied", "memory_pool", bytes);
+    }
+    if (sample) {
+      static Histogram* latency = MetricRegistry::Global().FindOrCreateHistogram(
+          metric_names::kMemGrantLatencyMicros);
+      latency->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  }
+  return granted;
 }
 
 void* Arena::Allocate(size_t bytes) {

@@ -61,6 +61,11 @@ class MemoryPool {
   }
 
  private:
+  /// Grant/deny decision proper; Reserve wraps it with telemetry (denial
+  /// counter, high-water gauge, grant-latency histogram when sampling).
+  /// `used_after` reports the pool usage right after a successful grant.
+  bool ReserveInner(size_t bytes, size_t* used_after);
+
   /// Guards used_ only; budget_ is immutable and reclaimer_ is set once at
   /// setup (see class comment).
   mutable Mutex mu_;

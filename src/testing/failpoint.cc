@@ -1,8 +1,25 @@
 #include "testing/failpoint.h"
 
+#include "common/metric_names.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
+
 namespace reldiv {
 
 namespace {
+
+/// A fired failpoint is a simulated fault — exactly the history the flight
+/// recorder should replay after a crash or a failed differential run. Cold
+/// path by definition (only armed sites reach here, only fires recorded).
+void RecordFire(const char* site) {
+  if (!Telemetry::counting()) return;
+  static TelemetryCounter* fires =
+      MetricRegistry::Global().FindOrCreateCounter(
+          metric_names::kFailpointFiresTotal);
+  fires->Add(1);
+  FlightRecorder::Global().Record(FlightEventCategory::kFailpoint,
+                                  "failpoint_fire", site);
+}
 
 /// SplitMix64 finalizer over (seed, hit index) — the stateless per-hit draw
 /// behind WithProbability (same mixer family as common/rng.h's seeding).
@@ -97,6 +114,7 @@ Status FailpointRegistry::Check(const char* site) {
   if (it == sites_.end() || !it->second.armed) return Status::OK();
   SiteState& state = it->second;
   if (!ShouldFire(&state)) return Status::OK();
+  RecordFire(site);
   std::string message = "failpoint '" + std::string(site) + "' fired";
   if (!state.policy.message.empty()) message += ": " + state.policy.message;
   return Status(state.policy.code, std::move(message));
@@ -106,7 +124,9 @@ bool FailpointRegistry::CheckDeny(const char* site) {
   MutexLock lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return false;
-  return ShouldFire(&it->second);
+  const bool fired = ShouldFire(&it->second);
+  if (fired) RecordFire(site);
+  return fired;
 }
 
 }  // namespace reldiv

@@ -16,6 +16,7 @@
 #include "division/partitioned_hash_division.h"
 #include "exec/database.h"
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "parallel/network.h"
 #include "parallel/parallel_hash_division.h"
 #include "testing/failpoint.h"
@@ -420,6 +421,48 @@ TEST_F(FaultInjectionTest, ParallelDivisionSurvivesLossyLink) {
     EXPECT_EQ(result.status().code(), StatusCode::kIOError)
         << result.status().ToString();
   }
+}
+
+// PR-8 acceptance: after an injected fault kills a query, the flight
+// recorder holds a non-empty, schema-valid record of what happened — the
+// failpoint fire and the non-OK root status both appear in the dump.
+TEST_F(FaultInjectionTest, FlightRecorderCapturesInjectedFault) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  recorder.Clear();
+  ASSERT_OK(db_->buffer_manager()->FlushAll());
+  ASSERT_OK(db_->buffer_manager()->DropAll());
+  registry().Arm("sim_disk/read",
+                 FailpointPolicy::Always(StatusCode::kIOError,
+                                         "injected head crash"));
+  Result<std::vector<Tuple>> result =
+      Divide(db_->ctx(), query_, DivisionAlgorithm::kHashDivision,
+             OptionsFor(DivisionAlgorithm::kHashDivision));
+  registry().DisarmAll();
+  ASSERT_FALSE(result.ok());
+
+  ASSERT_GT(recorder.size(), 0u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  bool saw_failpoint = false;
+  bool saw_root_status = false;
+  for (const FlightEvent& e : events) {
+    if (e.category == FlightEventCategory::kFailpoint &&
+        e.detail == "sim_disk/read") {
+      saw_failpoint = true;
+    }
+    if (e.category == FlightEventCategory::kStatus) saw_root_status = true;
+  }
+  EXPECT_TRUE(saw_failpoint);
+  EXPECT_TRUE(saw_root_status);
+
+  // Schema check on the JSON dump: the required keys and both event kinds.
+  const std::string json = recorder.DumpJson();
+  for (const char* key :
+       {"\"flight_recorder\"", "\"total\"", "\"events\"", "\"seq\"",
+        "\"ts_us\"", "\"category\"", "\"label\"", "\"detail\"", "\"value\"",
+        "\"failpoint\"", "\"status\"", "sim_disk/read"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  recorder.Clear();
 }
 
 }  // namespace

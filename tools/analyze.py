@@ -39,6 +39,13 @@ allowlist with written rationale. Rules:
                        (DESIGN.md §11).
   naked-new            new/delete expressions in src/; the codebase is
                        RAII throughout.
+  telemetry-names      every MetricRegistry::FindOrCreate{Counter,Gauge,
+                       Histogram} registration site must pass a constant
+                       from common/metric_names.h as the metric name, not
+                       a raw string literal. A literal bypasses the single
+                       source of truth the exporters and
+                       tools/bench_report.py validate against, so a typo
+                       silently forks a new time series.
 
 Suppression syntax (modeled on clang-tidy triage): a finding is silenced
 by `NOLINT(reldiv/<rule>): <rationale>` on the same line, or
@@ -85,6 +92,7 @@ RULES = (
     "failpoint-coverage",
     "raw-thread",
     "naked-new",
+    "telemetry-names",
     "suppression-rationale",
 )
 
@@ -487,6 +495,21 @@ class Analyzer:
                     "naked delete; owning raw pointers are not used in this "
                     "codebase", raw_lines, sup)
 
+    # First argument of a FindOrCreate* call is a raw string literal. \s*
+    # spans newlines so a call wrapped by the formatter is still caught.
+    TELEMETRY_LITERAL_RE = re.compile(
+        r'FindOrCreate(Counter|Gauge|Histogram)\s*\(\s*"')
+
+    def check_telemetry_names(self, path: Path, raw_lines, sup, raw):
+        for match in self.TELEMETRY_LITERAL_RE.finditer(raw):
+            lineno = raw.count("\n", 0, match.start()) + 1
+            self.report(
+                path, lineno, "telemetry-names",
+                f"FindOrCreate{match.group(1)} called with a raw string "
+                "literal; pass a constant from common/metric_names.h so the "
+                "name stays in the schema the exporters and "
+                "tools/bench_report.py validate", raw_lines, sup)
+
     def failpoint_catalog(self) -> set[str]:
         header = self.root / "src" / "testing" / "failpoint.h"
         if not header.is_file():
@@ -565,6 +588,7 @@ class Analyzer:
                 self.check_mutex_guarded(path, raw_lines, lines, sup, text)
                 self.check_raw_thread(path, raw_lines, lines, sup)
                 self.check_naked_new(path, raw_lines, lines, sup)
+                self.check_telemetry_names(path, raw_lines, sup, raw)
         self.check_failpoints(texts)
 
         baseline = self.load_baseline()

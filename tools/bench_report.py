@@ -11,6 +11,11 @@ Schema (version 1, produced by bench/bench_util.h BenchReporter):
                 "io": {"transfers","seeks","kbytes","reads","writes"},
                 "values": {str: number} } ] }
 
+The counter/io key sets are cross-checked against the `bench-schema:` blocks
+of src/common/metric_names.h (the single source of truth for metric field
+names); any drift between the C++ constants and this script fails both
+commands before any file is examined.
+
 Usage:
   bench_report.py validate FILE_OR_DIR...
       Exit 1 if any file fails schema validation (schema drift).
@@ -24,10 +29,80 @@ Usage:
 import argparse
 import json
 import os
+import re
 import sys
 
 COUNTER_KEYS = ("comparisons", "hashes", "moves", "bit_ops")
 IO_KEYS = ("transfers", "seeks", "kbytes", "reads", "writes")
+
+# Single source of truth for the counter/io key sets; parsed so that a key
+# renamed in C++ without updating this script (or vice versa) fails the
+# validate/diff commands instead of silently passing stale schemas.
+METRIC_NAMES_HEADER = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "src", "common",
+    "metric_names.h")
+
+_SCHEMA_BLOCK_RE = re.compile(r"//\s*bench-schema:\s*(\w+)")
+_SCHEMA_NAME_RE = re.compile(
+    r'inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*"([^"]+)"\s*;')
+
+
+def parse_schema_blocks(header_path=METRIC_NAMES_HEADER):
+    """Parses the `// bench-schema:` blocks of metric_names.h.
+
+    Returns {section: tuple_of_names}. Raises OSError if the header is
+    missing and ValueError on a malformed block.
+    """
+    sections = {}
+    current = None
+    with open(header_path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            marker = _SCHEMA_BLOCK_RE.search(line)
+            if marker:
+                section = marker.group(1)
+                if section == "end":
+                    current = None
+                else:
+                    if section in sections:
+                        raise ValueError(
+                            f"{header_path}:{line_no}: duplicate "
+                            f"bench-schema section {section!r}")
+                    current = section
+                    sections[current] = []
+                continue
+            if current is None:
+                continue
+            name = _SCHEMA_NAME_RE.search(line)
+            if name:
+                sections[current].append(name.group(1))
+            elif line.strip():
+                raise ValueError(
+                    f"{header_path}:{line_no}: unparseable line inside "
+                    f"bench-schema block {current!r}: {line.strip()!r}")
+    return {section: tuple(names) for section, names in sections.items()}
+
+
+def check_schema_source():
+    """Compares this script's key sets with metric_names.h.
+
+    Returns a list of drift messages (empty = in sync).
+    """
+    try:
+        sections = parse_schema_blocks()
+    except (OSError, ValueError) as exc:
+        return [f"cannot parse bench-schema blocks: {exc}"]
+    errors = []
+    for section, expected in (("counters", COUNTER_KEYS), ("io", IO_KEYS)):
+        actual = sections.get(section)
+        if actual is None:
+            errors.append(
+                f"metric_names.h has no bench-schema section {section!r}")
+        elif actual != expected:
+            errors.append(
+                f"schema drift in section {section!r}: metric_names.h "
+                f"declares {list(actual)}, bench_report.py expects "
+                f"{list(expected)}")
+    return errors
 
 
 def _fail(errors, path, message):
@@ -127,6 +202,11 @@ def load(path):
 
 
 def cmd_validate(args):
+    drift = check_schema_source()
+    if drift:
+        for message in drift:
+            print(f"FAIL {message}")
+        return 1
     files = collect_files(args.paths)
     if not files:
         print("no BENCH_*.json files found", file=sys.stderr)
@@ -155,6 +235,11 @@ def _row_index(doc):
 
 
 def cmd_diff(args):
+    drift = check_schema_source()
+    if drift:
+        for message in drift:
+            print(f"FAIL {message}")
+        return 1
     base_files = {os.path.basename(p): p
                   for p in collect_files([args.baseline])}
     cur_files = {os.path.basename(p): p

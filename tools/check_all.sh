@@ -37,6 +37,12 @@
 #                               under the TSan build: every worker count
 #                               must produce bit-identical quotients and
 #                               Table 1 counters, race-free — DESIGN.md §11)
+#   telemetry                  (the process-telemetry suites — histogram
+#                               percentile bounds, registry exporters,
+#                               flight recorder, cost-drift tracking — under
+#                               BOTH sanitizer builds, with the concurrent
+#                               histogram tests swept across RELDIV_THREADS
+#                               under TSan; DESIGN.md §14)
 #
 # Every stage is timed; the summary prints a per-stage wall-clock table.
 # Exits nonzero if ANY stage fails, so it can gate CI directly. Stage
@@ -146,7 +152,8 @@ bench_smoke() {
   out=$(mktemp -d) || return 1
   local benches=(table2_analytical table4_experimental selectivity_sweep
                  overflow_partitioning parallel_scaleup early_output
-                 algorithm_choice hbs_ablation batch_vs_tuple fused_ablation)
+                 algorithm_choice hbs_ablation batch_vs_tuple fused_ablation
+                 telemetry_overhead)
   local b
   for b in "${benches[@]}"; do
     echo "-- $b (smoke)"
@@ -219,6 +226,28 @@ if [[ "$QUICK" == "0" ]]; then
     return "$rc"
   }
   stage "parallel" parallel_stage
+
+  # Telemetry stage: the observability layer itself must be clean under the
+  # sanitizers — the lock-free histogram record path is exactly the kind of
+  # code TSan exists for — and the flight-recorder/fault coupling reruns
+  # with the failpoint suites to prove the recorder captures every injected
+  # fault. The TSan leg sweeps worker counts so the concurrent recording
+  # tests race real scheduler traffic, not just their own threads.
+  telemetry_stage() {
+    local preset threads rc=0
+    for preset in asan tsan; do
+      echo "-- telemetry suites under $preset"
+      ctest --preset "$preset" \
+        -R '(telemetry_test|fault_injection_test)' || rc=1
+    done
+    for threads in 1 4 8; do
+      echo "-- telemetry suites under tsan, RELDIV_THREADS=$threads"
+      RELDIV_THREADS="$threads" ctest --preset tsan \
+        -R 'telemetry_test' || rc=1
+    done
+    return "$rc"
+  }
+  stage "telemetry" telemetry_stage
 fi
 
 note "summary"

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Unit tests for tools/lint.py and tools/analyze.py.
+"""Unit tests for tools/lint.py, tools/analyze.py, and tools/bench_report.py.
 
 Each rule gets at least one positive fixture (the finding fires) and one
 negative fixture (idiomatic code passes), so a regex regression in either
@@ -19,6 +19,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import analyze  # noqa: E402
+import bench_report  # noqa: E402
 import lint  # noqa: E402
 
 
@@ -278,6 +279,41 @@ class AnalyzeRuleTest(unittest.TestCase):
                         "  C(const C&) = delete;\n};\n#endif\n")
         self.assertEqual(self.fresh(["naked-new"]), [])
 
+    def test_telemetry_name_literal_fires(self):
+        self.tree.write(
+            "src/exec/a.cc",
+            'void F(MetricRegistry* r) { r->FindOrCreateCounter("x"); }\n')
+        found = self.fresh(["telemetry-names"])
+        self.assertEqual(rules_of(found), ["telemetry-names"])
+        self.assertIn("metric_names.h", found[0].message)
+
+    def test_telemetry_name_wrapped_literal_fires(self):
+        # The formatter may break the call after the open paren; the literal
+        # on the next line must still be caught.
+        self.tree.write(
+            "src/exec/a.cc",
+            "void F(MetricRegistry* r) {\n"
+            "  r->FindOrCreateHistogram(\n"
+            '      "grant_latency_micros", "pool", "default");\n'
+            "}\n")
+        found = self.fresh(["telemetry-names"])
+        self.assertEqual(rules_of(found), ["telemetry-names"])
+        # Reported at the call site, not the wrapped literal's line.
+        self.assertEqual(found[0].lineno, 2)
+
+    def test_telemetry_name_constant_clean(self):
+        # Label values after the name constant may be literals; only the
+        # metric name itself is schema.
+        self.tree.write(
+            "src/exec/a.cc",
+            "void F(MetricRegistry* r) {\n"
+            "  r->FindOrCreateCounter(metric_names::kSchedTasksTotal);\n"
+            "  r->FindOrCreateGauge(metric_names::kGaugeRestarts);\n"
+            '  r->FindOrCreateHistogram(metric_names::kQueryWallMicros,\n'
+            '                           "algorithm", "hash");\n'
+            "}\n")
+        self.assertEqual(self.fresh(["telemetry-names"]), [])
+
     def test_failpoint_site_unlisted_fires(self):
         self.tree.write(
             "src/testing/failpoint.h",
@@ -355,6 +391,48 @@ class BaselineTest(unittest.TestCase):
                                                      baseline=baseline)
         self.assertEqual(fresh, [])
         self.assertEqual(analyzer.baselined, 1)
+
+
+class BenchReportSchemaTest(unittest.TestCase):
+    """bench_report.py's key sets are parsed from metric_names.h."""
+
+    def test_real_header_is_in_sync(self):
+        self.assertEqual(bench_report.check_schema_source(), [])
+
+    def test_parse_blocks_reads_sections(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "metric_names.h"
+            path.write_text(
+                "// bench-schema: counters\n"
+                'inline constexpr char kComparisons[] = "comparisons";\n'
+                'inline constexpr char kHashes[] = "hashes";\n'
+                "// bench-schema: end\n"
+                "// unrelated constant outside any block\n"
+                'inline constexpr char kOther[] = "other";\n',
+                encoding="utf-8")
+            self.assertEqual(
+                bench_report.parse_schema_blocks(str(path)),
+                {"counters": ("comparisons", "hashes")})
+
+    def test_unparseable_line_in_block_raises(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "metric_names.h"
+            path.write_text(
+                "// bench-schema: io\n"
+                "int not_a_constant;\n"
+                "// bench-schema: end\n", encoding="utf-8")
+            with self.assertRaises(ValueError):
+                bench_report.parse_schema_blocks(str(path))
+
+    def test_duplicate_section_raises(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "metric_names.h"
+            path.write_text(
+                "// bench-schema: io\n// bench-schema: end\n"
+                "// bench-schema: io\n// bench-schema: end\n",
+                encoding="utf-8")
+            with self.assertRaises(ValueError):
+                bench_report.parse_schema_blocks(str(path))
 
 
 class RepoIsCleanTest(unittest.TestCase):
