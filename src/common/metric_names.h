@@ -98,6 +98,18 @@ inline constexpr char kFailpointFiresTotal[] = "reldiv_failpoint_fires_total";
 inline constexpr char kFallbacksTotal[] = "reldiv_fallbacks_total";
 inline constexpr char kRepartitionsTotal[] = "reldiv_repartitions_total";
 
+// Adaptive re-planning (planner/adaptive.cc). kReplansTotal is labelled by
+// trigger ("divisor-cardinality", "quotient-growth", "memory-pressure",
+// "dividend-cardinality"); the checkpoint counter counts divergence probes
+// whether or not they fire.
+inline constexpr char kReplansTotal[] = "reldiv_replans_total";
+inline constexpr char kReplanCheckpointsTotal[] =
+    "reldiv_replan_checkpoints_total";
+inline constexpr char kReplanStatsCacheHitsTotal[] =
+    "reldiv_replan_stats_cache_hits_total";
+inline constexpr char kReplanStatsCacheEntries[] =
+    "reldiv_replan_stats_cache_entries";
+
 }  // namespace metric_names
 }  // namespace reldiv
 

@@ -87,6 +87,14 @@ Status HashJoinOperator::Next(Tuple* tuple, bool* has_next) {
       return Status::OK();
     }
     TupleHashTable::Entry* entry = table_->Find(current_probe_, probe_keys_);
+    if (mode_ == HashJoinMode::kLeftAnti) {
+      // Inverse of the semi-join: emit exactly the probe tuples without a
+      // build match.
+      if (entry != nullptr) continue;
+      *tuple = std::move(current_probe_);
+      *has_next = true;
+      return Status::OK();
+    }
     if (entry == nullptr) continue;
     if (mode_ == HashJoinMode::kLeftSemi) {
       *tuple = std::move(current_probe_);

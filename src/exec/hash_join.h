@@ -14,13 +14,16 @@ namespace reldiv {
 enum class HashJoinMode {
   kInner,     ///< concatenated probe+build output tuples
   kLeftSemi,  ///< probe-side tuples with at least one build match
+  kLeftAnti,  ///< probe-side tuples with NO build match (NOT EXISTS)
 };
 
-/// In-memory hash (semi-)join (§2.2.2): the build (right) input is loaded
-/// into a chained hash table, then the probe (left) input streams through.
-/// For division by hash-based aggregation with a restricted divisor, the
-/// semi-join mode reduces the dividend before aggregation. The build input
-/// must fit in memory; ResourceExhausted propagates otherwise.
+/// In-memory hash (semi-/anti-)join (§2.2.2): the build (right) input is
+/// loaded into a chained hash table, then the probe (left) input streams
+/// through. For division by hash-based aggregation with a restricted
+/// divisor, the semi-join mode reduces the dividend before aggregation; the
+/// anti mode executes the NOT EXISTS / set-difference formulations of
+/// universal quantification (§5.2) that the rewriter recognizes. The build
+/// input must fit in memory; ResourceExhausted propagates otherwise.
 class HashJoinOperator : public Operator {
  public:
   /// `expected_build_cardinality` sizes the table (0 = default 1K buckets).

@@ -150,6 +150,43 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
     run.drift_historical_runs = aggregate.runs;
     result.runs.push_back(std::move(run));
   }
+
+  if (options.adaptive) {
+    ctx->set_profiling(true);
+    const CpuCounters cpu_before = *ctx->counters();
+    const DiskStats io_before = ctx->disk()->stats();
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    auto plan_result =
+        PlanAdaptiveDivision(ctx, query, options.adaptive_options);
+    if (!plan_result.ok()) {
+      ctx->set_profiling(was_profiling);
+      return plan_result.status();
+    }
+    AdaptiveDivisionOperator* plan = plan_result.value().get();
+    auto rows_result = CollectAll(plan, ctx->batch_capacity());
+    if (!rows_result.ok()) {
+      ctx->set_profiling(was_profiling);
+      return rows_result.status();
+    }
+
+    ExplainedRun run;
+    run.algorithm = plan->report().final_algorithm;
+    auto it = predicted.find(run.algorithm);
+    run.predicted_ms = it != predicted.end() ? it->second : 0;
+    run.measured.cpu_counters = *ctx->counters() - cpu_before;
+    run.measured.io_stats = ctx->disk()->stats() - io_before;
+    run.measured.cpu_ms = CpuCostMs(run.measured.cpu_counters, options.units);
+    run.measured.io_ms = IoCostMs(run.measured.io_stats, options.io_weights);
+    run.measured.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    run.quotient_tuples = rows_result.value().size();
+    run.operator_tree = ctx->profile()->ToString();
+    run.replan_line = plan->report().ToLine();
+    result.runs.push_back(std::move(run));
+  }
   ctx->set_profiling(was_profiling);
 
   // ---- Rendering: prediction table (Table 2 columns), then one annotated
@@ -189,7 +226,11 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
          PadLeft("cpu_ms", kCol) + PadLeft("io_ms", kCol) +
          PadLeft("wall_ms", kCol) + PadLeft("rows", kCol) + "\n";
   for (const ExplainedRun& run : result.runs) {
-    out += "  " + PadRight(DivisionAlgorithmName(run.algorithm), kName) +
+    out += "  " +
+           PadRight(run.replan_line.empty()
+                        ? DivisionAlgorithmName(run.algorithm)
+                        : "adaptive",
+                    kName) +
            PadLeft(Ms(run.predicted_ms), kCol) +
            PadLeft(Ms(run.measured.total_ms()), kCol) +
            PadLeft(Ms(run.measured.cpu_ms), kCol) +
@@ -199,17 +240,23 @@ Result<ExplainAnalyzeResult> ExplainAnalyzeDivision(
   }
   out += "\n";
   for (const ExplainedRun& run : result.runs) {
-    out += std::string(DivisionAlgorithmName(run.algorithm)) +
+    out += std::string(run.replan_line.empty()
+                           ? DivisionAlgorithmName(run.algorithm)
+                           : "adaptive") +
            "  [predicted " + Ms(run.predicted_ms) + " ms, measured " +
            Ms(run.measured.total_ms()) + " ms = cpu " +
            Ms(run.measured.cpu_ms) + " + io " + Ms(run.measured.io_ms) +
            ", wall " + Ms(run.measured.wall_ms) + " ms, " +
            std::to_string(run.quotient_tuples) + " rows]\n";
-    out += "  drift: " + SignedPercent(run.drift_relative_error) +
-           " vs model; historical mean |error| " +
-           Percent(run.drift_historical_mean_abs_error) + " over " +
-           std::to_string(run.drift_historical_runs) + " run" +
-           (run.drift_historical_runs == 1 ? "" : "s") + "\n";
+    if (run.replan_line.empty()) {
+      out += "  drift: " + SignedPercent(run.drift_relative_error) +
+             " vs model; historical mean |error| " +
+             Percent(run.drift_historical_mean_abs_error) + " over " +
+             std::to_string(run.drift_historical_runs) + " run" +
+             (run.drift_historical_runs == 1 ? "" : "s") + "\n";
+    } else {
+      out += "  replan: " + run.replan_line + "\n";
+    }
     AppendIndented(run.operator_tree, &out);
   }
   return result;

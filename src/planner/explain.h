@@ -10,6 +10,7 @@
 #include "cost/io_cost.h"
 #include "division/division.h"
 #include "exec/exec_context.h"
+#include "planner/adaptive.h"
 #include "planner/physical_planner.h"
 
 namespace reldiv {
@@ -42,6 +43,10 @@ struct ExplainedRun {
   /// Per-operator metrics tree of the profiled run (QueryProfile render):
   /// rows, call counts, inclusive/self time, counters, I/O, gauges.
   std::string operator_tree;
+  /// Adaptive runs only: the AdaptiveReport::ToLine() chain (initial choice,
+  /// triggers, final algorithm). Empty for static runs; the report renders a
+  /// "replan:" line when set.
+  std::string replan_line;
 };
 
 /// Outcome of ExplainAnalyzeDivision: the structured data plus the rendered
@@ -69,6 +74,12 @@ struct ExplainAnalyzeOptions {
   /// AnalyticalConfigFromStats of the stored inputs; set explicitly to pin a
   /// paper configuration (e.g. AnalyticalConfig::Paper(25, 25)).
   std::optional<AnalyticalConfig> config;
+  /// Additionally execute the query under AdaptiveDivisionOperator and
+  /// append an "adaptive" run whose report carries the "replan:" line.
+  bool adaptive = false;
+  /// Options for that adaptive run (its DivisionOptions/CostUnits are taken
+  /// from here, not from `division`/`units` above).
+  AdaptiveOptions adaptive_options;
 };
 
 /// EXPLAIN ANALYZE for relational division: runs each requested algorithm

@@ -12,6 +12,12 @@ const char* LogicalNodeKindName(LogicalNodeKind kind) {
       return "Project";
     case LogicalNodeKind::kSemiJoin:
       return "SemiJoin";
+    case LogicalNodeKind::kAntiJoin:
+      return "AntiJoin";
+    case LogicalNodeKind::kCrossJoin:
+      return "CrossJoin";
+    case LogicalNodeKind::kExcept:
+      return "Except";
     case LogicalNodeKind::kGroupCount:
       return "GroupCount";
     case LogicalNodeKind::kCountFilter:
@@ -69,6 +75,29 @@ std::string LogicalProjectNode::Describe() const {
 std::string LogicalSemiJoinNode::Describe() const {
   return "SemiJoin left" + IndexList(left_keys_) + " = right" +
          IndexList(right_keys_);
+}
+
+std::string LogicalAntiJoinNode::Describe() const {
+  return "AntiJoin left" + IndexList(left_keys_) + " = right" +
+         IndexList(right_keys_);
+}
+
+LogicalCrossJoinNode::LogicalCrossJoinNode(LogicalNodePtr left,
+                                           LogicalNodePtr right)
+    : LogicalNode(LogicalNodeKind::kCrossJoin),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  std::vector<Field> fields = left_->output_schema().fields();
+  for (const Field& f : right_->output_schema().fields()) {
+    fields.push_back(f);
+  }
+  schema_ = Schema(std::move(fields));
+}
+
+std::string LogicalCrossJoinNode::Describe() const { return "CrossJoin"; }
+
+std::string LogicalExceptNode::Describe() const {
+  return "Except (positional, set semantics)";
 }
 
 LogicalGroupCountNode::LogicalGroupCountNode(LogicalNodePtr input,

@@ -25,6 +25,9 @@ enum class LogicalNodeKind {
   kSelect,       ///< selection with an opaque predicate
   kProject,      ///< projection, optionally duplicate-eliminating
   kSemiJoin,     ///< left semi-join
+  kAntiJoin,     ///< left anti-join (NOT EXISTS)
+  kCrossJoin,    ///< Cartesian product
+  kExcept,       ///< positional set difference (set semantics)
   kGroupCount,   ///< group by + COUNT(*)
   kCountFilter,  ///< keep groups whose count equals |scalar input|
   kDivision,     ///< relational division
@@ -178,6 +181,98 @@ class LogicalSemiJoinNode : public LogicalNode {
   LogicalNodePtr right_;
   std::vector<size_t> left_keys_;
   std::vector<size_t> right_keys_;
+};
+
+/// Left anti-join: left tuples WITHOUT a match in the right input — the
+/// NOT EXISTS building block of the double-negation formulation of
+/// universal quantification ("courses for which no required course is
+/// missing from the transcript").
+class LogicalAntiJoinNode : public LogicalNode {
+ public:
+  LogicalAntiJoinNode(LogicalNodePtr left, LogicalNodePtr right,
+                      std::vector<size_t> left_keys,
+                      std::vector<size_t> right_keys)
+      : LogicalNode(LogicalNodeKind::kAntiJoin),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {}
+
+  const Schema& output_schema() const override {
+    return left_->output_schema();
+  }
+  size_t num_children() const override { return 2; }
+  const LogicalNode& child(size_t i) const override {
+    return i == 0 ? *left_ : *right_;
+  }
+
+  const std::vector<size_t>& left_keys() const { return left_keys_; }
+  const std::vector<size_t>& right_keys() const { return right_keys_; }
+  LogicalNodePtr TakeLeft() { return std::move(left_); }
+  LogicalNodePtr TakeRight() { return std::move(right_); }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  LogicalNodePtr left_;
+  LogicalNodePtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+};
+
+/// Cartesian product; output schema is left columns followed by right
+/// columns. Appears only inside the double-negation shapes (candidates ×
+/// divisor), where the rewriter eliminates it.
+class LogicalCrossJoinNode : public LogicalNode {
+ public:
+  LogicalCrossJoinNode(LogicalNodePtr left, LogicalNodePtr right);
+
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 2; }
+  const LogicalNode& child(size_t i) const override {
+    return i == 0 ? *left_ : *right_;
+  }
+
+  LogicalNodePtr TakeLeft() { return std::move(left_); }
+  LogicalNodePtr TakeRight() { return std::move(right_); }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  LogicalNodePtr left_;
+  LogicalNodePtr right_;
+  Schema schema_;
+};
+
+/// Positional set difference with set semantics: DISTINCT left tuples with
+/// no positionally-equal right tuple. The EXCEPT of the double-negation
+/// formulation; arities and column types of the inputs must agree.
+class LogicalExceptNode : public LogicalNode {
+ public:
+  LogicalExceptNode(LogicalNodePtr left, LogicalNodePtr right)
+      : LogicalNode(LogicalNodeKind::kExcept),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  const Schema& output_schema() const override {
+    return left_->output_schema();
+  }
+  size_t num_children() const override { return 2; }
+  const LogicalNode& child(size_t i) const override {
+    return i == 0 ? *left_ : *right_;
+  }
+
+  LogicalNodePtr TakeLeft() { return std::move(left_); }
+  LogicalNodePtr TakeRight() { return std::move(right_); }
+
+ protected:
+  std::string Describe() const override;
+
+ private:
+  LogicalNodePtr left_;
+  LogicalNodePtr right_;
 };
 
 /// Group by `group_indices`, computing COUNT(*). Output schema = group

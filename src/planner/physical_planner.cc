@@ -244,6 +244,51 @@ Result<std::unique_ptr<Operator>> CompileNode(const LogicalNode& node,
           state->ctx, std::move(left), std::move(right), semi.left_keys(),
           semi.right_keys(), HashJoinMode::kLeftSemi));
     }
+    case LogicalNodeKind::kAntiJoin: {
+      // NOT EXISTS: hash anti-join under both engines — the merge join has
+      // no anti mode, and the sort engine's distinguishing shapes (semi
+      // join, aggregation during sorting) are unaffected by this choice.
+      const auto& anti = static_cast<const LogicalAntiJoinNode&>(node);
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> left,
+                              CompileNode(node.child(0), state));
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> right,
+                              CompileNode(node.child(1), state));
+      return std::unique_ptr<Operator>(std::make_unique<HashJoinOperator>(
+          state->ctx, std::move(left), std::move(right), anti.left_keys(),
+          anti.right_keys(), HashJoinMode::kLeftAnti));
+    }
+    case LogicalNodeKind::kCrossJoin: {
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> left,
+                              CompileNode(node.child(0), state));
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> right,
+                              CompileNode(node.child(1), state));
+      // Inner hash join on zero key columns: every build tuple lands in one
+      // bucket, every probe tuple compares equal on the empty key, and the
+      // match fan-out enumerates the full product.
+      return std::unique_ptr<Operator>(std::make_unique<HashJoinOperator>(
+          state->ctx, std::move(left), std::move(right),
+          std::vector<size_t>{}, std::vector<size_t>{},
+          HashJoinMode::kInner));
+    }
+    case LogicalNodeKind::kExcept: {
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> left,
+                              CompileNode(node.child(0), state));
+      RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> right,
+                              CompileNode(node.child(1), state));
+      // Set semantics: distinct the left input (sort collapsing equal
+      // keys), then anti-join against the right on every column.
+      std::vector<size_t> all_columns(
+          node.child(0).output_schema().num_fields());
+      for (size_t i = 0; i < all_columns.size(); ++i) all_columns[i] = i;
+      SortSpec spec;
+      spec.keys = all_columns;
+      spec.collapse_equal_keys = true;
+      auto distinct_left = std::make_unique<SortOperator>(
+          state->ctx, std::move(left), std::move(spec));
+      return std::unique_ptr<Operator>(std::make_unique<HashJoinOperator>(
+          state->ctx, std::move(distinct_left), std::move(right), all_columns,
+          all_columns, HashJoinMode::kLeftAnti));
+    }
     case LogicalNodeKind::kGroupCount: {
       const auto& gc = static_cast<const LogicalGroupCountNode&>(node);
       RELDIV_ASSIGN_OR_RETURN(std::unique_ptr<Operator> input,

@@ -66,6 +66,151 @@ LogicalNodePtr RestoreColumnOrder(std::unique_ptr<LogicalDivisionNode> division,
 LogicalNodePtr RewriteNode(LogicalNodePtr node, const RewriteOptions& options,
                            int* introduced);
 
+/// Shared skeleton of the two double-negation shapes: the inner negation
+/// ranges over CrossJoin(C', S) and subtracts (the reordered) X. Checks the
+/// structural conditions common to both and reports the pieces.
+struct DoubleNegationParts {
+  const LogicalNode* candidate_source = nullptr;  ///< X under the outer C
+  std::vector<size_t> group;                      ///< C's projection indices
+  std::vector<size_t> match;                      ///< complement, decl order
+};
+
+/// Validates the outer candidate set C = DISTINCT Project_G(X) and derives
+/// G and M. Returns false when the node cannot anchor a double negation.
+bool MatchCandidateProjection(const LogicalNode& c, DoubleNegationParts* out) {
+  if (c.kind() != LogicalNodeKind::kProject) return false;
+  const auto& project = static_cast<const LogicalProjectNode&>(c);
+  if (!project.distinct() || project.indices().empty()) return false;
+  const LogicalNode& source = project.child(0);
+  out->candidate_source = &source;
+  out->group = project.indices();
+  out->match = source.output_schema().ComplementIndices(out->group);
+  return !out->match.empty() &&
+         CoversAllColumns(out->group, out->match,
+                          source.output_schema().num_fields());
+}
+
+/// Checks that `cross` is CrossJoin(C', S) with C' ≡ `c` and S's column
+/// types matching M of the candidate source positionally.
+bool MatchCrossJoin(const LogicalNode& cross, const LogicalNode& c,
+                    const DoubleNegationParts& parts) {
+  if (cross.kind() != LogicalNodeKind::kCrossJoin) return false;
+  if (!EquivalentSources(cross.child(0), c)) return false;
+  return TypesMatch(parts.candidate_source->output_schema(), parts.match,
+                    cross.child(1).output_schema());
+}
+
+/// `indices` == group ++ match (the column order CrossJoin(C, S) produces
+/// when read off the dividend X).
+bool IsGroupThenMatch(const std::vector<size_t>& indices,
+                      const DoubleNegationParts& parts) {
+  if (indices.size() != parts.group.size() + parts.match.size()) return false;
+  for (size_t i = 0; i < parts.group.size(); ++i) {
+    if (indices[i] != parts.group[i]) return false;
+  }
+  for (size_t i = 0; i < parts.match.size(); ++i) {
+    if (indices[parts.group.size() + i] != parts.match[i]) return false;
+  }
+  return true;
+}
+
+/// Tries to turn an AntiJoin node into a division — the NOT EXISTS double
+/// negation:
+///   AntiJoin(C, AntiJoin(CrossJoin(C', S), X'),
+///            left = identity(C), right = first |G| columns)
+/// where the inner anti-join matches every (candidate, divisor) pair against
+/// X on G ∪ M. Sound without any integrity assumption: a dividend tuple
+/// whose M values fall outside S never appears in CrossJoin(C, S), so it
+/// can neither rescue nor disqualify a candidate — exactly division.
+LogicalNodePtr TryRewriteAntiJoin(std::unique_ptr<LogicalAntiJoinNode> outer,
+                                  int* introduced) {
+  DoubleNegationParts parts;
+  if (!MatchCandidateProjection(outer->child(0), &parts)) return outer;
+  if (outer->child(1).kind() != LogicalNodeKind::kAntiJoin) return outer;
+  const auto& inner = static_cast<const LogicalAntiJoinNode&>(outer->child(1));
+  const LogicalNode& cross = inner.child(0);
+  if (!MatchCrossJoin(cross, outer->child(0), parts)) return outer;
+  if (!EquivalentSources(inner.child(1), *parts.candidate_source)) {
+    return outer;
+  }
+  // Key alignment: the inner anti-join compares the full (candidate,
+  // divisor) pair against X's G ∪ M columns; the outer one compares C
+  // against the pair's candidate half.
+  const size_t pair_arity = cross.output_schema().num_fields();
+  if (!IsIdentity(inner.left_keys(), pair_arity)) return outer;
+  if (!IsGroupThenMatch(inner.right_keys(), parts)) return outer;
+  if (!IsIdentity(outer->left_keys(), parts.group.size())) return outer;
+  if (outer->right_keys().size() != parts.group.size()) return outer;
+  for (size_t i = 0; i < parts.group.size(); ++i) {
+    if (outer->right_keys()[i] != i) return outer;
+  }
+
+  // Take ownership of X (the inner anti-join's right input) and S (the
+  // cross join's right input); the candidate projections are derived.
+  LogicalNodePtr inner_owned = outer->TakeRight();
+  auto* inner_anti = static_cast<LogicalAntiJoinNode*>(inner_owned.get());
+  LogicalNodePtr cross_owned = inner_anti->TakeLeft();
+  auto* cross_join = static_cast<LogicalCrossJoinNode*>(cross_owned.get());
+  auto division = std::make_unique<LogicalDivisionNode>(
+      inner_anti->TakeRight(), cross_join->TakeRight(), parts.match);
+  (*introduced)++;
+  return RestoreColumnOrder(std::move(division), parts.group);
+}
+
+/// Tries to turn an Except node into a division — the EXCEPT double
+/// negation:
+///   Except(C, Project_G(Except(CrossJoin(C', S), Project_{G∪M}(X'))))
+/// The reordering projection on X may be omitted when G ∪ M is already the
+/// declaration order.
+LogicalNodePtr TryRewriteExcept(std::unique_ptr<LogicalExceptNode> outer,
+                                int* introduced) {
+  DoubleNegationParts parts;
+  if (!MatchCandidateProjection(outer->child(0), &parts)) return outer;
+  // Middle projection: the missing pairs reduced to their candidate half —
+  // the prefix identity 0..|G|-1 over the (candidate, divisor) pair.
+  if (outer->child(1).kind() != LogicalNodeKind::kProject) return outer;
+  const auto& mid = static_cast<const LogicalProjectNode&>(outer->child(1));
+  if (!IsIdentity(mid.indices(), parts.group.size())) return outer;
+  if (mid.child(0).kind() != LogicalNodeKind::kExcept) return outer;
+  const auto& inner = static_cast<const LogicalExceptNode&>(mid.child(0));
+  if (!MatchCrossJoin(inner.child(0), outer->child(0), parts)) return outer;
+
+  // The inner Except's right side is X reordered to (G..., M...) — either an
+  // explicit projection, or X itself when that is already declaration order.
+  const LogicalNode& subtrahend = inner.child(1);
+  bool reordered = false;
+  if (subtrahend.kind() == LogicalNodeKind::kProject) {
+    const auto& reorder = static_cast<const LogicalProjectNode&>(subtrahend);
+    reordered = IsGroupThenMatch(reorder.indices(), parts) &&
+                EquivalentSources(reorder.child(0), *parts.candidate_source);
+  }
+  // When G is the prefix identity, the declaration-order complement M is
+  // the suffix, so X already reads as (G..., M...) with no projection.
+  const bool direct = !reordered &&
+                      IsIdentity(parts.group, parts.group.size()) &&
+                      EquivalentSources(subtrahend, *parts.candidate_source);
+  if (!reordered && !direct) return outer;
+
+  LogicalNodePtr mid_owned = outer->TakeRight();
+  auto* mid_project = static_cast<LogicalProjectNode*>(mid_owned.get());
+  LogicalNodePtr inner_owned = mid_project->TakeInput();
+  auto* inner_except = static_cast<LogicalExceptNode*>(inner_owned.get());
+  LogicalNodePtr cross_owned = inner_except->TakeLeft();
+  auto* cross_join = static_cast<LogicalCrossJoinNode*>(cross_owned.get());
+  LogicalNodePtr dividend;
+  if (reordered) {
+    LogicalNodePtr reorder_owned = inner_except->TakeRight();
+    dividend = static_cast<LogicalProjectNode*>(reorder_owned.get())
+                   ->TakeInput();
+  } else {
+    dividend = inner_except->TakeRight();
+  }
+  auto division = std::make_unique<LogicalDivisionNode>(
+      std::move(dividend), cross_join->TakeRight(), parts.match);
+  (*introduced)++;
+  return RestoreColumnOrder(std::move(division), parts.group);
+}
+
 /// Tries to turn a CountFilter node into a division. Returns the (possibly
 /// unchanged) node.
 LogicalNodePtr TryRewriteCountFilter(
@@ -162,6 +307,35 @@ LogicalNodePtr RewriteNode(LogicalNodePtr node, const RewriteOptions& options,
           RewriteNode(semi->TakeRight(), options, introduced);
       return std::make_unique<LogicalSemiJoinNode>(
           std::move(left), std::move(right), std::move(lk), std::move(rk));
+    }
+    case LogicalNodeKind::kAntiJoin: {
+      auto* anti = static_cast<LogicalAntiJoinNode*>(node.get());
+      std::vector<size_t> lk = anti->left_keys();
+      std::vector<size_t> rk = anti->right_keys();
+      LogicalNodePtr left = RewriteNode(anti->TakeLeft(), options, introduced);
+      LogicalNodePtr right =
+          RewriteNode(anti->TakeRight(), options, introduced);
+      auto rebuilt = std::make_unique<LogicalAntiJoinNode>(
+          std::move(left), std::move(right), std::move(lk), std::move(rk));
+      return TryRewriteAntiJoin(std::move(rebuilt), introduced);
+    }
+    case LogicalNodeKind::kCrossJoin: {
+      auto* cross = static_cast<LogicalCrossJoinNode*>(node.get());
+      LogicalNodePtr left = RewriteNode(cross->TakeLeft(), options, introduced);
+      LogicalNodePtr right =
+          RewriteNode(cross->TakeRight(), options, introduced);
+      return std::make_unique<LogicalCrossJoinNode>(std::move(left),
+                                                    std::move(right));
+    }
+    case LogicalNodeKind::kExcept: {
+      auto* except = static_cast<LogicalExceptNode*>(node.get());
+      LogicalNodePtr left =
+          RewriteNode(except->TakeLeft(), options, introduced);
+      LogicalNodePtr right =
+          RewriteNode(except->TakeRight(), options, introduced);
+      auto rebuilt = std::make_unique<LogicalExceptNode>(std::move(left),
+                                                         std::move(right));
+      return TryRewriteExcept(std::move(rebuilt), introduced);
     }
     case LogicalNodeKind::kGroupCount: {
       auto* gc = static_cast<LogicalGroupCountNode*>(node.get());

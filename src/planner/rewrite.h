@@ -38,6 +38,20 @@ struct RewriteResult {
 ///     where the complement M of G matches S's column types positionally
 ///                          →  Project(Division(X, S, M))
 ///
+///   AntiJoin(C, AntiJoin(CrossJoin(C', S), X'))       [NOT EXISTS twice]
+///     where C = DISTINCT Project_G(X), C' ≡ C, X' ≡ X, and the join keys
+///     align (C × S) positionally with X's G ∪ M columns: "candidates for
+///     which no divisor tuple is missing from the dividend"
+///                          →  Project(Division(X, S, M))
+///
+///   Except(C, Project_G(Except(CrossJoin(C', S), Project_{G∪M}(X'))))
+///     the same double negation via set difference
+///                          →  Project(Division(X, S, M))
+///
+/// The double-negation shapes are sound unconditionally (no referential-
+/// integrity assumption: a candidate with divisor values outside S is
+/// handled by the inner negation), so neither is gated on RewriteOptions.
+///
 /// The Project restores the aggregate formulation's output column order
 /// when the group columns are not in declaration order.
 RewriteResult RewriteForAllPattern(LogicalNodePtr plan,

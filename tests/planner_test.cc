@@ -105,6 +105,58 @@ TEST_F(PlannerTest, BareCountingPatternNeedsIntegrityAssumption) {
   EXPECT_EQ(aggressive.plan->kind(), LogicalNodeKind::kDivision);
 }
 
+TEST_F(PlannerTest, IntegrityAssumptionGateIsSemanticallyLoadBearing) {
+  // The RI gate is not conservatism for its own sake: with foreign dividend
+  // tuples the bare-counting plan and the division DISAGREE, so rewriting
+  // without the assumption would change query results. Construct the
+  // counterexample explicitly:
+  //   dividend X = {(1,1),(1,2),(2,1),(2,99)}   divisor S = {1,2}
+  // Candidate 1 holds all of S → in the quotient. Candidate 2 holds divisor
+  // value 99 ∉ S; its GROUP BY count is still 2 == |S|, so the bare-counting
+  // plan wrongly admits it.
+  Schema two{Field{"q", ValueType::kInt64}, Field{"d", ValueType::kInt64}};
+  Schema one{Field{"d", ValueType::kInt64}};
+  ASSERT_OK_AND_ASSIGN(Relation x, db_->CreateTable("ri_x", two));
+  ASSERT_OK_AND_ASSIGN(Relation s, db_->CreateTable("ri_s", one));
+  for (const Tuple& t : {T(1, 1), T(1, 2), T(2, 1), T(2, 99)}) {
+    ASSERT_OK(db_->Insert("ri_x", t));
+  }
+  ASSERT_OK(db_->Insert("ri_s", T(1)));
+  ASSERT_OK(db_->Insert("ri_s", T(2)));
+
+  auto make_plan = [&] {
+    auto counted = std::make_unique<LogicalGroupCountNode>(
+        std::make_unique<LogicalRelationNode>("ri_x", x),
+        std::vector<size_t>{0});
+    return std::make_unique<LogicalCountFilterNode>(
+        std::move(counted),
+        std::make_unique<LogicalRelationNode>("ri_s", s));
+  };
+
+  // Without the flag the rewrite is withheld, and executing the untouched
+  // plan shows why it must be: the foreign tuple (2,99) inflates candidate
+  // 2's count to |S|.
+  RewriteResult conservative = RewriteForAllPattern(make_plan());
+  EXPECT_EQ(conservative.divisions_introduced, 0);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> bare,
+      CompileLogicalPlan(db_->ctx(), std::move(conservative.plan)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> bare_rows, CollectAll(bare.get()));
+  EXPECT_EQ(Sorted(std::move(bare_rows)), (std::vector<Tuple>{T(1), T(2)}));
+
+  // With the flag the rewrite fires and the division computes the true
+  // quotient {1} — a different answer, so the gate is load-bearing.
+  RewriteOptions options;
+  options.assume_referential_integrity = true;
+  RewriteResult aggressive = RewriteForAllPattern(make_plan(), options);
+  EXPECT_EQ(aggressive.divisions_introduced, 1);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<Operator> divided,
+      CompileLogicalPlan(db_->ctx(), std::move(aggressive.plan)));
+  ASSERT_OK_AND_ASSIGN(std::vector<Tuple> quotient, CollectAll(divided.get()));
+  EXPECT_EQ(Sorted(std::move(quotient)), (std::vector<Tuple>{T(1)}));
+}
+
 TEST_F(PlannerTest, RewriteRejectsPartialSemiJoinKeys) {
   // Group ∪ join keys must cover the dividend; here column 1 is neither
   // grouped nor joined, so the pattern is not a division.

@@ -46,6 +46,14 @@ allowlist with written rationale. Rules:
                        source of truth the exporters and
                        tools/bench_report.py validate against, so a typo
                        silently forks a new time series.
+  replan-flight-log    every file that bumps the re-plan metric family
+                       (metric_names::kReplansTotal) must also record the
+                       decision in the flight recorder
+                       (FlightRecorder::Global().Record), and the adaptive
+                       planner keeps both. A re-plan that only shows up as
+                       a counter is undiagnosable post-mortem: the metric
+                       says HOW OFTEN, only the flight event says WHICH
+                       query, WHICH trigger, WHEN (DESIGN.md §15).
 
 Suppression syntax (modeled on clang-tidy triage): a finding is silenced
 by `NOLINT(reldiv/<rule>): <rationale>` on the same line, or
@@ -93,6 +101,7 @@ RULES = (
     "raw-thread",
     "naked-new",
     "telemetry-names",
+    "replan-flight-log",
     "suppression-rationale",
 )
 
@@ -212,6 +221,12 @@ FAILPOINT_COVERAGE = {
     "src/storage/record_file.cc": ("extent_file/append",),
     "src/parallel/network.cc": ("network/send", "network/recv"),
 }
+
+# replan-flight-log: re-plan decision points (DESIGN.md §15). Files that
+# must keep BOTH the metric bump and the flight-recorder record.
+REPLAN_FLIGHT_COVERAGE = ("src/planner/adaptive.cc",)
+REPLAN_METRIC_RE = re.compile(r"\bmetric_names::kReplansTotal\b")
+REPLAN_RECORDER_RE = re.compile(r"\bFlightRecorder::Global\(\)\s*\.\s*Record\b")
 
 FAILPOINT_USE_RE = re.compile(r'RELDIV_FAILPOINT(?:_DENIED)?\s*\(\s*"([^"]+)"')
 FAILPOINT_CATALOG_RE = re.compile(r"kFailpointSites\[\]\s*=\s*\{(.*?)\};",
@@ -510,6 +525,50 @@ class Analyzer:
                 "name stays in the schema the exporters and "
                 "tools/bench_report.py validate", raw_lines, sup)
 
+    def check_replan_flight_log(self, path: Path, raw_lines, lines, sup,
+                                text):
+        """A file that increments the re-plan counter without a flight
+        event produces metrics no post-mortem can explain; the coverage
+        half (check_replan_coverage) keeps the known wiring intact."""
+        if not REPLAN_METRIC_RE.search(text):
+            return
+        if REPLAN_RECORDER_RE.search(text):
+            return
+        for lineno, line in enumerate(lines, start=1):
+            if REPLAN_METRIC_RE.search(line):
+                self.report(
+                    path, lineno, "replan-flight-log",
+                    "this file bumps metric_names::kReplansTotal but never "
+                    "calls FlightRecorder::Global().Record; every re-plan "
+                    "decision point must leave a flight event naming the "
+                    "trigger and transition (DESIGN.md §15)",
+                    raw_lines, sup)
+                return
+
+    def check_replan_coverage(self, texts):
+        if "replan-flight-log" not in self.rules:
+            return
+        for rel in REPLAN_FLIGHT_COVERAGE:
+            path = self.root / rel
+            if not path.is_file():
+                self.findings.append(Finding(
+                    "replan-flight-log", rel, 1,
+                    f"wired file {rel} is missing", ""))
+                continue
+            raw_lines, _ = texts[path]
+            text = "\n".join(strip_comments_and_strings(l) for l in raw_lines)
+            for pattern, what in ((REPLAN_METRIC_RE,
+                                   "metric_names::kReplansTotal bump"),
+                                  (REPLAN_RECORDER_RE,
+                                   "FlightRecorder::Global().Record call")):
+                if not pattern.search(text):
+                    self.findings.append(Finding(
+                        "replan-flight-log", rel, 1,
+                        f"expected {what} is no longer present in this "
+                        "file; re-plan decisions must stay observable in "
+                        "both the metric family and the flight recorder "
+                        "(DESIGN.md §15)", ""))
+
     def failpoint_catalog(self) -> set[str]:
         header = self.root / "src" / "testing" / "failpoint.h"
         if not header.is_file():
@@ -589,7 +648,10 @@ class Analyzer:
                 self.check_raw_thread(path, raw_lines, lines, sup)
                 self.check_naked_new(path, raw_lines, lines, sup)
                 self.check_telemetry_names(path, raw_lines, sup, raw)
+                self.check_replan_flight_log(path, raw_lines, lines, sup,
+                                             text)
         self.check_failpoints(texts)
+        self.check_replan_coverage(texts)
 
         baseline = self.load_baseline()
         seen = {(f.rule, f.file, f.key) for f in self.findings}

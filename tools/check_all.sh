@@ -43,6 +43,13 @@
 #                               BOTH sanitizer builds, with the concurrent
 #                               histogram tests swept across RELDIV_THREADS
 #                               under TSan; DESIGN.md §14)
+#   adaptive                   (the adaptive-planner differential corpus and
+#                               rewrite suites under BOTH sanitizer builds,
+#                               swept across RELDIV_THREADS=1,4,8: re-plan
+#                               decisions and the stats cache must stay
+#                               correct and race-free whatever worker count
+#                               the abandoned/restarted plans run at;
+#                               DESIGN.md §15)
 #
 # Every stage is timed; the summary prints a per-stage wall-clock table.
 # Exits nonzero if ANY stage fails, so it can gate CI directly. Stage
@@ -153,7 +160,7 @@ bench_smoke() {
   local benches=(table2_analytical table4_experimental selectivity_sweep
                  overflow_partitioning parallel_scaleup early_output
                  algorithm_choice hbs_ablation batch_vs_tuple fused_ablation
-                 telemetry_overhead)
+                 telemetry_overhead adaptive_replan)
   local b
   for b in "${benches[@]}"; do
     echo "-- $b (smoke)"
@@ -248,6 +255,28 @@ if [[ "$QUICK" == "0" ]]; then
     return "$rc"
   }
   stage "telemetry" telemetry_stage
+
+  # Adaptive stage: the differential corpus proves rewritten plans, static
+  # plans, and the adaptive operator agree tuple-for-tuple, and the
+  # lying-stats fixtures force every re-plan trigger. Both sanitizers watch
+  # the abandon/restart paths (an abandoned build must unwind leak-free),
+  # and the TSan leg sweeps worker counts because re-chosen plans execute
+  # under whatever dop the scheduler defaults to (DESIGN.md §15).
+  adaptive_stage() {
+    local preset threads rc=0
+    for preset in asan tsan; do
+      echo "-- adaptive suites under $preset"
+      ctest --preset "$preset" \
+        -R '(adaptive_planner_test|planner_test)' || rc=1
+    done
+    for threads in 1 4 8; do
+      echo "-- adaptive suites under tsan, RELDIV_THREADS=$threads"
+      RELDIV_THREADS="$threads" ctest --preset tsan \
+        -R 'adaptive_planner_test' || rc=1
+    done
+    return "$rc"
+  }
+  stage "adaptive" adaptive_stage
 fi
 
 note "summary"

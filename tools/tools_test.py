@@ -352,6 +352,52 @@ class AnalyzeRuleTest(unittest.TestCase):
             self.tree.write(rel, body)
         self.assertEqual(self.fresh(["failpoint-coverage"]), [])
 
+    REPLAN_WIRED = (
+        "void R() {\n"
+        "  MetricRegistry::Global()\n"
+        '      .FindOrCreateCounter(metric_names::kReplansTotal, "trigger",\n'
+        '                           name)->Increment();\n'
+        "  FlightRecorder::Global().Record(FlightEventCategory::kFallback,\n"
+        '                                  "replan", detail, seen);\n'
+        "}\n")
+
+    def test_replan_metric_without_flight_event_fires(self):
+        self.tree.write("src/planner/adaptive.cc", self.REPLAN_WIRED)
+        self.tree.write(
+            "src/exec/other.cc",
+            "void F() {\n"
+            "  MetricRegistry::Global()\n"
+            "      .FindOrCreateCounter(metric_names::kReplansTotal,\n"
+            '                           "trigger", name)->Increment();\n'
+            "}\n")
+        found = self.fresh(["replan-flight-log"])
+        self.assertEqual(rules_of(found), ["replan-flight-log"])
+        self.assertEqual(found[0].file, "src/exec/other.cc")
+
+    def test_replan_metric_with_flight_event_clean(self):
+        self.tree.write("src/planner/adaptive.cc", self.REPLAN_WIRED)
+        self.assertEqual(self.fresh(["replan-flight-log"]), [])
+
+    def test_replan_coverage_fires_when_recorder_call_lost(self):
+        # The adaptive planner keeps the counter but loses the flight event.
+        self.tree.write(
+            "src/planner/adaptive.cc",
+            "void R() {\n"
+            "  MetricRegistry::Global()\n"
+            "      .FindOrCreateCounter(metric_names::kReplansTotal,\n"
+            '                           "trigger", name)->Increment();\n'
+            "}\n")
+        found = self.fresh(["replan-flight-log"])
+        rules = rules_of(found)
+        self.assertEqual(set(rules), {"replan-flight-log"})
+        # Both the per-file rule and the coverage invariant fire.
+        self.assertEqual(len(found), 2)
+
+    def test_replan_coverage_fires_when_wired_file_missing(self):
+        found = self.fresh(["replan-flight-log"])
+        self.assertEqual(rules_of(found), ["replan-flight-log"])
+        self.assertIn("missing", found[0].message)
+
 
 class BaselineTest(unittest.TestCase):
     def setUp(self):
