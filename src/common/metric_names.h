@@ -73,6 +73,9 @@ inline constexpr char kMemGrantDenialsTotal[] =
     "reldiv_mem_grant_denials_total";
 inline constexpr char kMemHighWaterBytes[] = "reldiv_mem_high_water_bytes";
 inline constexpr char kMemGrantLatencyMicros[] = "reldiv_mem_grant_latency_us";
+inline constexpr char kMemGrantWaitsTotal[] = "reldiv_mem_grant_waits_total";
+inline constexpr char kMemGrantTimeoutsTotal[] =
+    "reldiv_mem_grant_timeouts_total";
 
 // SimDisk / BufferManager (storage/disk.cc, storage/buffer_manager.cc).
 inline constexpr char kDiskTransfersTotal[] = "reldiv_disk_transfers_total";
@@ -109,6 +112,35 @@ inline constexpr char kReplanStatsCacheHitsTotal[] =
     "reldiv_replan_stats_cache_hits_total";
 inline constexpr char kReplanStatsCacheEntries[] =
     "reldiv_replan_stats_cache_entries";
+inline constexpr char kStatsCacheEvictions[] = "reldiv_stats_cache_evictions";
+
+// DivisionService (service/service.cc). Queue/latency series are labelled
+// per tenant; the rest are process-wide.
+inline constexpr char kServiceQueriesTotal[] = "reldiv_service_queries_total";
+inline constexpr char kServiceAdmissionRejectsTotal[] =
+    "reldiv_service_admission_rejects_total";
+inline constexpr char kServiceCancelledTotal[] =
+    "reldiv_service_cancelled_total";
+inline constexpr char kServiceGrantTimeoutsTotal[] =
+    "reldiv_service_grant_timeouts_total";
+inline constexpr char kServiceActiveQueries[] =
+    "reldiv_service_active_queries";
+inline constexpr char kServiceQueueDepthHighWater[] =
+    "reldiv_service_queue_depth_high_water";
+inline constexpr char kServiceQueueWaitMicros[] =
+    "reldiv_service_queue_wait_us";
+inline constexpr char kServiceQueryLatencyMicros[] =
+    "reldiv_service_query_latency_us";
+
+// Quotient cache (service/quotient_cache.cc).
+inline constexpr char kQcacheHitsTotal[] = "reldiv_qcache_hits_total";
+inline constexpr char kQcacheMissesTotal[] = "reldiv_qcache_misses_total";
+inline constexpr char kQcacheInvalidationsTotal[] =
+    "reldiv_qcache_invalidations_total";
+inline constexpr char kQcacheIncrementalUpdatesTotal[] =
+    "reldiv_qcache_incremental_updates_total";
+inline constexpr char kQcacheEvictionsTotal[] = "reldiv_qcache_evictions_total";
+inline constexpr char kQcacheEntries[] = "reldiv_qcache_entries";
 
 }  // namespace metric_names
 }  // namespace reldiv

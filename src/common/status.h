@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kCorruption = 5,
   kNotSupported = 6,
   kInternal = 7,
+  kCancelled = 8,
 };
 
 /// Lightweight status object in the RocksDB/Arrow style: a code plus an
@@ -62,6 +63,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,7 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -23,6 +23,7 @@ HashDivisionCore::HashDivisionCore(ExecContext* ctx,
 
 Status HashDivisionCore::BuildDivisorTable(Operator* divisor,
                                            uint64_t expected_cardinality) {
+  RELDIV_RETURN_NOT_OK(ctx_->CheckCancelled());
   RELDIV_RETURN_NOT_OK(divisor->Open());
   Status status = ConsumeDivisorStream(divisor, expected_cardinality);
   // Close on success AND on error: an abandoned open input would hold
@@ -263,6 +264,10 @@ Status HashDivisionCore::ConsumeBatch(const TupleBatch& batch,
   if (divisor_view_ == nullptr || quotient_table_ == nullptr) {
     return Status::Internal("hash-division tables not initialized");
   }
+  // Cooperative cancellation checkpoint: one flag load per batch keeps a
+  // long dividend consumption responsive to DivisionService::Cancel without
+  // touching the per-tuple hot loop.
+  RELDIV_RETURN_NOT_OK(ctx_->CheckCancelled());
   // The vectorized step-2 loop, staged across the batch. Pass 1 probes the
   // (small, cache-resident) divisor table and computes + counts the quotient
   // key hash for every match, issuing a bucket prefetch; pass 2 prefetches

@@ -48,10 +48,14 @@ void TupleBatch::ResetCapacity(size_t capacity, MemoryPool* pool) {
 }
 
 void TupleBatch::ReleaseReservation() {
-  if (pool_ != nullptr && reserved_bytes_ != 0) {
-    pool_->Release(reserved_bytes_);
-  }
+  // Zero BEFORE releasing: Release() can wake a grant waiter whose
+  // allocation path re-enters this batch (ResetCapacity during a retry), and
+  // the old order let such re-entry — or a plain double call — observe the
+  // stale reserved_bytes_ and credit the pool twice, silently inflating the
+  // budget for every later query.
+  const size_t bytes = reserved_bytes_;
   reserved_bytes_ = 0;
+  if (pool_ != nullptr && bytes != 0) pool_->Release(bytes);
 }
 
 }  // namespace reldiv

@@ -80,6 +80,9 @@ Status Database::Insert(const std::string& name, const Tuple& tuple) {
   for (TableIndex* index : table.indexes) {
     RELDIV_RETURN_NOT_OK(index->Add(tuple, rid));
   }
+  for (const UpdateObserver& observer : observers_) {
+    observer(name, table.store.get(), tuple, /*inserted=*/true);
+  }
   return Status::OK();
 }
 
@@ -116,6 +119,9 @@ Result<uint64_t> Database::DeleteWhere(
     RELDIV_RETURN_NOT_OK(file->Delete(rid));
     for (TableIndex* index : named.indexes) {
       RELDIV_RETURN_NOT_OK(index->Remove(tuple, rid));
+    }
+    for (const UpdateObserver& observer : observers_) {
+      observer(table, named.store.get(), tuple, /*inserted=*/false);
     }
   }
   return static_cast<uint64_t>(victims.size());

@@ -84,6 +84,20 @@ class Database {
   /// Looks up an index by name.
   Result<TableIndex*> GetIndex(const std::string& index_name) const;
 
+  /// Catalog-level mutation hook: runs synchronously on the mutating thread
+  /// after every successful Insert and after each DeleteWhere victim, with
+  /// the owning store and the tuple. The service layer's quotient cache
+  /// registers one so cached quotients are maintained incrementally instead
+  /// of recomputed (store-level writes that bypass the catalog are caught
+  /// by the RecordStore version check instead). Register during setup,
+  /// before concurrent use; observers are never removed.
+  using UpdateObserver = std::function<void(
+      const std::string& table, RecordStore* store, const Tuple& tuple,
+      bool inserted)>;
+  void AddUpdateObserver(UpdateObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
   ExecContext* ctx() { return ctx_.get(); }
   SimDisk* disk() { return disk_.get(); }
   BufferManager* buffer_manager() { return buffer_manager_.get(); }
@@ -107,6 +121,7 @@ class Database {
   };
   std::map<std::string, NamedTable> tables_;
   std::map<std::string, std::unique_ptr<TableIndex>> indexes_;
+  std::vector<UpdateObserver> observers_;
 };
 
 }  // namespace reldiv

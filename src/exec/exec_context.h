@@ -1,11 +1,13 @@
 #ifndef RELDIV_EXEC_EXEC_CONTEXT_H_
 #define RELDIV_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 
 #include "common/config.h"
 #include "common/counters.h"
+#include "common/status.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk.h"
 #include "storage/memory_manager.h"
@@ -89,6 +91,24 @@ class ExecContext {
   void set_trace(TraceRecorder* trace);
   TraceRecorder* trace() const { return trace_; }
 
+  /// Cooperative cancellation (DivisionService): points this context at an
+  /// externally owned flag (the query ticket's; must outlive the plan).
+  /// Long-running drive loops poll CheckCancelled() at batch boundaries, so
+  /// a cancelled query unwinds through the normal error path — Close runs,
+  /// arenas Reset, grants release — with a clean kCancelled status.
+  /// nullptr (the default) disables the checks entirely.
+  void set_cancellation_flag(const std::atomic<bool>* flag) {
+    cancel_flag_ = flag;
+  }
+  bool cancelled() const {
+    return cancel_flag_ != nullptr &&
+           cancel_flag_->load(std::memory_order_relaxed);
+  }
+  Status CheckCancelled() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    return Status::OK();
+  }
+
   // Cost-unit bumpers (Table 1: Comp / Hash / Move / Bit).
   void CountComparisons(uint64_t n) const { counters_->comparisons += n; }
   void CountHashes(uint64_t n) const { counters_->hashes += n; }
@@ -121,6 +141,7 @@ class ExecContext {
   size_t hash_memory_bytes_ = 0;
   size_t batch_capacity_ = kDefaultBatchCapacity;
   size_t dop_;  // initialized in the constructor from RELDIV_THREADS
+  const std::atomic<bool>* cancel_flag_ = nullptr;
   bool contract_checks_ = false;
   bool profiling_ = false;
   std::unique_ptr<QueryProfile> profile_;

@@ -41,12 +41,32 @@ DivisionStatsCache::Key DivisionStatsCache::KeyFor(
              resolved.match_attrs};
 }
 
+DivisionStatsCache::Node& DivisionStatsCache::Touch(
+    std::map<Key, Node>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second;
+}
+
+void DivisionStatsCache::EnforceBound() {
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_++;
+    if (Telemetry::counting()) {
+      static TelemetryCounter* evictions_total =
+          MetricRegistry::Global().FindOrCreateCounter(
+              metric_names::kStatsCacheEvictions);
+      evictions_total->Add(1);
+    }
+  }
+}
+
 std::optional<DivisionStatsCache::Entry> DivisionStatsCache::Lookup(
-    const ResolvedDivision& resolved) const {
+    const ResolvedDivision& resolved) {
   MutexLock lock(mu_);
   auto it = entries_.find(KeyFor(resolved));
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  return Touch(it).entry;
 }
 
 void DivisionStatsCache::RecordObservation(const ResolvedDivision& resolved,
@@ -54,7 +74,15 @@ void DivisionStatsCache::RecordObservation(const ResolvedDivision& resolved,
                                            double divisor_distinct,
                                            double quotient_candidates) {
   MutexLock lock(mu_);
-  Entry& entry = entries_[KeyFor(resolved)];
+  const Key key = KeyFor(resolved);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, Node{Entry{}, lru_.insert(lru_.begin(), key)})
+             .first;
+  } else {
+    Touch(it);
+  }
+  Entry& entry = it->second.entry;
   if (entry.runs == 0) {
     entry.dividend_tuples = dividend_tuples;
     entry.divisor_distinct = divisor_distinct;
@@ -68,23 +96,50 @@ void DivisionStatsCache::RecordObservation(const ResolvedDivision& resolved,
         0.5 * (quotient_candidates - entry.quotient_candidates);
   }
   entry.runs++;
+  EnforceBound();
 }
 
 void DivisionStatsCache::InjectForTest(const ResolvedDivision& resolved,
                                        Entry entry) {
   MutexLock lock(mu_);
   if (entry.runs == 0) entry.runs = 1;
-  entries_[KeyFor(resolved)] = entry;
+  const Key key = KeyFor(resolved);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, Node{Entry{}, lru_.insert(lru_.begin(), key)})
+             .first;
+  } else {
+    Touch(it);
+  }
+  it->second.entry = entry;
+  EnforceBound();
 }
 
 void DivisionStatsCache::Clear() {
   MutexLock lock(mu_);
   entries_.clear();
+  lru_.clear();
 }
 
 size_t DivisionStatsCache::size() const {
   MutexLock lock(mu_);
   return entries_.size();
+}
+
+void DivisionStatsCache::set_max_entries(size_t max_entries) {
+  MutexLock lock(mu_);
+  max_entries_ = max_entries == 0 ? 1 : max_entries;
+  EnforceBound();
+}
+
+size_t DivisionStatsCache::max_entries() const {
+  MutexLock lock(mu_);
+  return max_entries_;
+}
+
+uint64_t DivisionStatsCache::evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
 }
 
 namespace {

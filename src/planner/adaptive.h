@@ -1,6 +1,7 @@
 #ifndef RELDIV_PLANNER_ADAPTIVE_H_
 #define RELDIV_PLANNER_ADAPTIVE_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -60,8 +61,19 @@ struct ReplanEvent {
 /// repeated queries converge: the second run plans from measured values,
 /// not the R = Q × S heuristic. EWMA merge so a one-off skewed run cannot
 /// dominate. Thread-safe; all entry points are per-query cold paths.
+///
+/// Residency is bounded: entries beyond max_entries() are evicted least-
+/// recently-used (Lookup and RecordObservation both refresh recency), with
+/// evictions counted in reldiv_stats_cache_evictions. Unbounded growth was
+/// a leak once a service loop sees millions of distinct (store, attrs)
+/// keys — each dropped temp store left a dead entry behind forever.
 class DivisionStatsCache {
  public:
+  /// Default residency bound. Generous for any single workload (the whole
+  /// differential corpus uses dozens of keys) while capping the structure
+  /// at a few hundred KB however many distinct queries a server loop sees.
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
   struct Entry {
     double dividend_tuples = 0;
     double divisor_distinct = 0;
@@ -71,7 +83,7 @@ class DivisionStatsCache {
 
   static DivisionStatsCache& Global();
 
-  std::optional<Entry> Lookup(const ResolvedDivision& resolved) const;
+  std::optional<Entry> Lookup(const ResolvedDivision& resolved);
 
   /// EWMA-merges one run's observed values (alpha 0.5; the first
   /// observation is stored verbatim).
@@ -85,6 +97,15 @@ class DivisionStatsCache {
 
   void Clear();
   size_t size() const;
+
+  /// Caps resident entries, evicting LRU immediately if over the new bound.
+  /// 0 is pinned to 1 (an unbounded cache is exactly the leak this exists
+  /// to fix). Tests shrink it; the global default is kDefaultMaxEntries.
+  void set_max_entries(size_t max_entries);
+  size_t max_entries() const;
+
+  /// Lifetime LRU evictions (mirrors reldiv_stats_cache_evictions).
+  uint64_t evictions() const;
 
  private:
   DivisionStatsCache() = default;
@@ -104,8 +125,22 @@ class DivisionStatsCache {
   };
   static Key KeyFor(const ResolvedDivision& resolved);
 
+  struct Node {
+    Entry entry;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// Moves `it` to the MRU end and returns its node.
+  Node& Touch(std::map<Key, Node>::iterator it) REQUIRES(mu_);
+  /// Evicts LRU entries until the bound holds, counting each eviction.
+  void EnforceBound() REQUIRES(mu_);
+
   mutable Mutex mu_;
-  std::map<Key, Entry> entries_ GUARDED_BY(mu_);
+  std::map<Key, Node> entries_ GUARDED_BY(mu_);
+  /// Recency order, most recent first; holds exactly the keys of entries_.
+  std::list<Key> lru_ GUARDED_BY(mu_);
+  size_t max_entries_ GUARDED_BY(mu_) = kDefaultMaxEntries;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 /// Tuning for adaptive execution.

@@ -73,22 +73,31 @@ Status BufferManager::ReleaseFrame(uint64_t page_no) {
   return Status::OK();
 }
 
-Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
+Result<char*> BufferManager::FixAttempt(uint64_t page_no, bool create,
+                                        bool first_attempt,
+                                        bool* would_block) {
   // One lock spans lookup, statistics, pool growth, and read-in: two lanes
   // fixing the same non-resident page serialize into exactly one miss+read
   // followed by hits, never a double read-in or a torn counter. The pool's
   // reclaimer re-enters through TryShedFrame on this thread (recursive).
   RecursiveMutexLock lock(mu_);
-  RELDIV_FAILPOINT("buffer/fix");
-  stats_.fixes++;
+  if (first_attempt) {
+    RELDIV_FAILPOINT("buffer/fix");
+    stats_.fixes++;
+  }
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {
-    stats_.hits++;
-    if (Telemetry::counting()) {
-      static TelemetryCounter* hits_total =
-          MetricRegistry::Global().FindOrCreateCounter(
-              metric_names::kBufferHitsTotal);
-      hits_total->Add(1);
+    // Hit/miss is classified once, on the first attempt: a page that shows
+    // up while this fix waited for memory was still a miss when requested
+    // (fixes == hits + misses stays exact).
+    if (first_attempt) {
+      stats_.hits++;
+      if (Telemetry::counting()) {
+        static TelemetryCounter* hits_total =
+            MetricRegistry::Global().FindOrCreateCounter(
+                metric_names::kBufferHitsTotal);
+        hits_total->Add(1);
+      }
     }
     Frame& frame = it->second;
     if (frame.in_lru) {
@@ -98,18 +107,21 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
     frame.pin_count++;
     return frame.data.get();
   }
-  stats_.misses++;
-  if (Telemetry::counting()) {
-    static TelemetryCounter* misses_total =
-        MetricRegistry::Global().FindOrCreateCounter(
-            metric_names::kBufferMissesTotal);
-    misses_total->Add(1);
+  if (first_attempt) {
+    stats_.misses++;
+    if (Telemetry::counting()) {
+      static TelemetryCounter* misses_total =
+          MetricRegistry::Global().FindOrCreateCounter(
+              metric_names::kBufferMissesTotal);
+      misses_total->Add(1);
+    }
   }
 
   // Grow the pool if possible; otherwise evict an unfixed frame.
   while (pool_ != nullptr && !pool_->Reserve(kPageSize)) {
     RELDIV_ASSIGN_OR_RETURN(bool evicted, EvictOne());
     if (!evicted) {
+      *would_block = true;
       return Status::ResourceExhausted(
           "buffer pool: all frames fixed and memory pool exhausted");
     }
@@ -129,6 +141,41 @@ Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
   char* data = frame.data.get();
   frames_.emplace(page_no, std::move(frame));
   return data;
+}
+
+Result<char*> BufferManager::Fix(uint64_t page_no, bool create) {
+  const std::chrono::milliseconds timeout =
+      pool_ == nullptr ? std::chrono::milliseconds(0) : pool_->wait_timeout();
+  bool deadline_set = false;
+  std::chrono::steady_clock::time_point deadline;
+  bool first_attempt = true;
+  while (true) {
+    bool would_block = false;
+    Result<char*> result =
+        FixAttempt(page_no, create, first_attempt, &would_block);
+    first_attempt = false;
+    if (!would_block) return result;
+    // Every frame is pinned and the pool denied the page. The old code
+    // returned here unconditionally, which under multi-query contention
+    // turns a transient peak into a hard failure (and retry loops above it
+    // into busy spins). With a wait budget, park on the pool's release
+    // condvar with mu_ DROPPED — the Release that frees budget comes from
+    // another query's Unfix/Reset, which needs this manager's mutex — then
+    // re-run the whole attempt (re-lookup included; the page may have
+    // arrived meanwhile). A denial while the pool has room is a forced
+    // failpoint denial: surface it immediately, as before.
+    if (timeout.count() <= 0 || pool_->HasSpaceFor(kPageSize)) return result;
+    if (!deadline_set) {
+      deadline = std::chrono::steady_clock::now() + timeout;
+      deadline_set = true;
+    }
+    if (!pool_->WaitForSpace(kPageSize, deadline)) {
+      return Status::ResourceExhausted(
+          "buffer pool: all frames fixed and memory pool still exhausted "
+          "after " +
+          std::to_string(timeout.count()) + " ms grant deadline");
+    }
+  }
 }
 
 Status BufferManager::Unfix(uint64_t page_no, bool dirty,

@@ -55,7 +55,11 @@ class BufferManager {
   /// Fixes the disk page `page_no` (global page index; one page spans
   /// kSectorsPerPage sectors) and returns the frame address. With
   /// `create` the page is not read from disk (freshly allocated page).
-  /// ResourceExhausted when every frame is fixed and the pool cannot grow.
+  /// When every frame is fixed and the pool cannot grow: with the pool's
+  /// wait_timeout at zero (the default), ResourceExhausted immediately;
+  /// otherwise the call parks on the pool's release condvar (with this
+  /// manager's mutex dropped, so concurrent Unfix calls can free budget)
+  /// and retries until the deadline, then surfaces ResourceExhausted.
   Result<char*> Fix(uint64_t page_no, bool create);
 
   /// Releases one pin. `dirty` schedules write-back; `replace_immediately`
@@ -108,6 +112,13 @@ class BufferManager {
     bool in_lru = false;
     std::list<uint64_t>::iterator lru_pos;
   };
+
+  /// One locked fix attempt. Counts statistics and fires the failpoint only
+  /// when `first_attempt` (Fix classifies hit/miss once per call, however
+  /// many waits it takes). Sets `*would_block` instead of failing when the
+  /// pool is exhausted with nothing evictable, so Fix can wait unlocked.
+  Result<char*> FixAttempt(uint64_t page_no, bool create, bool first_attempt,
+                           bool* would_block);
 
   Status WriteBack(Frame* frame) REQUIRES(mu_);
   Status ReadIn(Frame* frame) REQUIRES(mu_);

@@ -75,6 +75,55 @@ bool MemoryPool::Reserve(size_t bytes) {
   return granted;
 }
 
+bool MemoryPool::WaitForSpace(
+    size_t bytes, std::chrono::steady_clock::time_point deadline) {
+  UniqueMutexLock lock(mu_);
+  waiters_++;
+  bool fits = used_ + bytes <= budget_;
+  while (!fits) {
+    if (release_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fits = used_ + bytes <= budget_;
+      break;
+    }
+    fits = used_ + bytes <= budget_;
+  }
+  waiters_--;
+  return fits;
+}
+
+Status MemoryPool::ReserveWithDeadline(size_t bytes,
+                                       std::chrono::milliseconds timeout) {
+  if (Reserve(bytes)) return Status::OK();
+  if (Telemetry::counting()) {
+    static TelemetryCounter* waits = MetricRegistry::Global().FindOrCreateCounter(
+        metric_names::kMemGrantWaitsTotal);
+    waits->Add(1);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // A denial with room in the pool is a forced failpoint denial or a lost
+    // race against a concurrent grant — waiting on the condvar would return
+    // immediately and degenerate into the busy spin this path replaces.
+    if (HasSpaceFor(bytes)) {
+      return Status::ResourceExhausted(
+          "memory grant of " + std::to_string(bytes) + " bytes denied");
+    }
+    if (!WaitForSpace(bytes, deadline)) break;
+    if (Reserve(bytes)) return Status::OK();
+  }
+  if (Telemetry::counting()) {
+    static TelemetryCounter* timeouts =
+        MetricRegistry::Global().FindOrCreateCounter(
+            metric_names::kMemGrantTimeoutsTotal);
+    timeouts->Add(1);
+    FlightRecorder::Global().Record(FlightEventCategory::kMemory,
+                                    "grant_timeout", "memory_pool", bytes);
+  }
+  return Status::ResourceExhausted(
+      "memory grant of " + std::to_string(bytes) + " bytes not satisfied in " +
+      std::to_string(timeout.count()) + " ms");
+}
+
 void* Arena::Allocate(size_t bytes) {
   const size_t aligned = (bytes + 7) & ~size_t{7};
   if (chunks_.empty() || chunks_.back().used + aligned > chunks_.back().size) {
@@ -82,9 +131,30 @@ void* Arena::Allocate(size_t bytes) {
     // remaining budget can still satisfy small allocations.
     size_t chunk_size = aligned > chunk_bytes_ ? aligned : chunk_bytes_;
     if (pool_ != nullptr) {
+      const std::chrono::milliseconds timeout = pool_->wait_timeout();
+      bool deadline_set = false;
+      std::chrono::steady_clock::time_point deadline;
       while (!pool_->Reserve(chunk_size)) {
-        if (chunk_size <= aligned) return nullptr;
-        chunk_size = chunk_size / 2 > aligned ? chunk_size / 2 : aligned;
+        if (chunk_size > aligned) {
+          // Adapt downward first: a small remaining budget should satisfy a
+          // small allocation before anyone blocks.
+          chunk_size = chunk_size / 2 > aligned ? chunk_size / 2 : aligned;
+          continue;
+        }
+        // The minimum-size grant was denied. With no wait budget this is
+        // the §3.4 overflow signal, immediately; otherwise park on the
+        // pool's release condvar until another query frees memory or the
+        // deadline passes (the old code re-polled Reserve in a busy spin,
+        // letting two contending queries starve each other indefinitely).
+        // A denial with free space is failpoint-forced: also fail fast.
+        if (timeout.count() <= 0 || pool_->HasSpaceFor(chunk_size)) {
+          return nullptr;
+        }
+        if (!deadline_set) {
+          deadline = std::chrono::steady_clock::now() + timeout;
+          deadline_set = true;
+        }
+        if (!pool_->WaitForSpace(chunk_size, deadline)) return nullptr;
       }
     }
     Chunk chunk;

@@ -1,6 +1,8 @@
 #ifndef RELDIV_STORAGE_MEMORY_MANAGER_H_
 #define RELDIV_STORAGE_MEMORY_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace reldiv {
@@ -39,6 +42,45 @@ class MemoryPool {
   /// denial to trigger §3.4 overflow handling at adversarial moments.
   bool Reserve(size_t bytes);
 
+  /// Blocking grant for multi-query contention: Reserve(), and while the
+  /// pool is full, park on the condition variable Release() signals — no
+  /// busy spin — re-trying after each wakeup until `timeout` elapses, then
+  /// kResourceExhausted. A denial while the pool HAS room (the
+  /// "memory/reserve" failpoint, or a racing grant) also returns
+  /// kResourceExhausted immediately rather than spinning on the deadline.
+  Status ReserveWithDeadline(size_t bytes, std::chrono::milliseconds timeout);
+
+  /// Parks until `bytes` would fit under the budget or `deadline` passes;
+  /// returns whether the space was seen. NO reservation is made — callers
+  /// re-run their own grant protocol (and may lose the race, in which case
+  /// they wait again on the same deadline). Used by BufferManager::Fix with
+  /// the buffer-manager mutex DROPPED, because the Release that frees the
+  /// budget comes from a concurrent Unfix that needs that mutex.
+  bool WaitForSpace(size_t bytes,
+                    std::chrono::steady_clock::time_point deadline);
+
+  /// True when `bytes` currently fits under the budget (snapshot; a racing
+  /// grant can take the space immediately after). Distinguishes a forced or
+  /// raced denial from genuine exhaustion on the waiting paths.
+  bool HasSpaceFor(size_t bytes) const {
+    MutexLock lock(mu_);
+    return used_ + bytes <= budget_;
+  }
+
+  /// Deadline the blocking callers (BufferManager::Fix, Arena chunk growth)
+  /// apply when a grant is denied and nothing is reclaimable. Zero — the
+  /// default — keeps those paths exactly as non-blocking as before: deny
+  /// immediately, §3.4 overflow handling takes over. The service layer sets
+  /// a positive timeout so contending queries wait for each other's
+  /// releases instead of failing or spinning.
+  void set_wait_timeout(std::chrono::milliseconds timeout) {
+    wait_timeout_ms_.store(timeout.count(), std::memory_order_relaxed);
+  }
+  std::chrono::milliseconds wait_timeout() const {
+    return std::chrono::milliseconds(
+        wait_timeout_ms_.load(std::memory_order_relaxed));
+  }
+
   /// Registers a callback that frees some pool memory and returns true, or
   /// returns false when it has nothing left to give back.
   void SetReclaimer(std::function<bool()> reclaimer) {
@@ -46,8 +88,14 @@ class MemoryPool {
   }
 
   void Release(size_t bytes) {
-    MutexLock lock(mu_);
-    used_ = bytes > used_ ? 0 : used_ - bytes;
+    {
+      MutexLock lock(mu_);
+      used_ = bytes > used_ ? 0 : used_ - bytes;
+      if (waiters_ == 0) return;
+    }
+    // Wake grant waiters outside the lock; notify_all because waiters want
+    // different sizes and any subset may now fit.
+    release_cv_.notify_all();
   }
 
   size_t budget() const { return budget_; }
@@ -66,11 +114,15 @@ class MemoryPool {
   /// `used_after` reports the pool usage right after a successful grant.
   bool ReserveInner(size_t bytes, size_t* used_after);
 
-  /// Guards used_ only; budget_ is immutable and reclaimer_ is set once at
-  /// setup (see class comment).
+  /// Guards used_ and waiters_ only; budget_ is immutable and reclaimer_ is
+  /// set once at setup (see class comment).
   mutable Mutex mu_;
   size_t budget_;
   size_t used_ GUARDED_BY(mu_) = 0;
+  /// Threads parked in WaitForSpace; Release() only notifies when > 0.
+  size_t waiters_ GUARDED_BY(mu_) = 0;
+  CondVar release_cv_;
+  std::atomic<int64_t> wait_timeout_ms_{0};
   std::function<bool()> reclaimer_;
 };
 

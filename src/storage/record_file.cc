@@ -24,6 +24,7 @@ Result<Rid> RecordFile::Append(Slice record) {
       RELDIV_ASSIGN_OR_RETURN(uint16_t slot, page.AddRecord(record));
       RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
       num_records_++;
+      BumpVersion();
       return Rid{static_cast<uint32_t>(local), slot};
     }
     has_open_page_ = false;
@@ -42,6 +43,7 @@ Result<Rid> RecordFile::Append(Slice record) {
   RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
   has_open_page_ = true;
   num_records_++;
+  BumpVersion();
   return Rid{static_cast<uint32_t>(local), slot};
 }
 
@@ -59,6 +61,7 @@ Status RecordFile::Delete(Rid rid) {
   RELDIV_RETURN_NOT_OK(page.DeleteRecord(rid.slot));
   RELDIV_RETURN_NOT_OK(buffer_manager_->Unfix(global, /*dirty=*/true));
   num_records_--;
+  BumpVersion();
   return Status::OK();
 }
 

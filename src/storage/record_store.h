@@ -1,6 +1,7 @@
 #ifndef RELDIV_STORAGE_RECORD_STORE_H_
 #define RELDIV_STORAGE_RECORD_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -77,6 +78,19 @@ class RecordStore {
   /// Number of storage pages (for the paper's page-cardinality cost inputs);
   /// virtual devices report their equivalent page count.
   virtual uint64_t num_pages() const = 0;
+
+  /// Monotone mutation counter: implementations bump it on every successful
+  /// Append (and Delete, where supported). Cached derivations — the service
+  /// layer's quotient cache — stamp the version they were computed against
+  /// and treat any mismatch as an unnotified mutation requiring
+  /// invalidation. Atomic so version checks never race a writer.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+ protected:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace reldiv

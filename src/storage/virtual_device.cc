@@ -25,6 +25,7 @@ Result<Rid> VirtualDevice::Append(Slice record) {
   const uint64_t index = records_.size();
   records_.emplace_back(record.data(), record.size());
   bytes_used_ += record.size();
+  BumpVersion();
   return Rid{static_cast<uint32_t>(index >> 16),
              static_cast<uint16_t>(index & 0xffff)};
 }

@@ -54,6 +54,17 @@ allowlist with written rationale. Rules:
                        a counter is undiagnosable post-mortem: the metric
                        says HOW OFTEN, only the flight event says WHICH
                        query, WHICH trigger, WHEN (DESIGN.md §15).
+  qcache-version-sync  every file that counts a quotient-cache
+                       invalidation (metric_names::
+                       kQcacheInvalidationsTotal) must also re-stamp the
+                       entry's synced store versions (SyncVersions), and
+                       the cache itself keeps both. An invalidation that
+                       rebuilds without re-stamping leaves the entry
+                       permanently behind the stores' version counters,
+                       so every later lookup re-counts an invalidation
+                       and rebuilds — a silent cache-off failure the
+                       metric alone cannot distinguish from honest churn
+                       (DESIGN.md §16).
 
 Suppression syntax (modeled on clang-tidy triage): a finding is silenced
 by `NOLINT(reldiv/<rule>): <rationale>` on the same line, or
@@ -102,6 +113,7 @@ RULES = (
     "naked-new",
     "telemetry-names",
     "replan-flight-log",
+    "qcache-version-sync",
     "suppression-rationale",
 )
 
@@ -227,6 +239,13 @@ FAILPOINT_COVERAGE = {
 REPLAN_FLIGHT_COVERAGE = ("src/planner/adaptive.cc",)
 REPLAN_METRIC_RE = re.compile(r"\bmetric_names::kReplansTotal\b")
 REPLAN_RECORDER_RE = re.compile(r"\bFlightRecorder::Global\(\)\s*\.\s*Record\b")
+
+# qcache-version-sync: quotient-cache invalidation points (DESIGN.md §16).
+# Files that count an invalidation must also re-stamp the entry's synced
+# store versions, or the rebuilt entry stays permanently stale.
+QCACHE_SYNC_COVERAGE = ("src/service/quotient_cache.cc",)
+QCACHE_METRIC_RE = re.compile(r"\bmetric_names::kQcacheInvalidationsTotal\b")
+QCACHE_SYNC_RE = re.compile(r"\bSyncVersions\s*\(")
 
 FAILPOINT_USE_RE = re.compile(r'RELDIV_FAILPOINT(?:_DENIED)?\s*\(\s*"([^"]+)"')
 FAILPOINT_CATALOG_RE = re.compile(r"kFailpointSites\[\]\s*=\s*\{(.*?)\};",
@@ -545,6 +564,54 @@ class Analyzer:
                     raw_lines, sup)
                 return
 
+    def check_qcache_version_sync(self, path: Path, raw_lines, lines, sup,
+                                  text):
+        """A file that counts a quotient-cache invalidation without
+        re-stamping the synced versions rebuilds into a permanently stale
+        entry: every later lookup mismatches again, counts again, and
+        rebuilds again. The coverage half (check_qcache_coverage) keeps
+        the known wiring intact."""
+        if not QCACHE_METRIC_RE.search(text):
+            return
+        if QCACHE_SYNC_RE.search(text):
+            return
+        for lineno, line in enumerate(lines, start=1):
+            if QCACHE_METRIC_RE.search(line):
+                self.report(
+                    path, lineno, "qcache-version-sync",
+                    "this file bumps metric_names::kQcacheInvalidationsTotal "
+                    "but never calls SyncVersions; an invalidation must "
+                    "re-stamp the entry's synced store versions or the "
+                    "rebuilt entry is stale forever and every lookup "
+                    "re-invalidates (DESIGN.md §16)",
+                    raw_lines, sup)
+                return
+
+    def check_qcache_coverage(self, texts):
+        if "qcache-version-sync" not in self.rules:
+            return
+        for rel in QCACHE_SYNC_COVERAGE:
+            path = self.root / rel
+            if not path.is_file():
+                self.findings.append(Finding(
+                    "qcache-version-sync", rel, 1,
+                    f"wired file {rel} is missing", ""))
+                continue
+            raw_lines, _ = texts[path]
+            text = "\n".join(strip_comments_and_strings(l) for l in raw_lines)
+            for pattern, what in ((QCACHE_METRIC_RE,
+                                   "metric_names::kQcacheInvalidationsTotal "
+                                   "bump"),
+                                  (QCACHE_SYNC_RE,
+                                   "SyncVersions call")):
+                if not pattern.search(text):
+                    self.findings.append(Finding(
+                        "qcache-version-sync", rel, 1,
+                        f"expected {what} is no longer present in this "
+                        "file; quotient-cache invalidations must stay "
+                        "paired with a version re-stamp (DESIGN.md §16)",
+                        ""))
+
     def check_replan_coverage(self, texts):
         if "replan-flight-log" not in self.rules:
             return
@@ -650,8 +717,11 @@ class Analyzer:
                 self.check_telemetry_names(path, raw_lines, sup, raw)
                 self.check_replan_flight_log(path, raw_lines, lines, sup,
                                              text)
+                self.check_qcache_version_sync(path, raw_lines, lines, sup,
+                                               text)
         self.check_failpoints(texts)
         self.check_replan_coverage(texts)
+        self.check_qcache_coverage(texts)
 
         baseline = self.load_baseline()
         seen = {(f.rule, f.file, f.key) for f in self.findings}

@@ -50,6 +50,13 @@
 #                               correct and race-free whatever worker count
 #                               the abandoned/restarted plans run at;
 #                               DESIGN.md §15)
+#   service                    (the multi-query service layer and quotient
+#                               cache under BOTH sanitizer builds, swept
+#                               across RELDIV_THREADS=1,4,8 under TSan:
+#                               grant waits, cancellation unwinds, and
+#                               incremental cache maintenance must stay
+#                               correct and race-free at every worker
+#                               count; DESIGN.md §16)
 #
 # Every stage is timed; the summary prints a per-stage wall-clock table.
 # Exits nonzero if ANY stage fails, so it can gate CI directly. Stage
@@ -160,7 +167,7 @@ bench_smoke() {
   local benches=(table2_analytical table4_experimental selectivity_sweep
                  overflow_partitioning parallel_scaleup early_output
                  algorithm_choice hbs_ablation batch_vs_tuple fused_ablation
-                 telemetry_overhead adaptive_replan)
+                 telemetry_overhead adaptive_replan service)
   local b
   for b in "${benches[@]}"; do
     echo "-- $b (smoke)"
@@ -277,6 +284,29 @@ if [[ "$QUICK" == "0" ]]; then
     return "$rc"
   }
   stage "adaptive" adaptive_stage
+
+  # Service stage: the multi-query front end and the quotient cache. Both
+  # sanitizers watch the grant/backoff paths (a condvar-waiting Fix or
+  # ReserveWithDeadline must neither leak nor race on timeout or
+  # cancellation unwind), and the TSan leg sweeps worker counts because
+  # waves execute on whatever lanes the scheduler defaults to while the
+  # cache's incremental maintenance runs on the mutating thread
+  # (DESIGN.md §16).
+  service_stage() {
+    local preset threads rc=0
+    for preset in asan tsan; do
+      echo "-- service suites under $preset"
+      ctest --preset "$preset" \
+        -R '(service_test|quotient_cache_test)' || rc=1
+    done
+    for threads in 1 4 8; do
+      echo "-- service suites under tsan, RELDIV_THREADS=$threads"
+      RELDIV_THREADS="$threads" ctest --preset tsan \
+        -R '(service_test|quotient_cache_test)' || rc=1
+    done
+    return "$rc"
+  }
+  stage "service" service_stage
 fi
 
 note "summary"

@@ -398,6 +398,53 @@ class AnalyzeRuleTest(unittest.TestCase):
         self.assertEqual(rules_of(found), ["replan-flight-log"])
         self.assertIn("missing", found[0].message)
 
+    QCACHE_WIRED = (
+        "void I() {\n"
+        "  MetricRegistry::Global()\n"
+        "      .FindOrCreateCounter(metric_names::kQcacheInvalidationsTotal)\n"
+        "      ->Add(1);\n"
+        "}\n"
+        "void B() { SyncVersions(); }\n")
+
+    def test_qcache_metric_without_sync_fires(self):
+        self.tree.write("src/service/quotient_cache.cc", self.QCACHE_WIRED)
+        self.tree.write(
+            "src/exec/other.cc",
+            "void F() {\n"
+            "  MetricRegistry::Global()\n"
+            "      .FindOrCreateCounter(metric_names::kQcacheInvalidations"
+            "Total)\n"
+            "      ->Add(1);\n"
+            "}\n")
+        found = self.fresh(["qcache-version-sync"])
+        self.assertEqual(rules_of(found), ["qcache-version-sync"])
+        self.assertEqual(found[0].file, "src/exec/other.cc")
+
+    def test_qcache_metric_with_sync_clean(self):
+        self.tree.write("src/service/quotient_cache.cc", self.QCACHE_WIRED)
+        self.assertEqual(self.fresh(["qcache-version-sync"]), [])
+
+    def test_qcache_coverage_fires_when_sync_call_lost(self):
+        # The cache keeps the counter but loses the version re-stamp.
+        self.tree.write(
+            "src/service/quotient_cache.cc",
+            "void I() {\n"
+            "  MetricRegistry::Global()\n"
+            "      .FindOrCreateCounter(metric_names::kQcacheInvalidations"
+            "Total)\n"
+            "      ->Add(1);\n"
+            "}\n")
+        found = self.fresh(["qcache-version-sync"])
+        rules = rules_of(found)
+        self.assertEqual(set(rules), {"qcache-version-sync"})
+        # Both the per-file rule and the coverage invariant fire.
+        self.assertEqual(len(found), 2)
+
+    def test_qcache_coverage_fires_when_wired_file_missing(self):
+        found = self.fresh(["qcache-version-sync"])
+        self.assertEqual(rules_of(found), ["qcache-version-sync"])
+        self.assertIn("missing", found[0].message)
+
 
 class BaselineTest(unittest.TestCase):
     def setUp(self):
